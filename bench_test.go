@@ -1,0 +1,181 @@
+// Benchmarks regenerating each table and figure of the paper's evaluation
+// at the Bench preset scale (32-node system, quarter-day traces). Run with
+//
+//	go test -bench=. -benchmem
+//
+// Every BenchmarkTableN/BenchmarkFigN corresponds to the same-numbered
+// artefact in the paper; the per-iteration wall time is the cost of a full
+// regeneration at that scale.
+package dismem
+
+import (
+	"testing"
+
+	"dismem/internal/experiments"
+	"dismem/internal/policy"
+)
+
+func benchPreset() experiments.Preset { return experiments.Bench() }
+
+func BenchmarkTable2(b *testing.B) {
+	p := benchPreset()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable2(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	p := benchPreset()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable3(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2(b *testing.B) {
+	p := benchPreset()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig2(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	p := benchPreset()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig4(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5 times one panel (job mix 50 %, +60 % overestimation) — the
+// unit cell of the figure's 7×2 grid.
+func BenchmarkFig5(b *testing.B) {
+	p := benchPreset()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig5Panel(p, 0.5, 0.6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	p := benchPreset()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig6(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	p := benchPreset()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig7(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	p := benchPreset()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig8(p, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	p := benchPreset()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig9(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScenario isolates one simulation run (trace generation hoisted
+// out), per policy — the inner loop every figure is built from.
+func BenchmarkScenario(b *testing.B) {
+	p := benchPreset()
+	trace, err := p.SyntheticTrace(0.5, 0.6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mc, err := experiments.MemConfigByPct(75)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, kind := range []policy.Kind{policy.Baseline, policy.Static, policy.Dynamic} {
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := p.RunScenario(trace.Jobs, p.SystemNodes, mc, kind); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation benches: the design-choice studies DESIGN.md calls out.
+
+func BenchmarkAblationUpdateInterval(b *testing.B) {
+	p := benchPreset()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationUpdateInterval(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationOOM(b *testing.B) {
+	p := benchPreset()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationOOM(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBackfill(b *testing.B) {
+	p := benchPreset()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationBackfill(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationLender(b *testing.B) {
+	p := benchPreset()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationLender(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPriority(b *testing.B) {
+	p := benchPreset()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblationPriority(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceGeneration isolates the Fig. 3 pipeline.
+func BenchmarkTraceGeneration(b *testing.B) {
+	p := benchPreset()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SyntheticTrace(0.5, 0.6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Command dmptrace runs the paper's Figure 3 trace-generation pipeline and
+// writes the resulting job trace in Standard Workload Format (and
+// optionally as a lossless dismem bundle including the usage traces), plus
+// a characterisation summary on stderr.
+//
+// Usage:
+//
+//	dmptrace -nodes 1024 -days 7 -load 0.8 -large-jobs 0.5 -overest 0.6 \
+//	    -model cirne -o trace.swf -bundle trace.bundle
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dismem/internal/bundle"
+	"dismem/internal/tracegen"
+	"dismem/internal/workload"
+)
+
+func main() {
+	var (
+		nodes      = flag.Int("nodes", 1024, "target system size")
+		days       = flag.Float64("days", 7, "trace span in days")
+		load       = flag.Float64("load", 0.8, "target CPU utilisation")
+		largeF     = flag.Float64("large-jobs", 0.5, "fraction of large-memory jobs")
+		overest    = flag.Float64("overest", 0, "request overestimation factor")
+		model      = flag.String("model", "cirne", "workload model: cirne or lublin")
+		out        = flag.String("o", "-", "output SWF path (- = stdout)")
+		bundlePath = flag.String("bundle", "", "also write a lossless dismem bundle (jobs + usage traces) here")
+		seed       = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	res, err := tracegen.Run(tracegen.Params{
+		SystemNodes:    *nodes,
+		Load:           *load,
+		Days:           *days,
+		LargeFrac:      *largeF,
+		Overestimation: *overest,
+		Model:          *model,
+		Seed:           *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmptrace: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *bundlePath != "" {
+		f, err := os.Create(*bundlePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmptrace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bundle.Write(f, res.Jobs); err != nil {
+			fmt.Fprintf(os.Stderr, "dmptrace: bundle: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "dmptrace: bundle: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dmptrace: wrote bundle %s\n", *bundlePath)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmptrace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := res.WriteSWF(w); err != nil {
+		fmt.Fprintf(os.Stderr, "dmptrace: write: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "dmptrace: %d jobs, %.1f%% large-memory, span %.1f days\n",
+		len(res.Jobs), res.LargeJobFraction()*100, *days)
+	if c, err := workload.Characterize(res.Jobs, 64*1024); err == nil {
+		fmt.Fprint(os.Stderr, c)
+	}
+}

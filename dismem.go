@@ -1,0 +1,33 @@
+// Package dismem reproduces "Dynamic Memory Provisioning on Disaggregated
+// HPC Systems" (Zacarias, Carpenter, Petrucci — SC-W 2023): a
+// discrete-event simulator of a Slurm-managed cluster whose node memory is
+// pooled system-wide, with three allocation policies (baseline, static
+// disaggregated, dynamic disaggregated), the paper's trace-generation
+// methodology, and a harness regenerating every table and figure of its
+// evaluation.
+//
+// The implementation lives under internal/:
+//
+//	internal/core        the simulator (the paper's contribution)
+//	internal/cluster     node + memory-pool ledger
+//	internal/policy      baseline / static / dynamic allocation
+//	internal/sched       queue, EASY backfill, conservative reservations
+//	internal/slowdown    remote-memory contention model
+//	internal/topology    3D torus interconnect
+//	internal/memtrace    usage time series + RDP reduction
+//	internal/workload    CIRNE + Lublin models, memory distributions
+//	internal/tracegen    the Fig. 3 trace pipeline
+//	internal/traces/...  synthetic Grizzly (LDMS) and Google (Borg) data
+//	internal/swf         Standard Workload Format
+//	internal/bundle      lossless simulator-input format
+//	internal/slurmconf   slurm.conf parser/emitter
+//	internal/metrics     ECDF, quantiles, fairness, cost model
+//	internal/sweep       parallel scenario runner
+//	internal/textplot    terminal charts
+//	internal/experiments one driver per paper table/figure + ablations
+//
+// Entry points: the cmd/dmpsim, cmd/dmptrace and cmd/dmpexp binaries, and
+// the runnable programs under examples/. The benchmarks in bench_test.go
+// regenerate each table and figure at a reduced scale, and
+// acceptance_test.go asserts the paper's qualitative claims.
+package dismem

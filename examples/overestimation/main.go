@@ -1,0 +1,90 @@
+// Overestimation study: the tragedy-of-the-commons the paper motivates —
+// users pad their memory requests, the static policy strands the padding,
+// and the dynamic policy reclaims it. This example sweeps the
+// overestimation factor on an underprovisioned system and reports
+// throughput and response-time effects per policy.
+//
+//	go run ./examples/overestimation
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"dismem/internal/experiments"
+	"dismem/internal/metrics"
+	"dismem/internal/policy"
+)
+
+func main() {
+	p := experiments.Quick()
+	const largeFrac = 0.5
+	mc, err := experiments.MemConfigByPct(50) // underprovisioned for this mix
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Normalise against the baseline on the fully provisioned system
+	// with accurate requests.
+	trace0, err := p.SyntheticTrace(largeFrac, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	norm, err := p.BaselineNorm(trace0.Jobs, p.SystemNodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("System at 50%% memory, %d%% large-memory jobs\n\n", int(largeFrac*100))
+	fmt.Printf("%-9s %18s %18s %22s\n", "overest", "static throughput", "dynamic throughput", "median response (s)")
+	for _, ov := range []float64{0, 0.25, 0.50, 0.60, 0.75, 1.00} {
+		tr, err := p.SyntheticTrace(largeFrac, ov)
+		if err != nil {
+			log.Fatal(err)
+		}
+		row := map[policy.Kind]struct {
+			tput   float64
+			median float64
+		}{}
+		for _, kind := range []policy.Kind{policy.Static, policy.Dynamic} {
+			res, err := p.RunScenario(tr.Jobs, p.SystemNodes, mc, kind)
+			if err != nil {
+				log.Fatal(err)
+			}
+			entry := row[kind]
+			entry.tput = math.NaN()
+			entry.median = math.NaN()
+			if !res.Infeasible {
+				entry.tput = res.Throughput() / norm
+				if rts := res.ResponseTimes(); len(rts) > 0 {
+					e, err := metrics.NewECDF(rts)
+					if err != nil {
+						log.Fatal(err)
+					}
+					entry.median = e.Median()
+				}
+			}
+			row[kind] = entry
+		}
+		s, d := row[policy.Static], row[policy.Dynamic]
+		fmt.Printf("+%-8.0f %18s %18s %10s / %-10s\n", ov*100,
+			pct(s.tput), pct(d.tput), sec(s.median), sec(d.median))
+	}
+	fmt.Println("\nStatic throughput decays with overestimation; dynamic stays flat because")
+	fmt.Println("the padding is reclaimed at the first usage update (paper Figure 8).")
+}
+
+func pct(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", v*100)
+}
+
+func sec(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", v)
+}

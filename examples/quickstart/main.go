@@ -1,0 +1,84 @@
+// Quickstart: build a small cluster, submit a handful of jobs, and compare
+// the three memory-allocation policies end to end.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dismem/internal/cluster"
+	"dismem/internal/core"
+	"dismem/internal/job"
+	"dismem/internal/memtrace"
+	"dismem/internal/policy"
+	"dismem/internal/slowdown"
+)
+
+func main() {
+	// A 16-node cluster: half the nodes have 64 GB, half 128 GB.
+	clusterCfg := cluster.Config{
+		Nodes:     16,
+		Cores:     32,
+		NormalMB:  64 * 1024,
+		LargeFrac: 0.5,
+	}
+
+	// Hand-written workload: each job declares what the user *requests*
+	// (RequestMB, typically padded) and what it actually uses over time
+	// (the Usage trace, known only to the simulator).
+	matcher := slowdown.NewMatcher(nil)
+	mkJob := func(id int, submit float64, nodes int, peakMB int64, runtime float64) *job.Job {
+		// Usage ramps to its peak mid-run, then falls back: plenty of
+		// reclaimable memory for the dynamic policy.
+		usage := memtrace.MustNew([]memtrace.Point{
+			{T: 0, MB: peakMB / 4},
+			{T: runtime * 0.4, MB: peakMB},
+			{T: runtime * 0.6, MB: peakMB / 3},
+		})
+		return &job.Job{
+			ID:          id,
+			SubmitTime:  submit,
+			Nodes:       nodes,
+			RequestMB:   peakMB + peakMB/2, // user overestimates by 50 %
+			LimitSec:    runtime * 3,
+			BaseRuntime: runtime,
+			Usage:       usage,
+			Profile:     matcher.Match(nodes, runtime),
+		}
+	}
+	var jobs []*job.Job
+	for i := 0; i < 24; i++ {
+		nodes := 1 + i%4
+		peak := int64(20+10*(i%7)) * 1024 // 20–80 GB per node
+		jobs = append(jobs, mkJob(i+1, float64(i)*600, nodes, peak, 3600*(1+float64(i%3))))
+	}
+
+	fmt.Println("policy    completed  throughput(jobs/h)  mean-response(s)  OOM")
+	for _, kind := range []policy.Kind{policy.Baseline, policy.Static, policy.Dynamic} {
+		sim, err := core.New(core.Config{Cluster: clusterCfg, Policy: kind}, jobs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Infeasible {
+			fmt.Printf("%-9s  (infeasible: job %d cannot run without disaggregation)\n",
+				kind, res.InfeasibleJob)
+			continue
+		}
+		var meanRT float64
+		rts := res.ResponseTimes()
+		for _, rt := range rts {
+			meanRT += rt
+		}
+		if len(rts) > 0 {
+			meanRT /= float64(len(rts))
+		}
+		fmt.Printf("%-9s  %9d  %18.2f  %16.0f  %3d\n",
+			kind, res.Completed, res.Throughput()*3600, meanRT, res.OOMKills)
+	}
+}

@@ -1,0 +1,74 @@
+// Topology-aware lending: when remote-memory latency grows with hop count
+// on the interconnect, borrowing from the nearest nodes instead of the
+// most-free nodes keeps jobs faster. This example builds a 3D torus,
+// compares the two lender orders under increasing hop penalties, and
+// reports per-job stretch and throughput.
+//
+//	go run ./examples/topologyaware
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dismem/internal/cluster"
+	"dismem/internal/core"
+	"dismem/internal/job"
+	"dismem/internal/memtrace"
+	"dismem/internal/policy"
+	"dismem/internal/slowdown"
+	"dismem/internal/topology"
+)
+
+func main() {
+	const nodes = 64
+	torus := topology.Design(nodes)
+	fmt.Printf("interconnect: %v, mean distance %.2f hops, bisection %d links\n\n",
+		torus, torus.AvgHops(), torus.BisectionLinks())
+
+	// Memory-hungry jobs that must borrow about half their working set
+	// remotely on a 64 GB/node system.
+	matcher := slowdown.NewMatcher(nil)
+	var jobs []*job.Job
+	for i := 0; i < 48; i++ {
+		peak := int64(96) * 1024 // 96 GB/node: 32 GB borrowed
+		jobs = append(jobs, &job.Job{
+			ID:          i + 1,
+			SubmitTime:  float64(i) * 200,
+			Nodes:       1 + i%3,
+			RequestMB:   peak,
+			LimitSec:    1e7,
+			BaseRuntime: 3600,
+			Usage:       memtrace.Constant(peak),
+			Profile:     matcher.Match(1+i%3, 3600),
+		})
+	}
+
+	fmt.Printf("%-14s %-12s %12s %14s\n", "lender order", "hop penalty", "mean stretch", "jobs/hour")
+	for _, hp := range []float64{0, 0.5, 1.0} {
+		for _, lp := range []core.LenderPolicy{core.MostFree, core.NearestFirst} {
+			cfg := core.Config{
+				Cluster:      cluster.Config{Nodes: nodes, Cores: 32, NormalMB: 64 * 1024},
+				Policy:       policy.Static,
+				Topology:     &torus,
+				LenderPolicy: lp,
+				HopPenalty:   hp,
+			}
+			sim, err := core.New(cfg, jobs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := sim.Run()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.Infeasible {
+				log.Fatalf("infeasible: job %d", res.InfeasibleJob)
+			}
+			fmt.Printf("%-14s %-12.2f %12.3f %14.2f\n",
+				lp, hp, res.MeanStretch(), res.Throughput()*3600)
+		}
+	}
+	fmt.Println("\nWith free distance (penalty 0) the orders tie; once hops cost,")
+	fmt.Println("nearest-first lending lowers the stretch of every borrowing job.")
+}

@@ -1,0 +1,108 @@
+package dismem
+
+// Public facade: the library's user-facing entry points, re-exported from
+// the internal packages via type aliases so downstream modules can simulate
+// scenarios and generate traces without reaching into internal/ (which Go
+// would refuse to import).
+
+import (
+	"io"
+
+	"dismem/internal/bundle"
+	"dismem/internal/cluster"
+	"dismem/internal/core"
+	"dismem/internal/job"
+	"dismem/internal/memtrace"
+	"dismem/internal/policy"
+	"dismem/internal/slowdown"
+	"dismem/internal/tracegen"
+)
+
+// Core simulation types.
+type (
+	// Config parameterises one simulation scenario (see core.Config).
+	Config = core.Config
+	// ClusterConfig describes the simulated system's nodes.
+	ClusterConfig = cluster.Config
+	// Result is a completed scenario's outcome.
+	Result = core.Result
+	// JobRecord is one job's scheduling outcome.
+	JobRecord = core.JobRecord
+	// Job is one trace entry: submission-script fields plus simulation
+	// ground truth.
+	Job = job.Job
+	// UsageTrace is a job's memory consumption over time.
+	UsageTrace = memtrace.Trace
+	// UsagePoint is one step of a usage trace.
+	UsagePoint = memtrace.Point
+	// AppProfile characterises an application for the contention model.
+	AppProfile = slowdown.Profile
+	// Observer receives simulator lifecycle events.
+	Observer = core.Observer
+	// Timeline records system occupancy over a run.
+	Timeline = core.Timeline
+	// TraceParams configures the Figure 3 trace-generation pipeline.
+	TraceParams = tracegen.Params
+	// Trace is a generated workload plus its intermediate artefacts.
+	Trace = tracegen.Output
+)
+
+// Allocation policies (the paper's three).
+type PolicyKind = policy.Kind
+
+// Policy constants.
+const (
+	Baseline = policy.Baseline
+	Static   = policy.Static
+	Dynamic  = policy.Dynamic
+)
+
+// Out-of-memory handling modes.
+const (
+	FailRestart       = core.FailRestart
+	CheckpointRestart = core.CheckpointRestart
+)
+
+// Backfill algorithms.
+const (
+	EASYBackfill         = core.EASYBackfill
+	ConservativeBackfill = core.ConservativeBackfill
+	NoBackfill           = core.NoBackfill
+)
+
+// Simulate runs one scenario to completion and returns its result.
+func Simulate(cfg Config, jobs []*Job) (*Result, error) {
+	s, err := core.New(cfg, jobs)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// GenerateTrace runs the paper's trace-generation pipeline.
+func GenerateTrace(params TraceParams) (*Trace, error) {
+	return tracegen.Run(params)
+}
+
+// NewUsageTrace builds a validated memory-usage step function.
+func NewUsageTrace(points []UsagePoint) (*UsageTrace, error) {
+	return memtrace.New(points)
+}
+
+// ConstantUsage returns a trace that uses mb from time zero onward.
+func ConstantUsage(mb int64) *UsageTrace { return memtrace.Constant(mb) }
+
+// MatchProfile returns the built-in application profile nearest to the
+// given job size and runtime, for hand-built workloads.
+func MatchProfile(nodes int, runtimeSec float64) *AppProfile {
+	return slowdown.NewMatcher(nil).Match(nodes, runtimeSec)
+}
+
+// WriteBundle persists jobs (with usage traces and profiles) losslessly.
+func WriteBundle(w io.Writer, jobs []*Job) error { return bundle.Write(w, jobs) }
+
+// ReadBundle loads jobs written by WriteBundle.
+func ReadBundle(r io.Reader) ([]*Job, error) { return bundle.Read(r) }
+
+// NewTimeline returns an occupancy recorder to plug into Config.Observer.
+func NewTimeline() *Timeline { return core.NewTimeline() }

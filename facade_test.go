@@ -1,0 +1,96 @@
+package dismem_test
+
+// The facade test uses only the public dismem package, exactly as a
+// downstream module would.
+
+import (
+	"bytes"
+	"testing"
+
+	"dismem"
+)
+
+func TestFacadeSimulate(t *testing.T) {
+	jobs := []*dismem.Job{{
+		ID:          1,
+		Nodes:       2,
+		RequestMB:   96 * 1024,
+		LimitSec:    7200,
+		BaseRuntime: 3600,
+		Usage:       dismem.ConstantUsage(20 * 1024),
+		Profile:     dismem.MatchProfile(2, 3600),
+	}}
+	tl := dismem.NewTimeline()
+	cfg := dismem.Config{
+		Cluster:  dismem.ClusterConfig{Nodes: 4, Cores: 32, NormalMB: 64 * 1024},
+		Policy:   dismem.Dynamic,
+		Backfill: dismem.EASYBackfill,
+		OOM:      dismem.FailRestart,
+		Observer: tl,
+	}
+	res, err := dismem.Simulate(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	// The job borrows a third of its memory remotely, so it runs at a
+	// small contention slowdown above its base runtime.
+	if rt := res.Records[0].ResponseTime(); rt < 3600 || rt > 3600*1.2 {
+		t.Fatalf("response = %g, want 3600 plus a small slowdown", rt)
+	}
+	if len(tl.Samples) == 0 {
+		t.Fatal("timeline observer recorded nothing")
+	}
+}
+
+func TestFacadeTraceAndBundle(t *testing.T) {
+	tr, err := dismem.GenerateTrace(dismem.TraceParams{
+		SystemNodes: 32, Load: 0.5, Days: 0.25,
+		LargeFrac: 0.25, Overestimation: 0.6,
+		GoogleCollections: 600, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) == 0 {
+		t.Fatal("empty trace")
+	}
+	var buf bytes.Buffer
+	if err := dismem.WriteBundle(&buf, tr.Jobs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dismem.ReadBundle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(tr.Jobs) {
+		t.Fatalf("bundle round trip lost jobs: %d vs %d", len(back), len(tr.Jobs))
+	}
+	// And the loaded trace simulates (the default CIRNE model generates
+	// jobs up to 128 nodes, so the system must be at least that large).
+	res, err := dismem.Simulate(dismem.Config{
+		Cluster: dismem.ClusterConfig{Nodes: 160, Cores: 32, NormalMB: 64 * 1024, LargeFrac: 1},
+		Policy:  dismem.Static,
+	}, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Infeasible {
+		t.Fatalf("infeasible: job %d", res.InfeasibleJob)
+	}
+}
+
+func TestFacadeUsageTraceValidation(t *testing.T) {
+	if _, err := dismem.NewUsageTrace(nil); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	tr, err := dismem.NewUsageTrace([]dismem.UsagePoint{{T: 0, MB: 5}, {T: 10, MB: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Peak() != 9 {
+		t.Fatalf("peak = %d", tr.Peak())
+	}
+}

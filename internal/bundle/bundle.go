@@ -1,0 +1,176 @@
+// Package bundle persists complete simulator inputs — jobs with their
+// memory-usage traces and matched application profiles — as a single
+// JSON-Lines stream. This is the reproduction's equivalent of the paper's
+// "simulator input files" (Fig. 3, Steps 8–9): SWF carries the scheduler
+// fields but cannot hold time series, so the bundle is the lossless format
+// connecting trace generation (dmptrace) to simulation (dmpsim).
+//
+// Layout: the first line is a header object carrying the format version
+// and the deduplicated profile pool; every following line is one job whose
+// usage trace is embedded as base64 of the memtrace binary encoding.
+package bundle
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"dismem/internal/job"
+	"dismem/internal/memtrace"
+	"dismem/internal/slowdown"
+)
+
+// Version is the current bundle format version.
+const Version = 1
+
+// Errors returned by Read.
+var (
+	ErrFormat  = errors.New("bundle: malformed input")
+	ErrVersion = errors.New("bundle: unsupported version")
+)
+
+type headerJSON struct {
+	Bundle   string        `json:"bundle"`
+	Version  int           `json:"version"`
+	Jobs     int           `json:"jobs"`
+	Profiles []profileJSON `json:"profiles"`
+}
+
+type profileJSON struct {
+	Name      string       `json:"name"`
+	Nodes     int          `json:"nodes"`
+	Runtime   float64      `json:"runtime_s"`
+	Bandwidth float64      `json:"bandwidth_gbs"`
+	ReadFrac  float64      `json:"read_frac"`
+	Sens      [][2]float64 `json:"sensitivity"`
+}
+
+type jobJSON struct {
+	ID        int     `json:"id"`
+	Submit    float64 `json:"submit_s"`
+	Nodes     int     `json:"nodes"`
+	RequestMB int64   `json:"request_mb"`
+	Limit     float64 `json:"limit_s"`
+	Runtime   float64 `json:"runtime_s"`
+	DependsOn int     `json:"depends_on,omitempty"`
+	Profile   string  `json:"profile"`
+	Usage     []byte  `json:"usage"` // memtrace binary encoding (base64 in JSON)
+}
+
+// Write streams the jobs as a bundle. Profiles are deduplicated by name;
+// two distinct profiles sharing a name is an error.
+func Write(w io.Writer, jobs []*job.Job) error {
+	profiles := map[string]*slowdown.Profile{}
+	var order []string
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return err
+		}
+		if prev, ok := profiles[j.Profile.Name]; ok {
+			if prev != j.Profile {
+				return fmt.Errorf("bundle: two profiles named %q", j.Profile.Name)
+			}
+			continue
+		}
+		profiles[j.Profile.Name] = j.Profile
+		order = append(order, j.Profile.Name)
+	}
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	hdr := headerJSON{Bundle: "dismem", Version: Version, Jobs: len(jobs)}
+	for _, name := range order {
+		p := profiles[name]
+		pj := profileJSON{
+			Name: p.Name, Nodes: p.Nodes, Runtime: p.RuntimeSec,
+			Bandwidth: p.BandwidthGBs, ReadFrac: p.ReadFrac,
+		}
+		for _, k := range p.Sens {
+			pj.Sens = append(pj.Sens, [2]float64{k.Pressure, k.Penalty})
+		}
+		hdr.Profiles = append(hdr.Profiles, pj)
+	}
+	if err := enc.Encode(hdr); err != nil {
+		return err
+	}
+	for _, j := range jobs {
+		usage, err := j.Usage.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		jj := jobJSON{
+			ID: j.ID, Submit: j.SubmitTime, Nodes: j.Nodes,
+			RequestMB: j.RequestMB, Limit: j.LimitSec, Runtime: j.BaseRuntime,
+			DependsOn: j.DependsOn, Profile: j.Profile.Name, Usage: usage,
+		}
+		if err := enc.Encode(jj); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a bundle stream back into validated jobs.
+func Read(r io.Reader) ([]*job.Job, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var hdr headerJSON
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrFormat, err)
+	}
+	if hdr.Bundle != "dismem" {
+		return nil, fmt.Errorf("%w: not a dismem bundle", ErrFormat)
+	}
+	if hdr.Version != Version {
+		return nil, fmt.Errorf("%w: version %d", ErrVersion, hdr.Version)
+	}
+	profiles := map[string]*slowdown.Profile{}
+	for _, pj := range hdr.Profiles {
+		p := &slowdown.Profile{
+			Name: pj.Name, Nodes: pj.Nodes, RuntimeSec: pj.Runtime,
+			BandwidthGBs: pj.Bandwidth, ReadFrac: pj.ReadFrac,
+		}
+		for _, k := range pj.Sens {
+			p.Sens = append(p.Sens, slowdown.CurvePoint{Pressure: k[0], Penalty: k[1]})
+		}
+		if err := p.Sens.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: profile %q: %v", ErrFormat, pj.Name, err)
+		}
+		if _, dup := profiles[p.Name]; dup {
+			return nil, fmt.Errorf("%w: duplicate profile %q", ErrFormat, p.Name)
+		}
+		profiles[p.Name] = p
+	}
+
+	jobs := make([]*job.Job, 0, hdr.Jobs)
+	for {
+		var jj jobJSON
+		if err := dec.Decode(&jj); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("%w: job record: %v", ErrFormat, err)
+		}
+		p, ok := profiles[jj.Profile]
+		if !ok {
+			return nil, fmt.Errorf("%w: job %d references unknown profile %q", ErrFormat, jj.ID, jj.Profile)
+		}
+		var usage memtrace.Trace
+		if err := usage.UnmarshalBinary(jj.Usage); err != nil {
+			return nil, fmt.Errorf("%w: job %d usage: %v", ErrFormat, jj.ID, err)
+		}
+		j := &job.Job{
+			ID: jj.ID, SubmitTime: jj.Submit, Nodes: jj.Nodes,
+			RequestMB: jj.RequestMB, LimitSec: jj.Limit, BaseRuntime: jj.Runtime,
+			DependsOn: jj.DependsOn, Usage: &usage, Profile: p,
+		}
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+		jobs = append(jobs, j)
+	}
+	if hdr.Jobs != 0 && len(jobs) != hdr.Jobs {
+		return nil, fmt.Errorf("%w: header says %d jobs, stream has %d", ErrFormat, hdr.Jobs, len(jobs))
+	}
+	return jobs, nil
+}

@@ -1,0 +1,163 @@
+package bundle
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"dismem/internal/job"
+	"dismem/internal/memtrace"
+	"dismem/internal/slowdown"
+	"dismem/internal/tracegen"
+)
+
+func sampleJobs(t *testing.T) []*job.Job {
+	t.Helper()
+	out, err := tracegen.Run(tracegen.Params{
+		SystemNodes: 32, Load: 0.6, Days: 0.25,
+		LargeFrac: 0.5, Overestimation: 0.6,
+		GoogleCollections: 600, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Jobs) == 0 {
+		t.Fatal("no jobs generated")
+	}
+	return out.Jobs
+}
+
+func TestRoundTrip(t *testing.T) {
+	jobs := sampleJobs(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(jobs) {
+		t.Fatalf("jobs = %d, want %d", len(back), len(jobs))
+	}
+	for i := range jobs {
+		a, b := jobs[i], back[i]
+		if a.ID != b.ID || a.SubmitTime != b.SubmitTime || a.Nodes != b.Nodes ||
+			a.RequestMB != b.RequestMB || a.LimitSec != b.LimitSec || a.BaseRuntime != b.BaseRuntime {
+			t.Fatalf("job %d scalar mismatch:\n%+v\n%+v", i, a, b)
+		}
+		if a.Profile.Name != b.Profile.Name || a.Profile.BandwidthGBs != b.Profile.BandwidthGBs {
+			t.Fatalf("job %d profile mismatch", i)
+		}
+		ap, bp := a.Usage.Points(), b.Usage.Points()
+		if len(ap) != len(bp) {
+			t.Fatalf("job %d usage length mismatch", i)
+		}
+		for k := range ap {
+			if ap[k] != bp[k] {
+				t.Fatalf("job %d usage point %d mismatch", i, k)
+			}
+		}
+	}
+}
+
+func TestProfilesShared(t *testing.T) {
+	jobs := sampleJobs(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jobs matched to the same profile must share one instance after
+	// decoding, as before it.
+	byName := map[string]*slowdown.Profile{}
+	for _, j := range back {
+		if prev, ok := byName[j.Profile.Name]; ok && prev != j.Profile {
+			t.Fatalf("profile %q not shared", j.Profile.Name)
+		}
+		byName[j.Profile.Name] = j.Profile
+	}
+}
+
+func TestWriteRejectsConflictingProfiles(t *testing.T) {
+	mk := func(p *slowdown.Profile) *job.Job {
+		return &job.Job{
+			ID: 1, Nodes: 1, RequestMB: 10, LimitSec: 10, BaseRuntime: 5,
+			Usage: memtrace.Constant(5), Profile: p,
+		}
+	}
+	p1 := &slowdown.Profile{Name: "x", Nodes: 1, RuntimeSec: 1, BandwidthGBs: 1, Sens: slowdown.CurveCompute}
+	p2 := &slowdown.Profile{Name: "x", Nodes: 2, RuntimeSec: 2, BandwidthGBs: 2, Sens: slowdown.CurveStream}
+	a, b := mk(p1), mk(p2)
+	b.ID = 2
+	var buf bytes.Buffer
+	if err := Write(&buf, []*job.Job{a, b}); err == nil {
+		t.Fatal("conflicting profiles accepted")
+	}
+}
+
+func TestReadRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want error
+	}{
+		{"empty", "", ErrFormat},
+		{"not a bundle", `{"bundle":"other","version":1}` + "\n", ErrFormat},
+		{"future version", `{"bundle":"dismem","version":99}` + "\n", ErrVersion},
+		{"bad job json", `{"bundle":"dismem","version":1}` + "\nnot-json\n", ErrFormat},
+		{"unknown profile", `{"bundle":"dismem","version":1}` + "\n" +
+			`{"id":1,"nodes":1,"request_mb":1,"limit_s":2,"runtime_s":1,"profile":"ghost","usage":"TQEAAAAAAAAAAAAB"}` + "\n", ErrFormat},
+	}
+	for _, tc := range cases {
+		_, err := Read(strings.NewReader(tc.in))
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestHeaderJobCountChecked(t *testing.T) {
+	jobs := sampleJobs(t)
+	if len(jobs) > 3 {
+		jobs = jobs[:3]
+	}
+	if len(jobs) < 2 {
+		t.Skip("need at least 2 jobs to truncate")
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the last job line: count mismatch must be detected.
+	content := buf.String()
+	lines := strings.Split(strings.TrimSpace(content), "\n")
+	truncated := strings.Join(lines[:len(lines)-1], "\n") + "\n"
+	if _, err := Read(strings.NewReader(truncated)); !errors.Is(err, ErrFormat) {
+		t.Fatalf("err = %v, want ErrFormat", err)
+	}
+}
+
+func TestDependencySurvivesBundle(t *testing.T) {
+	p := &slowdown.Profile{Name: "p", Nodes: 1, RuntimeSec: 10, BandwidthGBs: 1,
+		Sens: slowdown.Curve{{Pressure: 0, Penalty: 0}}}
+	mk := func(id, dep int) *job.Job {
+		return &job.Job{ID: id, Nodes: 1, RequestMB: 10, LimitSec: 10,
+			BaseRuntime: 5, DependsOn: dep, Usage: memtrace.Constant(5), Profile: p}
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, []*job.Job{mk(1, 0), mk(2, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0].DependsOn != 0 || back[1].DependsOn != 1 {
+		t.Fatalf("dependencies lost: %d %d", back[0].DependsOn, back[1].DependsOn)
+	}
+}

@@ -1,0 +1,51 @@
+package bundle
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dismem/internal/job"
+	"dismem/internal/memtrace"
+	"dismem/internal/slowdown"
+)
+
+// FuzzRead checks the bundle reader never panics and that any stream it
+// accepts produces validated jobs that re-encode and re-decode.
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	p := &slowdown.Profile{Name: "p", Nodes: 1, RuntimeSec: 10, BandwidthGBs: 1,
+		Sens: slowdown.Curve{{Pressure: 0, Penalty: 0.1}}}
+	j := &job.Job{ID: 1, Nodes: 1, RequestMB: 10, LimitSec: 10, BaseRuntime: 5,
+		Usage: memtrace.Constant(5), Profile: p}
+	if err := Write(&buf, []*job.Job{j}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("")
+	f.Add(`{"bundle":"dismem","version":1}` + "\n")
+	f.Add(`{"bundle":"dismem","version":1,"jobs":1}` + "\nnot json\n")
+	f.Add("{}\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		jobs, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for _, j := range jobs {
+			if err := j.Validate(); err != nil {
+				t.Fatalf("accepted invalid job: %v", err)
+			}
+		}
+		var out bytes.Buffer
+		if err := Write(&out, jobs); err != nil {
+			t.Fatalf("accepted jobs failed to re-encode: %v", err)
+		}
+		again, err := Read(&out)
+		if err != nil {
+			t.Fatalf("own output rejected: %v", err)
+		}
+		if len(again) != len(jobs) {
+			t.Fatalf("round trip changed job count: %d -> %d", len(jobs), len(again))
+		}
+	})
+}

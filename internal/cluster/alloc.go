@@ -1,0 +1,164 @@
+package cluster
+
+import "fmt"
+
+// Lease records memory borrowed from a remote lender node on behalf of one
+// compute node of a job.
+type Lease struct {
+	Lender NodeID
+	MB     int64
+}
+
+// NodeAllocation is the memory a job holds for one of its compute nodes:
+// some local DRAM plus zero or more remote leases.
+type NodeAllocation struct {
+	Node    NodeID
+	LocalMB int64
+	Leases  []Lease
+}
+
+// RemoteMB returns the total remote memory held via leases.
+func (a *NodeAllocation) RemoteMB() int64 {
+	var t int64
+	for _, l := range a.Leases {
+		t += l.MB
+	}
+	return t
+}
+
+// TotalMB returns local plus remote memory.
+func (a *NodeAllocation) TotalMB() int64 { return a.LocalMB + a.RemoteMB() }
+
+// LocalFraction returns the local share of the allocation in [0,1]. An empty
+// allocation counts as fully local (no remote traffic).
+func (a *NodeAllocation) LocalFraction() float64 {
+	t := a.TotalMB()
+	if t == 0 {
+		return 1
+	}
+	return float64(a.LocalMB) / float64(t)
+}
+
+// JobAllocation is the complete memory placement of a running job.
+type JobAllocation struct {
+	Job     int
+	PerNode []NodeAllocation
+}
+
+// TotalMB returns the job's total allocated memory across all its nodes.
+func (ja *JobAllocation) TotalMB() int64 {
+	var t int64
+	for i := range ja.PerNode {
+		t += ja.PerNode[i].TotalMB()
+	}
+	return t
+}
+
+// RemoteMB returns the job's total remote memory.
+func (ja *JobAllocation) RemoteMB() int64 {
+	var t int64
+	for i := range ja.PerNode {
+		t += ja.PerNode[i].RemoteMB()
+	}
+	return t
+}
+
+// NodeIDs returns the compute nodes of the job in allocation order.
+func (ja *JobAllocation) NodeIDs() []NodeID {
+	ids := make([]NodeID, len(ja.PerNode))
+	for i := range ja.PerNode {
+		ids[i] = ja.PerNode[i].Node
+	}
+	return ids
+}
+
+// Release returns every byte of the allocation to the cluster: local memory,
+// leases, and the compute nodes themselves. It must be called exactly once
+// per placed allocation (job finish, kill, or OOM restart).
+func (ja *JobAllocation) Release(c *Cluster) error {
+	for i := range ja.PerNode {
+		na := &ja.PerNode[i]
+		if err := c.ReleaseLocal(na.Node, na.LocalMB); err != nil {
+			return fmt.Errorf("release job %d: %w", ja.Job, err)
+		}
+		for _, l := range na.Leases {
+			if err := c.ReturnLend(l.Lender, l.MB); err != nil {
+				return fmt.Errorf("release job %d: %w", ja.Job, err)
+			}
+		}
+		if err := c.EndJob(na.Node); err != nil {
+			return fmt.Errorf("release job %d: %w", ja.Job, err)
+		}
+		na.LocalMB = 0
+		na.Leases = nil
+	}
+	return nil
+}
+
+// GrowLocal adds mb of local memory on the allocation's node i, updating
+// both the cluster ledger and the allocation record.
+func (ja *JobAllocation) GrowLocal(c *Cluster, i int, mb int64) error {
+	if err := c.AllocLocal(ja.PerNode[i].Node, mb); err != nil {
+		return err
+	}
+	ja.PerNode[i].LocalMB += mb
+	return nil
+}
+
+// ShrinkLocal releases mb of local memory on the allocation's node i.
+func (ja *JobAllocation) ShrinkLocal(c *Cluster, i int, mb int64) error {
+	if ja.PerNode[i].LocalMB < mb {
+		return ErrOverRelease
+	}
+	if err := c.ReleaseLocal(ja.PerNode[i].Node, mb); err != nil {
+		return err
+	}
+	ja.PerNode[i].LocalMB -= mb
+	return nil
+}
+
+// GrowRemote borrows mb from lender for the allocation's node i. Adjacent
+// leases from the same lender are merged.
+func (ja *JobAllocation) GrowRemote(c *Cluster, i int, lender NodeID, mb int64) error {
+	if err := c.Lend(lender, mb); err != nil {
+		return err
+	}
+	na := &ja.PerNode[i]
+	for j := range na.Leases {
+		if na.Leases[j].Lender == lender {
+			na.Leases[j].MB += mb
+			return nil
+		}
+	}
+	na.Leases = append(na.Leases, Lease{Lender: lender, MB: mb})
+	return nil
+}
+
+// ShrinkRemote returns up to mb of remote memory from the allocation's node
+// i, releasing the most recently acquired leases first. It returns the
+// amount actually returned (≤ mb, limited by what is held remotely).
+func (ja *JobAllocation) ShrinkRemote(c *Cluster, i int, mb int64) (int64, error) {
+	na := &ja.PerNode[i]
+	var returned int64
+	for mb > 0 && len(na.Leases) > 0 {
+		last := &na.Leases[len(na.Leases)-1]
+		take := min64(mb, last.MB)
+		if err := c.ReturnLend(last.Lender, take); err != nil {
+			return returned, err
+		}
+		last.MB -= take
+		mb -= take
+		returned += take
+		if last.MB == 0 {
+			na.Leases = na.Leases[:len(na.Leases)-1]
+		}
+	}
+	return returned, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,278 @@
+// Package cluster models an HPC cluster whose node memory can be
+// disaggregated: any node may lend part of its DRAM to jobs running on other
+// nodes, forming a system-wide memory pool.
+//
+// The model follows Zacarias et al. (ICPADS'21 / SC-W'23):
+//
+//   - Node allocation is exclusive: a node runs at most one job, which owns
+//     all of the node's cores.
+//   - A node may lend free memory to remote jobs. While the total it has
+//     lent is at most half of its capacity it may still start new jobs;
+//     beyond that it temporarily becomes a memory node that can lend but not
+//     compute.
+//   - All quantities are tracked in MB.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node within a Cluster (dense, 0-based).
+type NodeID int
+
+// NoJob marks a node as idle.
+const NoJob = -1
+
+// Node is the per-node ledger. All fields are maintained by Cluster methods;
+// callers must treat them as read-only.
+type Node struct {
+	ID         NodeID
+	Cores      int
+	CapacityMB int64 // physical DRAM on the node
+
+	LocalMB    int64 // memory allocated to the job running on this node
+	LentMB     int64 // memory lent to jobs running on other nodes
+	RunningJob int   // job occupying this node's cores, or NoJob
+}
+
+// FreeMB returns the node's unallocated physical memory.
+func (n *Node) FreeMB() int64 { return n.CapacityMB - n.LocalMB - n.LentMB }
+
+// IsComputeAvailable reports whether the node can start a new job: it must
+// be idle and must not have lent more than half its capacity.
+func (n *Node) IsComputeAvailable() bool {
+	return n.RunningJob == NoJob && n.LentMB <= n.CapacityMB/2
+}
+
+// IsMemoryNode reports whether the node has lent more than half its capacity
+// and is therefore temporarily compute-unavailable.
+func (n *Node) IsMemoryNode() bool { return n.LentMB > n.CapacityMB/2 }
+
+// Errors returned by ledger operations.
+var (
+	ErrInsufficientMemory = errors.New("cluster: insufficient free memory")
+	ErrNodeBusy           = errors.New("cluster: node already running a job")
+	ErrNodeIdle           = errors.New("cluster: node is not running a job")
+	ErrNegativeAmount     = errors.New("cluster: negative memory amount")
+	ErrOverRelease        = errors.New("cluster: releasing more than allocated")
+)
+
+// Cluster owns the node ledgers and enforces the accounting invariants.
+type Cluster struct {
+	nodes []Node
+}
+
+// Config describes a cluster to build: Normal-capacity and Large-capacity
+// (double) nodes, as in the paper's Table 4.
+type Config struct {
+	Nodes     int   // total node count
+	Cores     int   // cores per node
+	NormalMB  int64 // capacity of a normal node
+	LargeFrac float64
+}
+
+// New builds a cluster of n homogeneous nodes.
+func New(n, cores int, capacityMB int64) *Cluster {
+	c := &Cluster{nodes: make([]Node, n)}
+	for i := range c.nodes {
+		c.nodes[i] = Node{ID: NodeID(i), Cores: cores, CapacityMB: capacityMB, RunningJob: NoJob}
+	}
+	return c
+}
+
+// NewMixed builds a cluster per Config: the first round(LargeFrac·Nodes)
+// nodes are large (2× NormalMB), the rest normal. The paper sweeps LargeFrac
+// over {0, 0.15, 0.25, 0.50, 0.75, 1.0}.
+func NewMixed(cfg Config) *Cluster {
+	c := &Cluster{nodes: make([]Node, cfg.Nodes)}
+	nLarge := int(float64(cfg.Nodes)*cfg.LargeFrac + 0.5)
+	for i := range c.nodes {
+		cap := cfg.NormalMB
+		if i < nLarge {
+			cap = 2 * cfg.NormalMB
+		}
+		c.nodes[i] = Node{ID: NodeID(i), Cores: cfg.Cores, CapacityMB: cap, RunningJob: NoJob}
+	}
+	return c
+}
+
+// Len returns the number of nodes.
+func (c *Cluster) Len() int { return len(c.nodes) }
+
+// Node returns the ledger for id. The returned pointer stays valid for the
+// cluster's lifetime but must be treated as read-only.
+func (c *Cluster) Node(id NodeID) *Node { return &c.nodes[id] }
+
+// Nodes returns the node slice for iteration (read-only).
+func (c *Cluster) Nodes() []Node { return c.nodes }
+
+// TotalCapacityMB returns the sum of node capacities.
+func (c *Cluster) TotalCapacityMB() int64 {
+	var t int64
+	for i := range c.nodes {
+		t += c.nodes[i].CapacityMB
+	}
+	return t
+}
+
+// TotalFreeMB returns the total unallocated memory across all nodes.
+func (c *Cluster) TotalFreeMB() int64 {
+	var t int64
+	for i := range c.nodes {
+		t += c.nodes[i].FreeMB()
+	}
+	return t
+}
+
+// TotalAllocatedMB returns the total memory currently allocated (local on
+// compute nodes plus lent to remote jobs).
+func (c *Cluster) TotalAllocatedMB() int64 {
+	var t int64
+	for i := range c.nodes {
+		t += c.nodes[i].LocalMB + c.nodes[i].LentMB
+	}
+	return t
+}
+
+// IdleComputeNodes returns the IDs of nodes able to start a new job,
+// in ascending ID order.
+func (c *Cluster) IdleComputeNodes() []NodeID {
+	var ids []NodeID
+	for i := range c.nodes {
+		if c.nodes[i].IsComputeAvailable() {
+			ids = append(ids, NodeID(i))
+		}
+	}
+	return ids
+}
+
+// BusyNodes returns the number of nodes currently running a job.
+func (c *Cluster) BusyNodes() int {
+	n := 0
+	for i := range c.nodes {
+		if c.nodes[i].RunningJob != NoJob {
+			n++
+		}
+	}
+	return n
+}
+
+// StartJob marks node id as running job. It fails if the node is busy.
+func (c *Cluster) StartJob(id NodeID, job int) error {
+	n := &c.nodes[id]
+	if n.RunningJob != NoJob {
+		return fmt.Errorf("%w: node %d runs job %d", ErrNodeBusy, id, n.RunningJob)
+	}
+	n.RunningJob = job
+	return nil
+}
+
+// EndJob marks node id idle. It fails if the node was not running a job.
+func (c *Cluster) EndJob(id NodeID) error {
+	n := &c.nodes[id]
+	if n.RunningJob == NoJob {
+		return fmt.Errorf("%w: node %d", ErrNodeIdle, id)
+	}
+	n.RunningJob = NoJob
+	return nil
+}
+
+// AllocLocal reserves mb of node id's own DRAM for the job running on it.
+func (c *Cluster) AllocLocal(id NodeID, mb int64) error {
+	if mb < 0 {
+		return ErrNegativeAmount
+	}
+	n := &c.nodes[id]
+	if n.FreeMB() < mb {
+		return fmt.Errorf("%w: node %d free %d MB, need %d MB", ErrInsufficientMemory, id, n.FreeMB(), mb)
+	}
+	n.LocalMB += mb
+	return nil
+}
+
+// ReleaseLocal returns mb of local memory on node id to the free pool.
+func (c *Cluster) ReleaseLocal(id NodeID, mb int64) error {
+	if mb < 0 {
+		return ErrNegativeAmount
+	}
+	n := &c.nodes[id]
+	if n.LocalMB < mb {
+		return fmt.Errorf("%w: node %d local %d MB, release %d MB", ErrOverRelease, id, n.LocalMB, mb)
+	}
+	n.LocalMB -= mb
+	return nil
+}
+
+// Lend reserves mb of node id's DRAM for a job running elsewhere. Lending is
+// allowed regardless of the half-capacity rule — that rule only gates
+// starting new jobs on the lender.
+func (c *Cluster) Lend(id NodeID, mb int64) error {
+	if mb < 0 {
+		return ErrNegativeAmount
+	}
+	n := &c.nodes[id]
+	if n.FreeMB() < mb {
+		return fmt.Errorf("%w: node %d free %d MB, lend %d MB", ErrInsufficientMemory, id, n.FreeMB(), mb)
+	}
+	n.LentMB += mb
+	return nil
+}
+
+// ReturnLend gives back mb of memory previously lent by node id.
+func (c *Cluster) ReturnLend(id NodeID, mb int64) error {
+	if mb < 0 {
+		return ErrNegativeAmount
+	}
+	n := &c.nodes[id]
+	if n.LentMB < mb {
+		return fmt.Errorf("%w: node %d lent %d MB, return %d MB", ErrOverRelease, id, n.LentMB, mb)
+	}
+	n.LentMB -= mb
+	return nil
+}
+
+// LendersByFreeDesc returns the IDs of all nodes with free memory, sorted by
+// free memory descending (ties by ascending ID), excluding the nodes in
+// exclude. The static policy borrows from the most-free nodes first to
+// minimise the number of lenders per job.
+func (c *Cluster) LendersByFreeDesc(exclude map[NodeID]bool) []NodeID {
+	var ids []NodeID
+	for i := range c.nodes {
+		id := NodeID(i)
+		if exclude[id] {
+			continue
+		}
+		if c.nodes[i].FreeMB() > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		fa, fb := c.nodes[ids[a]].FreeMB(), c.nodes[ids[b]].FreeMB()
+		if fa != fb {
+			return fa > fb
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
+// CheckInvariants verifies the ledger is consistent; it returns the first
+// violation found, or nil. Tests and the simulator's debug mode call this.
+func (c *Cluster) CheckInvariants() error {
+	for i := range c.nodes {
+		n := &c.nodes[i]
+		if n.LocalMB < 0 || n.LentMB < 0 {
+			return fmt.Errorf("node %d: negative ledger (local=%d lent=%d)", i, n.LocalMB, n.LentMB)
+		}
+		if n.LocalMB+n.LentMB > n.CapacityMB {
+			return fmt.Errorf("node %d: overcommitted (local=%d lent=%d cap=%d)",
+				i, n.LocalMB, n.LentMB, n.CapacityMB)
+		}
+		if n.RunningJob == NoJob && n.LocalMB != 0 {
+			return fmt.Errorf("node %d: idle but has %d MB local allocation", i, n.LocalMB)
+		}
+	}
+	return nil
+}

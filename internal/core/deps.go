@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"dismem/internal/job"
+)
+
+// Job dependencies (SWF "Preceding Job Number", Slurm's
+// --dependency=afterok): a dependent job is held in the queue until its
+// predecessor completes. If the predecessor ends any other way (timeout,
+// abandonment) the dependent can never run and is abandoned, as Slurm
+// cancels afterok dependents of failed jobs.
+
+// checkDependencies validates that every dependency exists and that the
+// dependency graph is acyclic.
+func checkDependencies(jobs []*job.Job, byID map[int]*job.Job) error {
+	for _, j := range jobs {
+		if j.DependsOn == 0 {
+			continue
+		}
+		if _, ok := byID[j.DependsOn]; !ok {
+			return fmt.Errorf("core: job %d depends on unknown job %d", j.ID, j.DependsOn)
+		}
+	}
+	// Cycle check: follow each chain with a visited set.
+	state := make(map[int]int, len(jobs)) // 0 unseen, 1 in progress, 2 done
+	var follow func(id int) error
+	follow = func(id int) error {
+		switch state[id] {
+		case 2:
+			return nil
+		case 1:
+			return fmt.Errorf("core: dependency cycle through job %d", id)
+		}
+		state[id] = 1
+		if dep := byID[id].DependsOn; dep != 0 {
+			if err := follow(dep); err != nil {
+				return err
+			}
+		}
+		state[id] = 2
+		return nil
+	}
+	for _, j := range jobs {
+		if err := follow(j.ID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// depState classifies a job's dependency.
+type depState int
+
+const (
+	depSatisfied depState = iota // no dependency, or predecessor completed
+	depPending                   // predecessor not finished yet
+	depFailed                    // predecessor ended without completing
+)
+
+// dependencyState reports whether the job may be scheduled.
+func (s *Simulator) dependencyState(j *job.Job) depState {
+	if j.DependsOn == 0 {
+		return depSatisfied
+	}
+	rec, ok := s.records[j.DependsOn]
+	if !ok {
+		return depFailed // unreachable after checkDependencies
+	}
+	switch rec.Outcome {
+	case Completed:
+		return depSatisfied
+	case TimedOut, Abandoned:
+		return depFailed
+	}
+	return depPending
+}
+
+// cancelDependents abandons every *queued* job whose dependency chain is
+// now unsatisfiable because job `failed` terminated without completing.
+// Cancellation cascades: an abandoned dependent fails its own queued
+// dependents. Jobs not yet submitted are rejected at submission time
+// instead (onSubmit checks dependencyState).
+func (s *Simulator) cancelDependents(failed int) {
+	for _, j := range s.jobs {
+		if j.DependsOn != failed {
+			continue
+		}
+		if !s.queue.Contains(j.ID) {
+			continue // running, finished, or not yet submitted
+		}
+		rec := s.records[j.ID]
+		s.queue.Remove(j.ID)
+		rec.Outcome = Abandoned
+		rec.Finish = s.eng.Now()
+		s.res.Abandoned++
+		if s.cfg.Observer != nil {
+			s.cfg.Observer.JobFinished(s.eng.Now(), j, Abandoned)
+		}
+		s.cancelDependents(j.ID)
+	}
+}

@@ -1,0 +1,49 @@
+package core_test
+
+import (
+	"fmt"
+
+	"dismem/internal/cluster"
+	"dismem/internal/core"
+	"dismem/internal/job"
+	"dismem/internal/memtrace"
+	"dismem/internal/policy"
+	"dismem/internal/slowdown"
+)
+
+// A minimal end-to-end simulation: one job that requests 1500 MB/node but
+// only ever uses 300 MB runs under the dynamic policy; its overallocation
+// is reclaimed at the first usage update.
+func ExampleSimulator() {
+	profile := &slowdown.Profile{
+		Name: "example", Nodes: 1, RuntimeSec: 3600, BandwidthGBs: 1,
+		Sens: slowdown.Curve{{Pressure: 0, Penalty: 0}},
+	}
+	j := &job.Job{
+		ID:          1,
+		Nodes:       1,
+		RequestMB:   1500,
+		LimitSec:    7200,
+		BaseRuntime: 3600,
+		Usage:       memtrace.Constant(300),
+		Profile:     profile,
+	}
+	var tally core.Tally
+	sim, err := core.New(core.Config{
+		Cluster:  cluster.Config{Nodes: 2, Cores: 32, NormalMB: 1024},
+		Policy:   policy.Dynamic,
+		Observer: &tally,
+	}, []*job.Job{j})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := sim.Run()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("completed=%d response=%.0fs reclaimed=%dMB\n",
+		res.Completed, res.Records[0].ResponseTime(), tally.ReclaimedMB)
+	// Output: completed=1 response=3600s reclaimed=1200MB
+}

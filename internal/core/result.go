@@ -1,0 +1,252 @@
+package core
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+
+	"dismem/internal/job"
+)
+
+// Outcome is the final disposition of one job.
+type Outcome int
+
+const (
+	// Pending means the simulation ended (horizon) before the job ran to
+	// completion.
+	Pending Outcome = iota
+	// Completed means the job finished its work.
+	Completed
+	// TimedOut means the job was killed at its wallclock limit.
+	TimedOut
+	// Abandoned means the job hit the OOM restart cap and was given up.
+	Abandoned
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Completed:
+		return "completed"
+	case TimedOut:
+		return "timed-out"
+	case Abandoned:
+		return "abandoned"
+	}
+	return "pending"
+}
+
+// AttemptEnd describes how one execution attempt terminated.
+type AttemptEnd int
+
+const (
+	// AttemptRunning marks an attempt still executing when the horizon
+	// cut the simulation off.
+	AttemptRunning AttemptEnd = iota
+	// AttemptCompleted finished the job.
+	AttemptCompleted
+	// AttemptOOMKilled was terminated by the dynamic policy's
+	// out-of-memory handling.
+	AttemptOOMKilled
+	// AttemptTimedOut hit the wallclock limit.
+	AttemptTimedOut
+)
+
+func (a AttemptEnd) String() string {
+	switch a {
+	case AttemptCompleted:
+		return "completed"
+	case AttemptOOMKilled:
+		return "oom-killed"
+	case AttemptTimedOut:
+		return "timed-out"
+	}
+	return "running"
+}
+
+// Attempt is one execution attempt of a job.
+type Attempt struct {
+	Start float64
+	End   float64 // -1 while running
+	How   AttemptEnd
+}
+
+// JobRecord is the per-job outcome of a simulation.
+type JobRecord struct {
+	Job        *job.Job
+	Outcome    Outcome
+	Submit     float64 // submission time
+	FirstStart float64 // first dispatch (-1 if never started)
+	LastStart  float64 // start of the final attempt (-1 if never started)
+	Finish     float64 // completion/abandonment time (-1 if pending)
+	Restarts   int     // OOM-induced restarts
+	Attempts   []Attempt
+}
+
+// WastedWork returns the wallclock consumed by attempts that did not
+// complete the job — the cost of OOM restarts and timeouts.
+func (r *JobRecord) WastedWork() float64 {
+	var w float64
+	for _, a := range r.Attempts {
+		if a.End >= 0 && a.How != AttemptCompleted {
+			w += a.End - a.Start
+		}
+	}
+	return w
+}
+
+// WaitTime returns the queue wait before the first dispatch, or -1 if the
+// job never started.
+func (r *JobRecord) WaitTime() float64 {
+	if r.FirstStart < 0 {
+		return -1
+	}
+	return r.FirstStart - r.Submit
+}
+
+// ResponseTime returns submission-to-completion time (the paper's response
+// time), or -1 if the job did not complete.
+func (r *JobRecord) ResponseTime() float64 {
+	if r.Finish < 0 || r.Outcome != Completed {
+		return -1
+	}
+	return r.Finish - r.Submit
+}
+
+// Stretch returns the final attempt's wallclock over the job's base
+// runtime: 1.0 means the job ran contention-free; larger values quantify
+// the remote-memory slowdown it experienced. Returns -1 if the job did not
+// complete.
+func (r *JobRecord) Stretch() float64 {
+	if r.Finish < 0 || r.Outcome != Completed || r.LastStart < 0 || r.Job.BaseRuntime <= 0 {
+		return -1
+	}
+	return (r.Finish - r.LastStart) / r.Job.BaseRuntime
+}
+
+// Result is the outcome of one simulated scenario.
+type Result struct {
+	Policy string
+	// Infeasible is set when some job can never run under the policy on
+	// this system (the paper's "missing bars"); the simulation is then
+	// not executed and the remaining fields are zero.
+	Infeasible    bool
+	InfeasibleJob int // ID of the first offending job
+
+	Records  []JobRecord
+	Makespan float64 // time the last event fired
+
+	Completed int
+	TimedOut  int
+	Abandoned int
+	OOMKills  int // total OOM kill events (≥ restarts of abandoned jobs)
+
+	// Time-weighted utilisation integrals (MB·s and node·s) over the
+	// makespan, for the utilisation and cost analyses.
+	AllocMBSeconds  float64 // memory held by jobs
+	UsedMBSeconds   float64 // memory actually touched per the usage traces
+	BusyNodeSeconds float64 // nodes running a job
+
+	TotalCapacityMB int64
+	Nodes           int
+}
+
+// Throughput returns completed jobs per second of makespan.
+func (r *Result) Throughput() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / r.Makespan
+}
+
+// ResponseTimes returns the response times of all completed jobs.
+func (r *Result) ResponseTimes() []float64 {
+	var out []float64
+	for i := range r.Records {
+		if rt := r.Records[i].ResponseTime(); rt >= 0 {
+			out = append(out, rt)
+		}
+	}
+	return out
+}
+
+// MeanStretch returns the average slowdown experienced by completed jobs
+// (1.0 = contention-free), or 0 when nothing completed.
+func (r *Result) MeanStretch() float64 {
+	var sum float64
+	n := 0
+	for i := range r.Records {
+		if s := r.Records[i].Stretch(); s >= 0 {
+			sum += s
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MemoryUtilisation returns used-over-capacity across the makespan, in
+// [0,1].
+func (r *Result) MemoryUtilisation() float64 {
+	if r.Makespan <= 0 || r.TotalCapacityMB == 0 {
+		return 0
+	}
+	return r.UsedMBSeconds / (float64(r.TotalCapacityMB) * r.Makespan)
+}
+
+// AllocationUtilisation returns allocated-over-capacity across the makespan.
+func (r *Result) AllocationUtilisation() float64 {
+	if r.Makespan <= 0 || r.TotalCapacityMB == 0 {
+		return 0
+	}
+	return r.AllocMBSeconds / (float64(r.TotalCapacityMB) * r.Makespan)
+}
+
+// NodeUtilisation returns busy-node time over total node time.
+func (r *Result) NodeUtilisation() float64 {
+	if r.Makespan <= 0 || r.Nodes == 0 {
+		return 0
+	}
+	return r.BusyNodeSeconds / (float64(r.Nodes) * r.Makespan)
+}
+
+// WriteJobsCSV emits one row per job with its schedule and outcome, for
+// downstream analysis: id, nodes, request_mb, submit_s, first_start_s,
+// finish_s, wait_s, response_s, stretch, restarts, wasted_s, outcome.
+func (r *Result) WriteJobsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"id", "nodes", "request_mb", "submit_s", "first_start_s",
+		"finish_s", "wait_s", "response_s", "stretch", "restarts", "wasted_s", "outcome"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	num := func(v float64) string {
+		if v < 0 {
+			return ""
+		}
+		return strconv.FormatFloat(v, 'f', 1, 64)
+	}
+	for i := range r.Records {
+		rec := &r.Records[i]
+		row := []string{
+			strconv.Itoa(rec.Job.ID),
+			strconv.Itoa(rec.Job.Nodes),
+			strconv.FormatInt(rec.Job.RequestMB, 10),
+			num(rec.Submit),
+			num(rec.FirstStart),
+			num(rec.Finish),
+			num(rec.WaitTime()),
+			num(rec.ResponseTime()),
+			num(rec.Stretch()),
+			strconv.Itoa(rec.Restarts),
+			num(rec.WastedWork()),
+			rec.Outcome.String(),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

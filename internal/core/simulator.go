@@ -1,0 +1,659 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dismem/internal/cluster"
+	"dismem/internal/job"
+	"dismem/internal/policy"
+	"dismem/internal/sched"
+	"dismem/internal/sim"
+	"dismem/internal/slowdown"
+)
+
+// Simulator runs one scenario: a job trace against a cluster under one
+// allocation policy. Create it with New and call Run once.
+type Simulator struct {
+	cfg    Config
+	jobs   []*job.Job
+	byID   map[int]*job.Job
+	cl     *cluster.Cluster
+	pol    policy.Policy
+	ranker policy.LenderRanker
+	eng    *sim.Engine
+	model  *slowdown.Model
+	rng    *rand.Rand
+
+	queue   sched.Queue
+	running map[int]*runningJob
+	records map[int]*JobRecord
+	banked  map[int]float64 // retained progress for CheckpointRestart
+	prio    map[int]int     // priority boost after repeated OOM failures
+
+	res           *Result
+	lastAcc       float64
+	curAllocMB    int64
+	curBusyNodes  int
+	tickScheduled bool
+}
+
+// runningJob is the live state of one dispatched job.
+type runningJob struct {
+	j        *job.Job
+	rec      *JobRecord
+	alloc    *cluster.JobAllocation
+	start    float64 // dispatch time of this attempt
+	lastT    float64 // last progress-banking time
+	progress float64 // completed base-seconds of work
+	slow     float64 // current slowdown factor (≥1)
+	period   float64 // this job's jittered memory-update period
+
+	finishEv *sim.Event
+	limitEv  *sim.Event
+	updateEv *sim.Event
+}
+
+// New validates the configuration and trace and builds a simulator.
+func New(cfg Config, jobs []*job.Job) (*Simulator, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	byID := make(map[int]*job.Job, len(jobs))
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := byID[j.ID]; dup {
+			return nil, fmt.Errorf("core: duplicate job ID %d", j.ID)
+		}
+		byID[j.ID] = j
+	}
+	if err := checkDependencies(jobs, byID); err != nil {
+		return nil, err
+	}
+	ranker := policy.MostFreeRanker
+	if cfg.LenderPolicy == NearestFirst {
+		ranker = policy.NearestFirstRanker(*cfg.Topology)
+	}
+	s := &Simulator{
+		cfg:     cfg,
+		jobs:    jobs,
+		byID:    byID,
+		cl:      cluster.NewMixed(cfg.Cluster),
+		pol:     policy.NewWithRanker(cfg.Policy, ranker),
+		ranker:  ranker,
+		eng:     sim.New(),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		running: make(map[int]*runningJob),
+		records: make(map[int]*JobRecord, len(jobs)),
+		banked:  make(map[int]float64),
+		prio:    make(map[int]int),
+	}
+	s.model = slowdown.NewModel(cfg.Cluster.Nodes, cfg.PerNodeRemoteBW)
+	return s, nil
+}
+
+// Run executes the scenario and returns its Result. It must be called at
+// most once.
+func (s *Simulator) Run() (*Result, error) {
+	s.res = &Result{
+		Policy:          s.cfg.Policy.String(),
+		TotalCapacityMB: s.cl.TotalCapacityMB(),
+		Nodes:           s.cl.Len(),
+	}
+
+	// Feasibility pre-check: a scenario containing a job that can never
+	// run is reported as infeasible (the paper's missing bars) rather
+	// than deadlocking the queue.
+	for _, j := range s.jobs {
+		if !s.pol.CanEverRun(s.cl, j) {
+			s.res.Infeasible = true
+			s.res.InfeasibleJob = j.ID
+			return s.res, nil
+		}
+	}
+
+	for _, j := range s.jobs {
+		s.records[j.ID] = &JobRecord{Job: j, Submit: j.SubmitTime, FirstStart: -1, LastStart: -1, Finish: -1}
+		id := j.ID
+		s.eng.Schedule(j.SubmitTime, func(*sim.Engine) { s.onSubmit(id) })
+	}
+	if s.cfg.Horizon > 0 {
+		s.eng.SetHorizon(s.cfg.Horizon)
+	}
+	if s.cfg.MaxEvents > 0 {
+		s.eng.SetMaxEvents(s.cfg.MaxEvents)
+	}
+	s.eng.Run()
+	if s.eng.Exhausted() {
+		return nil, fmt.Errorf("core: event budget (%d) exhausted at t=%.0f — runaway simulation",
+			s.cfg.MaxEvents, s.eng.Now())
+	}
+	s.accrue()
+	s.res.Makespan = s.eng.Now()
+
+	for _, j := range s.jobs {
+		s.res.Records = append(s.res.Records, *s.records[j.ID])
+	}
+	if s.cfg.CheckInvariants {
+		if err := s.cl.CheckInvariants(); err != nil {
+			return nil, err
+		}
+	}
+	return s.res, nil
+}
+
+// accrue integrates the utilisation counters up to the current time. Every
+// event handler calls it before mutating state.
+func (s *Simulator) accrue() {
+	now := s.eng.Now()
+	dt := now - s.lastAcc
+	if dt > 0 {
+		s.res.AllocMBSeconds += dt * float64(s.curAllocMB)
+		s.res.BusyNodeSeconds += dt * float64(s.curBusyNodes)
+	}
+	s.lastAcc = now
+}
+
+// ---------------------------------------------------------------- events
+
+func (s *Simulator) onSubmit(id int) {
+	s.accrue()
+	j := s.byID[id]
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.JobSubmitted(s.eng.Now(), j, false)
+	}
+	if s.dependencyState(j) == depFailed {
+		// The predecessor already failed: the job can never run.
+		rec := s.records[id]
+		rec.Outcome = Abandoned
+		rec.Finish = s.eng.Now()
+		s.res.Abandoned++
+		if s.cfg.Observer != nil {
+			s.cfg.Observer.JobFinished(s.eng.Now(), j, Abandoned)
+		}
+		s.cancelDependents(id)
+		return
+	}
+	s.queue.Push(sched.Entry{JobID: id, Enqueue: s.eng.Now(), Priority: s.prio[id]})
+	s.ensureTick(true)
+}
+
+// ensureTick guarantees a scheduling pass is queued. immediate requests a
+// pass right now (submission/completion); otherwise the regular interval
+// applies.
+func (s *Simulator) ensureTick(immediate bool) {
+	if s.tickScheduled || s.queue.Len() == 0 {
+		return
+	}
+	s.tickScheduled = true
+	delay := s.cfg.SchedInterval
+	if immediate {
+		delay = 0
+	}
+	s.eng.After(delay, func(*sim.Engine) { s.onTick() })
+}
+
+func (s *Simulator) onTick() {
+	s.accrue()
+	s.tickScheduled = false
+	s.schedulePass()
+	s.ensureTick(false)
+	if s.cfg.CheckInvariants {
+		if err := s.cl.CheckInvariants(); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// schedulePass runs one main-scheduler FIFO pass followed by one backfill
+// pass, both bounded by the configured queue depth. Jobs with unsatisfied
+// dependencies are held: they neither start nor block others.
+func (s *Simulator) schedulePass() {
+	// Main pass: strict FIFO among eligible jobs — stop at the first
+	// eligible job that does not fit.
+	for {
+		progressed := false
+		for _, e := range s.queue.Items(s.cfg.QueueDepth) {
+			j := s.byID[e.JobID]
+			if s.dependencyState(j) != depSatisfied {
+				continue // held
+			}
+			ja, placed := s.pol.Place(s.cl, j)
+			if !placed {
+				goto backfill
+			}
+			s.queue.Remove(e.JobID)
+			s.start(j, ja)
+			progressed = true
+			break // re-read the queue: priorities may interleave
+		}
+		if !progressed {
+			break
+		}
+	}
+backfill:
+
+	switch s.cfg.Backfill {
+	case NoBackfill:
+		return
+	case ConservativeBackfill:
+		s.conservativePass()
+	default:
+		s.easyPass()
+	}
+}
+
+// easyPass is the EASY backfill: reserve for the first eligible queued job,
+// let later short jobs jump it.
+func (s *Simulator) easyPass() {
+	var head *job.Job
+	for _, e := range s.queue.Items(s.cfg.QueueDepth) {
+		if j := s.byID[e.JobID]; s.dependencyState(j) == depSatisfied {
+			head = j
+			break
+		}
+	}
+	if head == nil {
+		return
+	}
+	shadow := s.shadowTimeFor(head)
+	for _, e := range s.queue.Items(s.cfg.QueueDepth) {
+		if e.JobID == head.ID {
+			continue
+		}
+		j := s.byID[e.JobID]
+		if s.dependencyState(j) != depSatisfied {
+			continue
+		}
+		if !sched.CanBackfill(s.eng.Now(), j.LimitSec, shadow) {
+			continue
+		}
+		if ja, placed := s.pol.Place(s.cl, j); placed {
+			s.queue.Remove(e.JobID)
+			s.start(j, ja)
+		}
+	}
+}
+
+// conservativePass gives every examined queued job a reservation on the
+// future resource profile: a job starts now only if that does not push any
+// earlier job's reservation back.
+func (s *Simulator) conservativePass() {
+	now := s.eng.Now()
+	profile := sched.NewProfile(now, s.currentResources(), s.releases())
+	for _, e := range s.queue.Items(s.cfg.QueueDepth) {
+		j := s.byID[e.JobID]
+		if s.dependencyState(j) != depSatisfied {
+			continue // held: no reservation until the dependency resolves
+		}
+		d := s.demandFor(j)
+		fit := profile.EarliestFit(d, now, j.LimitSec)
+		if fit == now {
+			if ja, placed := s.pol.Place(s.cl, j); placed {
+				s.queue.Remove(e.JobID)
+				s.start(j, ja)
+				profile.Reserve(d, now, j.LimitSec)
+				continue
+			}
+			// The aggregate profile admits it but concrete placement
+			// fails (fragmentation): fall through to a reservation at
+			// the next breakpoint to stay conservative.
+			fit = profile.EarliestFit(d, math.Nextafter(now, math.Inf(1)), j.LimitSec)
+		}
+		if !math.IsInf(fit, 1) {
+			profile.Reserve(d, fit, j.LimitSec)
+		}
+	}
+}
+
+// currentResources summarises present availability for the reservation
+// arithmetic.
+func (s *Simulator) currentResources() sched.Resources {
+	normalMB := s.cfg.Cluster.NormalMB
+	var r sched.Resources
+	for _, n := range s.cl.Nodes() {
+		if n.IsComputeAvailable() {
+			if n.CapacityMB > normalMB {
+				r.LargeNodes++
+			} else {
+				r.NormalNodes++
+			}
+		}
+	}
+	r.FreeMB = s.cl.TotalFreeMB()
+	return r
+}
+
+// releases lists running jobs' conservative completions (start + limit).
+func (s *Simulator) releases() []sched.Release {
+	normalMB := s.cfg.Cluster.NormalMB
+	out := make([]sched.Release, 0, len(s.running))
+	for _, rj := range s.running {
+		var res sched.Resources
+		for i := range rj.alloc.PerNode {
+			if s.cl.Node(rj.alloc.PerNode[i].Node).CapacityMB > normalMB {
+				res.LargeNodes++
+			} else {
+				res.NormalNodes++
+			}
+		}
+		res.FreeMB = rj.alloc.TotalMB()
+		out = append(out, sched.Release{At: rj.start + rj.j.LimitSec, Res: res})
+	}
+	return out
+}
+
+// demandFor maps a job to the aggregate demand vector under the active
+// policy.
+func (s *Simulator) demandFor(j *job.Job) sched.Demand {
+	d := sched.Demand{Nodes: j.Nodes}
+	if s.cfg.Policy == policy.Baseline {
+		d.LargeOnly = j.RequestMB > s.cfg.Cluster.NormalMB
+	} else {
+		d.UsePool = true
+		d.PooledMB = j.TotalRequestMB()
+	}
+	return d
+}
+
+// shadowTimeFor computes the EASY reservation time for the queue head:
+// the earliest time it fits assuming running jobs release their resources
+// at their conservative ends (start + wallclock limit).
+func (s *Simulator) shadowTimeFor(j *job.Job) float64 {
+	return sched.ShadowTime(s.eng.Now(), s.currentResources(), s.releases(), s.demandFor(j))
+}
+
+// start dispatches a placed job.
+func (s *Simulator) start(j *job.Job, ja *cluster.JobAllocation) {
+	now := s.eng.Now()
+	rec := s.records[j.ID]
+	if rec.FirstStart < 0 {
+		rec.FirstStart = now
+	}
+	rec.LastStart = now
+	rec.Attempts = append(rec.Attempts, Attempt{Start: now, End: -1})
+
+	rj := &runningJob{
+		j:        j,
+		rec:      rec,
+		alloc:    ja,
+		start:    now,
+		lastT:    now,
+		progress: s.banked[j.ID],
+		slow:     1,
+		period:   s.cfg.UpdateInterval * (1 + s.cfg.UpdateJitter*(2*s.rng.Float64()-1)),
+	}
+	delete(s.banked, j.ID)
+	s.running[j.ID] = rj
+	s.curAllocMB += ja.TotalMB()
+	s.curBusyNodes += len(ja.PerNode)
+
+	if s.cfg.EnforceTimeLimit {
+		id := j.ID
+		rj.limitEv = s.eng.After(j.LimitSec, func(*sim.Engine) { s.onTimeLimit(id) })
+	}
+	if s.pol.Tracks() {
+		id := j.ID
+		rj.updateEv = s.eng.After(rj.period, func(*sim.Engine) { s.onMemoryUpdate(id) })
+	}
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.JobStarted(now, j, ja.TotalMB()-ja.RemoteMB(), ja.RemoteMB())
+	}
+	s.refreshAll()
+}
+
+func (s *Simulator) onFinish(id int) {
+	s.accrue()
+	rj, ok := s.running[id]
+	if !ok {
+		return
+	}
+	s.bank(rj)
+	s.teardown(rj)
+	s.closeAttempt(rj.rec, AttemptCompleted)
+	rj.rec.Outcome = Completed
+	rj.rec.Finish = s.eng.Now()
+	s.res.Completed++
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.JobFinished(s.eng.Now(), rj.j, Completed)
+	}
+	s.refreshAll()
+	s.ensureTick(true)
+}
+
+func (s *Simulator) onTimeLimit(id int) {
+	s.accrue()
+	rj, ok := s.running[id]
+	if !ok {
+		return
+	}
+	s.bank(rj)
+	s.teardown(rj)
+	s.closeAttempt(rj.rec, AttemptTimedOut)
+	rj.rec.Outcome = TimedOut
+	rj.rec.Finish = s.eng.Now()
+	s.res.TimedOut++
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.JobFinished(s.eng.Now(), rj.j, TimedOut)
+	}
+	s.cancelDependents(rj.j.ID)
+	s.refreshAll()
+	s.ensureTick(true)
+}
+
+// closeAttempt finalises the record's open attempt.
+func (s *Simulator) closeAttempt(rec *JobRecord, how AttemptEnd) {
+	if n := len(rec.Attempts); n > 0 && rec.Attempts[n-1].End < 0 {
+		rec.Attempts[n-1].End = s.eng.Now()
+		rec.Attempts[n-1].How = how
+	}
+}
+
+// teardown cancels a running job's events, releases its memory and nodes,
+// and removes it from the running set.
+func (s *Simulator) teardown(rj *runningJob) {
+	s.eng.Cancel(rj.finishEv)
+	s.eng.Cancel(rj.limitEv)
+	s.eng.Cancel(rj.updateEv)
+	s.curAllocMB -= rj.alloc.TotalMB()
+	s.curBusyNodes -= len(rj.alloc.PerNode)
+	if err := rj.alloc.Release(s.cl); err != nil {
+		panic(err) // ledger corruption: fail loudly
+	}
+	delete(s.running, rj.j.ID)
+}
+
+// onMemoryUpdate is the Monitor→Decider→Actuator→Executor cycle for one job
+// (paper §2.2): read the usage the job will exhibit until the next update,
+// resize the allocation to it, handle OOM, refresh the contention model.
+func (s *Simulator) onMemoryUpdate(id int) {
+	s.accrue()
+	rj, ok := s.running[id]
+	if !ok {
+		return
+	}
+	s.bank(rj)
+
+	// Decider: provision for the maximum usage between now and the next
+	// update, read from the offline usage trace at the job's progress.
+	window := rj.period / rj.slow // wallclock window mapped to progress time
+	target := rj.j.Usage.MaxIn(rj.progress, rj.progress+window)
+
+	before := rj.alloc.TotalMB()
+	oom := false
+	for i := range rj.alloc.PerNode {
+		if err := policy.AdjustRanked(s.cl, rj.alloc, i, target, s.ranker); err != nil {
+			if err == policy.ErrOutOfMemory {
+				oom = true
+				break
+			}
+			panic(err)
+		}
+	}
+	after := rj.alloc.TotalMB()
+	s.curAllocMB += after - before
+
+	if oom {
+		s.oomKill(rj)
+		return
+	}
+	if s.cfg.Observer != nil && after != before {
+		s.cfg.Observer.AllocationChanged(s.eng.Now(), rj.j, before, after)
+	}
+	rj.updateEv = s.eng.After(rj.period, func(*sim.Engine) { s.onMemoryUpdate(id) })
+	s.refreshAll()
+}
+
+// oomKill applies the configured OOM handling: terminate the job, release
+// everything, and resubmit (F/R from scratch, C/R with banked progress)
+// unless the restart cap is reached.
+func (s *Simulator) oomKill(rj *runningJob) {
+	s.res.OOMKills++
+	rj.rec.Restarts++
+	progress := rj.progress
+	s.teardown(rj)
+	s.closeAttempt(rj.rec, AttemptOOMKilled)
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.JobKilledOOM(s.eng.Now(), rj.j, rj.rec.Restarts)
+	}
+
+	id := rj.j.ID
+	if rj.rec.Restarts >= s.cfg.MaxRestarts {
+		rj.rec.Outcome = Abandoned
+		rj.rec.Finish = s.eng.Now()
+		s.res.Abandoned++
+		if s.cfg.Observer != nil {
+			s.cfg.Observer.JobFinished(s.eng.Now(), rj.j, Abandoned)
+		}
+		s.cancelDependents(id)
+	} else {
+		if s.cfg.OOM == CheckpointRestart {
+			// Resume from the last checkpoint boundary, not the kill
+			// point: a real C/R library snapshots periodically.
+			banked := progress
+			if ci := s.cfg.CheckpointInterval; ci > 0 {
+				banked = math.Floor(progress/ci) * ci
+			}
+			s.banked[id] = banked
+		}
+		if rj.rec.Restarts >= s.cfg.PriorityBoost {
+			s.prio[id] = rj.rec.Restarts
+		}
+		s.queue.Push(sched.Entry{JobID: id, Enqueue: s.eng.Now(), Priority: s.prio[id]})
+		if s.cfg.Observer != nil {
+			s.cfg.Observer.JobSubmitted(s.eng.Now(), rj.j, true)
+		}
+	}
+	s.refreshAll()
+	s.ensureTick(true)
+}
+
+// ----------------------------------------------------- progress banking
+
+// bank converts wallclock elapsed since the last banking point into job
+// progress at the prevailing slowdown, and integrates actual memory use
+// into the utilisation counters.
+func (s *Simulator) bank(rj *runningJob) {
+	now := s.eng.Now()
+	dt := now - rj.lastT
+	if dt <= 0 {
+		return
+	}
+	p0 := rj.progress
+	p1 := p0 + dt/rj.slow
+	if p1 > rj.j.BaseRuntime {
+		p1 = rj.j.BaseRuntime
+	}
+	rj.progress = p1
+	rj.lastT = now
+
+	var meanUse float64
+	if p1 > p0 {
+		m, err := rj.j.Usage.MeanIn(p0, p1)
+		if err != nil {
+			panic(err)
+		}
+		meanUse = m
+	} else {
+		meanUse = float64(rj.j.Usage.At(p0))
+	}
+	s.res.UsedMBSeconds += meanUse * float64(rj.j.Nodes) * dt
+}
+
+// remoteFraction returns the (possibly distance-weighted) remote share of
+// one compute node's allocation. Without a topology, or with a zero hop
+// penalty, it equals the plain remote fraction; otherwise each lease is
+// weighted by 1 + HopPenalty·(hops−1).
+func (s *Simulator) remoteFraction(na *cluster.NodeAllocation) float64 {
+	total := na.TotalMB()
+	if total == 0 {
+		return 0
+	}
+	if s.cfg.Topology == nil || s.cfg.HopPenalty == 0 {
+		return 1 - na.LocalFraction()
+	}
+	var weighted float64
+	for _, l := range na.Leases {
+		h := s.cfg.Topology.Hops(int(na.Node), int(l.Lender))
+		w := 1.0
+		if h > 1 {
+			w += s.cfg.HopPenalty * float64(h-1)
+		}
+		weighted += float64(l.MB) * w
+	}
+	return weighted / float64(total)
+}
+
+// refreshAll recomputes the global contention pressure and every running
+// job's slowdown, rescheduling completion events accordingly. It must be
+// called after any change to memory placements.
+//
+// Jobs are visited in ascending ID order: map iteration order varies
+// between runs, and floating-point summation of the traffic is not
+// associative, so unordered iteration would make results irreproducible.
+func (s *Simulator) refreshAll() {
+	now := s.eng.Now()
+	ids := make([]int, 0, len(s.running))
+	for id := range s.running {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		s.bank(s.running[id])
+	}
+	var traffic float64
+	for _, id := range ids {
+		rj := s.running[id]
+		for i := range rj.alloc.PerNode {
+			remoteFrac := 1 - rj.alloc.PerNode[i].LocalFraction()
+			traffic += slowdown.NodeTraffic(rj.j.Profile, remoteFrac)
+		}
+	}
+	rho := s.model.Pressure(traffic)
+	for _, id := range ids {
+		rj := s.running[id]
+		fracs := make([]float64, len(rj.alloc.PerNode))
+		for i := range rj.alloc.PerNode {
+			fracs[i] = s.remoteFraction(&rj.alloc.PerNode[i])
+		}
+		rj.slow = slowdown.JobSlowdownWeighted(rj.j.Profile, fracs, rho)
+		remaining := rj.j.BaseRuntime - rj.progress
+		if remaining < 0 {
+			remaining = 0
+		}
+		at := now + remaining*rj.slow
+		if math.IsInf(at, 0) || math.IsNaN(at) {
+			panic(fmt.Sprintf("core: bad finish time for job %d", rj.j.ID))
+		}
+		if rj.finishEv == nil {
+			id := rj.j.ID
+			rj.finishEv = s.eng.Schedule(at, func(*sim.Engine) { s.onFinish(id) })
+		} else if rj.finishEv.At() != at {
+			rj.finishEv = s.eng.Reschedule(rj.finishEv, at)
+		}
+	}
+}

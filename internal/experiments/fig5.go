@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fig5 reproduces Figure 5: normalised throughput vs. total system memory
+// for large-job mixes 0–100 % plus the Grizzly trace, at +0 % and +60 %
+// overestimation, under all three policies.
+type Fig5 struct {
+	Panels []*ThroughputGrid // columns × rows, column-major
+}
+
+// Fig5LargeFracs are the paper's job-mix columns.
+var Fig5LargeFracs = []float64{0, 0.15, 0.25, 0.50, 0.75, 1.00}
+
+// Fig5Overests are the paper's overestimation rows.
+var Fig5Overests = []float64{0, 0.60}
+
+// RunFig5 executes the full sweep. Pass includeGrizzly=false to skip the
+// Grizzly column (it needs the larger system and dataset).
+func RunFig5(p Preset, includeGrizzly bool) (*Fig5, error) {
+	out := &Fig5{}
+	for _, lf := range Fig5LargeFracs {
+		label := fmt.Sprintf("large %.0f%%", lf*100)
+		// Normalisation uses the +0 % trace, shared by the column.
+		trace0, err := p.SyntheticTrace(lf, 0)
+		if err != nil {
+			return nil, err
+		}
+		norm, err := p.BaselineNorm(trace0.Jobs, p.SystemNodes)
+		if err != nil {
+			return nil, err
+		}
+		for _, ov := range Fig5Overests {
+			jobs := trace0.Jobs
+			if ov != 0 {
+				tr, err := p.SyntheticTrace(lf, ov)
+				if err != nil {
+					return nil, err
+				}
+				jobs = tr.Jobs
+			}
+			g, err := p.ThroughputSweep(jobs, p.SystemNodes, norm, label, ov)
+			if err != nil {
+				return nil, err
+			}
+			out.Panels = append(out.Panels, g)
+		}
+	}
+	if includeGrizzly {
+		for _, ov := range Fig5Overests {
+			g, err := p.GrizzlyGrid(ov)
+			if err != nil {
+				return nil, err
+			}
+			out.Panels = append(out.Panels, g)
+		}
+	}
+	return out, nil
+}
+
+// RunFig5Panel executes a single (largeFrac, overest) panel — the unit the
+// benchmarks time.
+func RunFig5Panel(p Preset, largeFrac, overest float64) (*ThroughputGrid, error) {
+	trace0, err := p.SyntheticTrace(largeFrac, 0)
+	if err != nil {
+		return nil, err
+	}
+	norm, err := p.BaselineNorm(trace0.Jobs, p.SystemNodes)
+	if err != nil {
+		return nil, err
+	}
+	jobs := trace0.Jobs
+	if overest != 0 {
+		tr, err := p.SyntheticTrace(largeFrac, overest)
+		if err != nil {
+			return nil, err
+		}
+		jobs = tr.Jobs
+	}
+	return p.ThroughputSweep(jobs, p.SystemNodes, norm,
+		fmt.Sprintf("large %.0f%%", largeFrac*100), overest)
+}
+
+func (f *Fig5) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 5: normalised throughput vs total system memory\n\n")
+	for _, g := range f.Panels {
+		b.WriteString(g.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// DynamicAdvantage returns the largest (dynamic − static) normalised
+// throughput gap across all panels — the paper's headline "up to 13 %".
+func (f *Fig5) DynamicAdvantage() float64 {
+	best := 0.0
+	for _, g := range f.Panels {
+		for _, r := range g.Rows {
+			if !isNaN(r.Dynamic) && !isNaN(r.Static) {
+				if d := r.Dynamic - r.Static; d > best {
+					best = d
+				}
+			}
+		}
+	}
+	return best
+}
+
+func isNaN(v float64) bool { return v != v }

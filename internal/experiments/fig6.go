@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dismem/internal/metrics"
+	"dismem/internal/policy"
+)
+
+// Fig6 reproduces Figure 6: the empirical CDF of job response times for
+// over-provisioned, matching, and under-provisioned systems at +0 % and
+// +60 % overestimation, comparing the static and dynamic policies.
+//
+// With a 50 % large-memory job mix, the demanded share of large nodes is
+// ~50 %: 100 % memory over-provisions, 75 % matches, and 50 % (no large
+// nodes) under-provisions — the same construction as the paper's three
+// scenarios.
+type Fig6 struct {
+	Panels []Fig6Panel
+}
+
+// Fig6Panel is one (provisioning, overestimation) cell with both policies'
+// response-time distributions.
+type Fig6Panel struct {
+	Scenario string // "overprovisioned" | "match" | "underprovisioned"
+	MemPct   int
+	Overest  float64
+	Static   *metrics.ECDF
+	Dynamic  *metrics.ECDF
+}
+
+// MedianReduction returns 1 − median(dynamic)/median(static): the paper's
+// "median response time reduced by 69 %" metric.
+func (p *Fig6Panel) MedianReduction() float64 {
+	if p.Static == nil || p.Dynamic == nil || p.Static.Median() == 0 {
+		return 0
+	}
+	return 1 - p.Dynamic.Median()/p.Static.Median()
+}
+
+// Fig6Scenarios maps provisioning labels to memory configurations.
+var Fig6Scenarios = []struct {
+	Name   string
+	MemPct int
+}{
+	{"overprovisioned", 100},
+	{"match", 75},
+	{"underprovisioned", 50},
+}
+
+// RunFig6 executes the six panels.
+func RunFig6(p Preset) (*Fig6, error) {
+	const largeFrac = 0.50
+	out := &Fig6{}
+	for _, ov := range Fig5Overests {
+		trace, err := p.SyntheticTrace(largeFrac, ov)
+		if err != nil {
+			return nil, err
+		}
+		for _, sc := range Fig6Scenarios {
+			mc, err := MemConfigByPct(sc.MemPct)
+			if err != nil {
+				return nil, err
+			}
+			panel := Fig6Panel{Scenario: sc.Name, MemPct: sc.MemPct, Overest: ov}
+			for _, pol := range []policy.Kind{policy.Static, policy.Dynamic} {
+				res, err := p.RunScenario(trace.Jobs, p.SystemNodes, mc, pol)
+				if err != nil {
+					return nil, err
+				}
+				if res.Infeasible {
+					continue
+				}
+				rts := res.ResponseTimes()
+				if len(rts) == 0 {
+					continue
+				}
+				e, err := metrics.NewECDF(rts)
+				if err != nil {
+					return nil, err
+				}
+				if pol == policy.Static {
+					panel.Static = e
+				} else {
+					panel.Dynamic = e
+				}
+			}
+			out.Panels = append(out.Panels, panel)
+		}
+	}
+	return out, nil
+}
+
+func (f *Fig6) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 6: response-time ECDF (seconds) by provisioning scenario\n\n")
+	qs := []float64{0.25, 0.5, 0.75, 0.9}
+	for _, p := range f.Panels {
+		fmt.Fprintf(&b, "%s, mem %d%%, overestimation +%.0f%%\n", p.Scenario, p.MemPct, p.Overest*100)
+		fmt.Fprintf(&b, "  %-8s", "policy")
+		for _, q := range qs {
+			fmt.Fprintf(&b, " %9s", fmt.Sprintf("p%02.0f", q*100))
+		}
+		b.WriteString("\n")
+		for _, row := range []struct {
+			name string
+			e    *metrics.ECDF
+		}{{"static", p.Static}, {"dynamic", p.Dynamic}} {
+			fmt.Fprintf(&b, "  %-8s", row.name)
+			for _, q := range qs {
+				if row.e == nil {
+					fmt.Fprintf(&b, " %9s", "-")
+				} else {
+					fmt.Fprintf(&b, " %9.0f", row.e.Quantile(q))
+				}
+			}
+			b.WriteString("\n")
+		}
+		if p.Static != nil && p.Dynamic != nil {
+			fmt.Fprintf(&b, "  median reduction: %.0f%%\n", p.MedianReduction()*100)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

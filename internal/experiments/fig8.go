@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fig8 reproduces Figure 8: the effect of memory overestimation on
+// throughput. Each panel sweeps total system memory for one overestimation
+// factor; the top row uses the synthetic trace with 50 % large jobs, the
+// bottom row the Grizzly trace.
+type Fig8 struct {
+	Synthetic []*ThroughputGrid // one grid per overestimation factor
+	Grizzly   []*ThroughputGrid
+}
+
+// Fig8Overests are the paper's overestimation panels.
+var Fig8Overests = []float64{0, 0.25, 0.50, 0.60, 0.75, 1.00}
+
+// RunFig8 executes the sweep; includeGrizzly controls the bottom row.
+func RunFig8(p Preset, includeGrizzly bool) (*Fig8, error) {
+	const largeFrac = 0.50
+	out := &Fig8{}
+
+	trace0, err := p.SyntheticTrace(largeFrac, 0)
+	if err != nil {
+		return nil, err
+	}
+	norm, err := p.BaselineNorm(trace0.Jobs, p.SystemNodes)
+	if err != nil {
+		return nil, err
+	}
+	for _, ov := range Fig8Overests {
+		jobs := trace0.Jobs
+		if ov != 0 {
+			tr, err := p.SyntheticTrace(largeFrac, ov)
+			if err != nil {
+				return nil, err
+			}
+			jobs = tr.Jobs
+		}
+		g, err := p.ThroughputSweep(jobs, p.SystemNodes, norm, "large 50%", ov)
+		if err != nil {
+			return nil, err
+		}
+		out.Synthetic = append(out.Synthetic, g)
+	}
+
+	if includeGrizzly {
+		for _, ov := range Fig8Overests {
+			g, err := p.GrizzlyGrid(ov)
+			if err != nil {
+				return nil, err
+			}
+			out.Grizzly = append(out.Grizzly, g)
+		}
+	}
+	return out, nil
+}
+
+func (f *Fig8) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 8: throughput vs total memory across overestimation factors\n\n")
+	for _, g := range f.Synthetic {
+		b.WriteString(g.String())
+		b.WriteString("\n")
+	}
+	for _, g := range f.Grizzly {
+		b.WriteString(g.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// DynamicAdvantageAt returns dynamic − static at a given memory point and
+// overestimation in the synthetic row — the paper highlights >38 % at
+// (+100 %, 37 % memory).
+func (f *Fig8) DynamicAdvantageAt(overest float64, memPct int) (float64, error) {
+	for i, ov := range Fig8Overests {
+		if ov != overest || i >= len(f.Synthetic) {
+			continue
+		}
+		for _, r := range f.Synthetic[i].Rows {
+			if r.MemPct == memPct {
+				if isNaN(r.Dynamic) || isNaN(r.Static) {
+					return 0, fmt.Errorf("experiments: point (+%g%%, %d%%) infeasible", overest*100, memPct)
+				}
+				return r.Dynamic - r.Static, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("experiments: point (+%g%%, %d%%) not in Figure 8", overest*100, memPct)
+}

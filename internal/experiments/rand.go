@@ -1,0 +1,7 @@
+package experiments
+
+import "math/rand"
+
+// newRand returns a deterministic RNG for the given seed; experiments never
+// touch the global source so runs are reproducible.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// ReportOptions selects what the markdown report includes.
+type ReportOptions struct {
+	Grizzly   bool // include the Grizzly columns (slower)
+	Ablations bool
+	Seeds     int // >1 replicates the headline metrics
+}
+
+// WriteReport runs the full evaluation at the preset's scale and writes a
+// self-contained markdown report — the automated counterpart of this
+// repository's EXPERIMENTS.md.
+func WriteReport(w io.Writer, p Preset, opts ReportOptions) error {
+	start := time.Now()
+	out := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := out("# dismem evaluation report\n\npreset: %s (%d synthetic nodes, %.2g days, seed %d)\n\n",
+		p.Name, p.SystemNodes, p.Days, p.Seed); err != nil {
+		return err
+	}
+
+	code := func(title, body string) error {
+		return out("## %s\n\n```\n%s```\n\n", title, body)
+	}
+
+	t2, err := RunTable2(p)
+	if err != nil {
+		return err
+	}
+	if err := code("Table 2 — max memory per node", t2.String()); err != nil {
+		return err
+	}
+	t3, err := RunTable3(p)
+	if err != nil {
+		return err
+	}
+	if err := code("Table 3 — job characteristics", t3.String()); err != nil {
+		return err
+	}
+	f2, err := RunFig2(p)
+	if err != nil {
+		return err
+	}
+	if err := code("Figure 2 — Grizzly week sampling", f2.String()); err != nil {
+		return err
+	}
+	f4, err := RunFig4(p)
+	if err != nil {
+		return err
+	}
+	if err := code("Figure 4 — usage heatmaps", f4.String()); err != nil {
+		return err
+	}
+	f5, err := RunFig5(p, opts.Grizzly)
+	if err != nil {
+		return err
+	}
+	if err := code("Figure 5 — throughput vs provisioned memory", f5.String()); err != nil {
+		return err
+	}
+	f6, err := RunFig6(p)
+	if err != nil {
+		return err
+	}
+	if err := code("Figure 6 — response-time distributions", f6.String()); err != nil {
+		return err
+	}
+	f7, err := RunFig7(p)
+	if err != nil {
+		return err
+	}
+	if err := code("Figure 7 — throughput per dollar", f7.String()); err != nil {
+		return err
+	}
+	f8, err := RunFig8(p, opts.Grizzly)
+	if err != nil {
+		return err
+	}
+	if err := code("Figure 8 — overestimation sweep", f8.String()); err != nil {
+		return err
+	}
+	f9, err := Fig9FromFig8(f8, 0.95)
+	if err != nil {
+		return err
+	}
+	if err := code("Figure 9 — minimum provisioning for 95% throughput", f9.String()); err != nil {
+		return err
+	}
+	u, err := RunUtilization(p)
+	if err != nil {
+		return err
+	}
+	if err := code("Memory utilisation by policy", u.String()); err != nil {
+		return err
+	}
+
+	if opts.Ablations {
+		au, err := RunAblationUpdateInterval(p)
+		if err != nil {
+			return err
+		}
+		ao, err := RunAblationOOM(p)
+		if err != nil {
+			return err
+		}
+		ab, err := RunAblationBackfill(p)
+		if err != nil {
+			return err
+		}
+		al, err := RunAblationLender(p)
+		if err != nil {
+			return err
+		}
+		ap, err := RunAblationPriority(p)
+		if err != nil {
+			return err
+		}
+		var sb strings.Builder
+		for _, s := range []fmt.Stringer{au, ao, ab, al, ap} {
+			sb.WriteString(s.String())
+			sb.WriteByte('\n')
+		}
+		if err := code("Ablations", sb.String()); err != nil {
+			return err
+		}
+	}
+
+	// Headline summary, optionally replicated.
+	if opts.Seeds > 1 {
+		h, err := RunHeadlines(p, opts.Seeds)
+		if err != nil {
+			return err
+		}
+		if err := code("Headline metrics", h.String()); err != nil {
+			return err
+		}
+	} else {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "max throughput gain (dynamic-static): %+.1f%%  (paper: up to 13%%)\n",
+			f5.DynamicAdvantage()*100)
+		fmt.Fprintf(&sb, "max throughput-per-dollar gain:       %+.1f%%  (paper: up to 38%%)\n",
+			f7.MaxDynamicGain()*100)
+		best := 0.0
+		for _, panel := range f6.Panels {
+			if panel.Overest > 0 && panel.Scenario == "underprovisioned" {
+				if r := panel.MedianReduction(); r > best {
+					best = r
+				}
+			}
+		}
+		fmt.Fprintf(&sb, "median response reduction (+60%%):     %.0f%%  (paper: 69%%)\n", best*100)
+		fmt.Fprintf(&sb, "memory saving at 95%% throughput:      %d pts (paper: ~40)\n", f9.MaxMemorySaving())
+		if err := code("Headline metrics", sb.String()); err != nil {
+			return err
+		}
+	}
+	return out("_generated in %.1fs_\n", time.Since(start).Seconds())
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleSpec = `{
+  "name": "lublin-study",
+  "trace": {"model": "lublin", "large_frac": 0.25, "overestimation": 0.5, "seed": 9},
+  "mem_pcts": [50, 100],
+  "policies": ["static", "dynamic"],
+  "backfill": "conservative",
+  "update_interval_s": 120
+}`
+
+func TestLoadScenario(t *testing.T) {
+	s, err := LoadScenario(strings.NewReader(sampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "lublin-study" || s.Trace.Model != "lublin" {
+		t.Fatalf("spec = %+v", s)
+	}
+	if len(s.MemPcts) != 2 || s.UpdateInterval != 120 {
+		t.Fatalf("spec fields lost: %+v", s)
+	}
+}
+
+func TestLoadScenarioRejections(t *testing.T) {
+	cases := []string{
+		`{"policies": ["magic"]}`,
+		`{"backfill": "optimistic"}`,
+		`{"oom": "panic"}`,
+		`{"mem_pcts": [99]}`,
+		`{"trace": {"large_frac": 2}}`,
+		`{"unknown_field": 1}`,
+		`not json`,
+	}
+	for _, in := range cases {
+		if _, err := LoadScenario(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestRunScenarioSpec(t *testing.T) {
+	p := tiny()
+	s, err := LoadScenario(strings.NewReader(sampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep the trace at the tiny preset scale.
+	s.Trace.SystemNodes = p.SystemNodes
+	res, err := p.RunScenarioSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2*2 { // 2 mem configs × 2 policies
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	feasible := 0
+	for _, row := range res.Rows {
+		if !isNaN(row.Throughput) {
+			feasible++
+			if row.Throughput <= 0 || row.MeanStretch < 0.999 {
+				t.Fatalf("implausible row %+v", row)
+			}
+		}
+	}
+	if feasible == 0 {
+		t.Fatal("nothing feasible")
+	}
+	if !strings.Contains(res.String(), "lublin-study") {
+		t.Fatal("rendering broken")
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, rows := parseCSV(t, &buf); len(rows) != 4 {
+		t.Fatalf("csv rows = %d", len(rows))
+	}
+}
+
+func TestRunScenarioSpecDefaultsAndChains(t *testing.T) {
+	p := tiny()
+	s, err := LoadScenario(strings.NewReader(`{"trace": {"chain_frac": 0.3}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.RunScenarioSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Defaults: all eight memory configs × three policies.
+	if len(res.Rows) != 8*3 {
+		t.Fatalf("rows = %d, want 24", len(res.Rows))
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	p := tiny()
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, p, ReportOptions{Ablations: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# dismem evaluation report",
+		"Table 2", "Table 3",
+		"Figure 5", "Figure 9",
+		"Memory utilisation", "Ablations", "Headline metrics",
+		"_generated in",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+}

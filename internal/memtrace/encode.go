@@ -1,0 +1,70 @@
+package memtrace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Binary encoding of traces, used by the trace-bundle format: a varint
+// point count followed by per-point (float64 time, varint MB) records.
+// Times are stored as raw IEEE-754 bits; MB values use unsigned varints.
+
+const encodeMagic = 0x4d54 // "MT"
+
+// ErrCorrupt reports undecodable trace bytes.
+var ErrCorrupt = errors.New("memtrace: corrupt encoding")
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (tr *Trace) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 4+len(tr.pts)*10)
+	buf = binary.AppendUvarint(buf, encodeMagic)
+	buf = binary.AppendUvarint(buf, uint64(len(tr.pts)))
+	for _, p := range tr.pts {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.T))
+		buf = binary.AppendUvarint(buf, uint64(p.MB))
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler; the decoded trace
+// is re-validated.
+func (tr *Trace) UnmarshalBinary(data []byte) error {
+	magic, n := binary.Uvarint(data)
+	if n <= 0 || magic != encodeMagic {
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	data = data[n:]
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return fmt.Errorf("%w: missing count", ErrCorrupt)
+	}
+	data = data[n:]
+	if count == 0 || count > 1<<28 {
+		return fmt.Errorf("%w: count %d", ErrCorrupt, count)
+	}
+	pts := make([]Point, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(data) < 8 {
+			return fmt.Errorf("%w: truncated at point %d", ErrCorrupt, i)
+		}
+		t := math.Float64frombits(binary.LittleEndian.Uint64(data))
+		data = data[8:]
+		mb, n := binary.Uvarint(data)
+		if n <= 0 {
+			return fmt.Errorf("%w: bad MB at point %d", ErrCorrupt, i)
+		}
+		data = data[n:]
+		pts = append(pts, Point{T: t, MB: int64(mb)})
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data))
+	}
+	decoded, err := New(pts)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	*tr = *decoded
+	return nil
+}

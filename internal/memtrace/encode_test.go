@@ -1,0 +1,79 @@
+package memtrace
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	tr := MustNew([]Point{{T: 0, MB: 10}, {T: 1.5, MB: 99999}, {T: 300, MB: 0}})
+	data, err := tr.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr.Points(), back.Points()) {
+		t.Fatalf("round trip mismatch:\n%v\n%v", tr.Points(), back.Points())
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0xff},
+		{0x01, 0x02, 0x03},
+	}
+	for i, data := range cases {
+		var tr Trace
+		if err := tr.UnmarshalBinary(data); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("case %d: err = %v, want ErrCorrupt", i, err)
+		}
+	}
+	// Valid prefix with trailing junk.
+	good, err := Constant(5).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr Trace
+	if err := tr.UnmarshalBinary(append(good, 0x00)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("trailing bytes: err = %v, want ErrCorrupt", err)
+	}
+	// Truncated stream.
+	if err := tr.UnmarshalBinary(good[:len(good)-1]); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// Property: MarshalBinary∘UnmarshalBinary is the identity for arbitrary
+// valid traces.
+func TestQuickEncodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		pts := make([]Point, n)
+		tm := rng.Float64()
+		for i := range pts {
+			pts[i] = Point{T: tm, MB: rng.Int63n(1 << 40)}
+			tm += 0.001 + rng.Float64()*1000
+		}
+		tr := MustNew(pts)
+		data, err := tr.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var back Trace
+		if err := back.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		return reflect.DeepEqual(tr.Points(), back.Points())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

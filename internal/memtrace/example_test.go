@@ -1,0 +1,44 @@
+package memtrace_test
+
+import (
+	"fmt"
+
+	"dismem/internal/memtrace"
+)
+
+// A usage trace is a step function: the job uses 2 GB until t=600, spikes
+// to 30 GB, and drops back. MaxIn answers the Decider's question — "how
+// much will this job need between now and the next update?"
+func ExampleTrace_MaxIn() {
+	tr := memtrace.MustNew([]memtrace.Point{
+		{T: 0, MB: 2048},
+		{T: 600, MB: 30720},
+		{T: 900, MB: 4096},
+	})
+	fmt.Println(tr.MaxIn(0, 300), tr.MaxIn(300, 700), tr.MaxIn(1000, 2000))
+	// Output: 2048 30720 4096
+}
+
+// RDP removes points that a straight line already explains: the linear
+// ramp collapses to its endpoints while the spike survives.
+func ExampleTrace_RDP() {
+	tr := memtrace.MustNew([]memtrace.Point{
+		{T: 0, MB: 1000},
+		{T: 100, MB: 2000}, // on the line 0→200: removable
+		{T: 200, MB: 3000},
+		{T: 300, MB: 50000}, // spike: kept
+		{T: 400, MB: 3000},
+	})
+	reduced := tr.RDP(100)
+	fmt.Println("points:", tr.Len(), "->", reduced.Len(), "peak kept:", reduced.Peak())
+	// Output: points: 5 -> 4 peak kept: 50000
+}
+
+// Scale stretches the time axis so a 5-minute-window Borg shape covers a
+// matched job's full wallclock.
+func ExampleTrace_Scale() {
+	shape := memtrace.MustNew([]memtrace.Point{{T: 0, MB: 100}, {T: 300, MB: 900}})
+	job, _ := shape.Scale(7200)
+	fmt.Println(job.Duration(), job.At(7199), job.At(7200))
+	// Output: 7200 100 900
+}

@@ -1,0 +1,39 @@
+package memtrace
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzUnmarshalBinary checks the trace decoder never panics and that any
+// bytes it accepts decode into a valid trace that re-encodes to an
+// equivalent value.
+func FuzzUnmarshalBinary(f *testing.F) {
+	good, _ := MustNew([]Point{{T: 0, MB: 5}, {T: 10, MB: 9}}).MarshalBinary()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0x4d, 0x54})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tr Trace
+		if err := tr.UnmarshalBinary(data); err != nil {
+			return
+		}
+		// Accepted bytes must describe a valid trace...
+		if _, err := New(tr.Points()); err != nil {
+			t.Fatalf("decoded trace invalid: %v", err)
+		}
+		// ...that round-trips.
+		out, err := tr.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Trace
+		if err := back.UnmarshalBinary(out); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(tr.Points(), back.Points()) {
+			t.Fatal("round trip changed the trace")
+		}
+	})
+}

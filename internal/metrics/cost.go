@@ -1,0 +1,29 @@
+package metrics
+
+// Cost model from the paper's Table 4, taken from Ogunshile's small-scale
+// HPC cloud analysis: a node (chassis, network share, switches, small
+// storage — everything except DRAM) costs $10,154, and each 128 GB of DRAM
+// costs $1,280.
+const (
+	// NodeCostUSD is the per-node cost excluding memory.
+	NodeCostUSD = 10154.0
+	// MemCostUSDPer128GB is the cost of one 128 GB memory kit.
+	MemCostUSDPer128GB = 1280.0
+)
+
+// SystemCostUSD returns the capital cost of a system with the given node
+// count and total memory in MB.
+func SystemCostUSD(nodes int, totalMemMB int64) float64 {
+	gb := float64(totalMemMB) / 1024.0
+	return float64(nodes)*NodeCostUSD + gb/128.0*MemCostUSDPer128GB
+}
+
+// ThroughputPerDollar returns jobs/second/USD, the paper's cost–benefit
+// metric (Figure 7).
+func ThroughputPerDollar(throughput float64, nodes int, totalMemMB int64) float64 {
+	c := SystemCostUSD(nodes, totalMemMB)
+	if c <= 0 {
+		return 0
+	}
+	return throughput / c
+}

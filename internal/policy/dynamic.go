@@ -1,0 +1,94 @@
+package policy
+
+import (
+	"errors"
+
+	"dismem/internal/cluster"
+)
+
+// ErrOutOfMemory is returned by Adjust when a job's usage grows and the
+// system-wide pool cannot satisfy it. The caller applies the configured
+// out-of-memory handling (Fail/Restart or Checkpoint/Restart).
+var ErrOutOfMemory = errors.New("policy: out of disaggregated memory")
+
+// Adjust is the Decider + Actuator of the dynamic policy for one compute
+// node of a running job: it resizes the node's allocation to targetMB.
+//
+// Shrinking deallocates remote memory before local memory; growing
+// allocates local memory first and borrows remotely only for the remainder,
+// maximising the local-to-remote ratio as described in §2.2.
+//
+// On ErrOutOfMemory the allocation retains whatever it held plus any
+// partial growth — the caller is expected to kill and resubmit the job,
+// which releases everything.
+func Adjust(cl *cluster.Cluster, ja *cluster.JobAllocation, i int, targetMB int64) error {
+	return AdjustRanked(cl, ja, i, targetMB, MostFreeRanker)
+}
+
+// AdjustRanked is Adjust with a custom lender order for growth (used by
+// the topology-aware configuration).
+func AdjustRanked(cl *cluster.Cluster, ja *cluster.JobAllocation, i int, targetMB int64, ranker LenderRanker) error {
+	if targetMB < 0 {
+		return cluster.ErrNegativeAmount
+	}
+	if ranker == nil {
+		ranker = MostFreeRanker
+	}
+	na := &ja.PerNode[i]
+	cur := na.TotalMB()
+	switch {
+	case targetMB < cur:
+		return shrinkTo(cl, ja, i, cur-targetMB)
+	case targetMB > cur:
+		return growBy(cl, ja, i, targetMB-cur, ranker)
+	}
+	return nil
+}
+
+func shrinkTo(cl *cluster.Cluster, ja *cluster.JobAllocation, i int, excess int64) error {
+	// Remote first: remote accesses are the expensive ones, so freeing
+	// them both returns pool memory and speeds the job up.
+	returned, err := ja.ShrinkRemote(cl, i, excess)
+	if err != nil {
+		return err
+	}
+	if rest := excess - returned; rest > 0 {
+		return ja.ShrinkLocal(cl, i, rest)
+	}
+	return nil
+}
+
+func growBy(cl *cluster.Cluster, ja *cluster.JobAllocation, i int, need int64, ranker LenderRanker) error {
+	na := &ja.PerNode[i]
+	// Local first.
+	if free := cl.Node(na.Node).FreeMB(); free > 0 {
+		take := minInt64(need, free)
+		if err := ja.GrowLocal(cl, i, take); err != nil {
+			return err
+		}
+		need -= take
+	}
+	if need == 0 {
+		return nil
+	}
+	// Borrow the rest in ranker order, excluding the job's own compute
+	// nodes (their free memory belongs to their local side).
+	own := make(map[cluster.NodeID]bool, len(ja.PerNode))
+	for j := range ja.PerNode {
+		own[ja.PerNode[j].Node] = true
+	}
+	for _, lender := range ranker(cl, na.Node, own) {
+		take := minInt64(need, cl.Node(lender).FreeMB())
+		if take == 0 {
+			continue
+		}
+		if err := ja.GrowRemote(cl, i, lender, take); err != nil {
+			return err
+		}
+		need -= take
+		if need == 0 {
+			return nil
+		}
+	}
+	return ErrOutOfMemory
+}

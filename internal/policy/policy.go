@@ -1,0 +1,307 @@
+// Package policy implements the paper's three memory-allocation policies:
+//
+//   - Baseline: no disaggregation. A job gets exclusive access to whole
+//     nodes, memory included, so its per-node request must fit a single
+//     node's capacity.
+//   - Static (Zacarias et al., ICPADS'21): disaggregated memory with a
+//     fixed allocation equal to the submission-script request. Placement
+//     prefers nodes with enough free memory and borrows any deficit from
+//     the nodes with the most free memory.
+//   - Dynamic (this paper): initial placement identical to Static, then the
+//     allocation follows the job's observed usage — the Decider compares
+//     usage with the current allocation, the Actuator frees remote memory
+//     first when shrinking and takes local memory first when growing.
+//
+// Place methods mutate the cluster ledger only on success; a failed
+// placement leaves the cluster untouched.
+package policy
+
+import (
+	"sort"
+
+	"dismem/internal/cluster"
+	"dismem/internal/job"
+)
+
+// Kind enumerates the three policies.
+type Kind int
+
+const (
+	Baseline Kind = iota
+	Static
+	Dynamic
+)
+
+// String returns the paper's name for the policy.
+func (k Kind) String() string {
+	switch k {
+	case Baseline:
+		return "baseline"
+	case Static:
+		return "static"
+	case Dynamic:
+		return "dynamic"
+	}
+	return "unknown"
+}
+
+// LenderRanker orders candidate lender nodes for borrowing on behalf of a
+// compute node. exclude contains the borrowing job's own compute nodes.
+// The default ranker prefers the most-free lenders (fewest lenders per
+// job); the topology-aware ranker prefers the nearest (fewest hops).
+type LenderRanker func(cl *cluster.Cluster, borrower cluster.NodeID, exclude map[cluster.NodeID]bool) []cluster.NodeID
+
+// MostFreeRanker is the default lender order: free memory descending.
+func MostFreeRanker(cl *cluster.Cluster, _ cluster.NodeID, exclude map[cluster.NodeID]bool) []cluster.NodeID {
+	return cl.LendersByFreeDesc(exclude)
+}
+
+// Policy decides job placement and whether allocations track usage.
+type Policy interface {
+	Kind() Kind
+	// CanEverRun reports whether the job could run on cl if it were
+	// completely empty. Scenarios containing a job that can never run
+	// are reported as infeasible (the paper's "missing bars").
+	CanEverRun(cl *cluster.Cluster, j *job.Job) bool
+	// Place tries to start the job now, mutating the ledger on success.
+	Place(cl *cluster.Cluster, j *job.Job) (*cluster.JobAllocation, bool)
+	// Tracks reports whether allocations follow observed usage
+	// (true only for Dynamic).
+	Tracks() bool
+}
+
+// New returns the policy implementation for kind with the default
+// (most-free) lender order.
+func New(kind Kind) Policy { return NewWithRanker(kind, MostFreeRanker) }
+
+// NewWithRanker returns the policy implementation for kind with a custom
+// lender order. The baseline never borrows, so the ranker is ignored.
+func NewWithRanker(kind Kind, ranker LenderRanker) Policy {
+	if ranker == nil {
+		ranker = MostFreeRanker
+	}
+	switch kind {
+	case Baseline:
+		return baselinePolicy{}
+	case Static:
+		return staticPolicy{ranker: ranker}
+	case Dynamic:
+		return dynamicPolicy{ranker: ranker}
+	}
+	panic("policy: unknown kind")
+}
+
+// ---------------------------------------------------------------- baseline
+
+type baselinePolicy struct{}
+
+func (baselinePolicy) Kind() Kind   { return Baseline }
+func (baselinePolicy) Tracks() bool { return false }
+
+func (baselinePolicy) CanEverRun(cl *cluster.Cluster, j *job.Job) bool {
+	n := 0
+	for _, node := range cl.Nodes() {
+		if node.CapacityMB >= j.RequestMB {
+			n++
+			if n >= j.Nodes {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Place for the baseline picks idle nodes whose capacity covers the request,
+// preferring the smallest adequate capacity so large nodes stay available
+// for large jobs. The job receives the node's entire memory (exclusive use).
+func (baselinePolicy) Place(cl *cluster.Cluster, j *job.Job) (*cluster.JobAllocation, bool) {
+	var candidates []cluster.NodeID
+	for _, node := range cl.Nodes() {
+		// Baseline never lends, so idleness is the only gate besides
+		// capacity.
+		if node.RunningJob == cluster.NoJob && node.CapacityMB >= j.RequestMB {
+			candidates = append(candidates, node.ID)
+		}
+	}
+	if len(candidates) < j.Nodes {
+		return nil, false
+	}
+	sort.Slice(candidates, func(a, b int) bool {
+		ca, cb := cl.Node(candidates[a]).CapacityMB, cl.Node(candidates[b]).CapacityMB
+		if ca != cb {
+			return ca < cb
+		}
+		return candidates[a] < candidates[b]
+	})
+	ja := &cluster.JobAllocation{Job: j.ID, PerNode: make([]cluster.NodeAllocation, 0, j.Nodes)}
+	for _, id := range candidates[:j.Nodes] {
+		mustStart(cl, id, j.ID)
+		ja.PerNode = append(ja.PerNode, cluster.NodeAllocation{Node: id})
+		mustGrowLocal(cl, ja, len(ja.PerNode)-1, cl.Node(id).CapacityMB)
+	}
+	return ja, true
+}
+
+// ---------------------------------------------------------------- static
+
+type staticPolicy struct {
+	ranker LenderRanker
+}
+
+func (staticPolicy) Kind() Kind   { return Static }
+func (staticPolicy) Tracks() bool { return false }
+
+func (staticPolicy) CanEverRun(cl *cluster.Cluster, j *job.Job) bool {
+	return disaggCanEverRun(cl, j)
+}
+
+func (p staticPolicy) Place(cl *cluster.Cluster, j *job.Job) (*cluster.JobAllocation, bool) {
+	return disaggPlace(cl, j, j.RequestMB, p.ranker)
+}
+
+// ---------------------------------------------------------------- dynamic
+
+type dynamicPolicy struct {
+	ranker LenderRanker
+}
+
+func (dynamicPolicy) Kind() Kind   { return Dynamic }
+func (dynamicPolicy) Tracks() bool { return true }
+
+func (dynamicPolicy) CanEverRun(cl *cluster.Cluster, j *job.Job) bool {
+	return disaggCanEverRun(cl, j)
+}
+
+// Place for the dynamic policy is identical to the static policy: the
+// initial allocation honours the submission request; only later usage
+// updates diverge (see Adjust).
+func (p dynamicPolicy) Place(cl *cluster.Cluster, j *job.Job) (*cluster.JobAllocation, bool) {
+	return disaggPlace(cl, j, j.RequestMB, p.ranker)
+}
+
+// ------------------------------------------------- shared disaggregated
+
+// disaggCanEverRun: on an empty cluster the job needs enough compute nodes
+// and, across the whole pool, enough total memory. Each compute node's local
+// share plus everything borrowed must exist somewhere.
+func disaggCanEverRun(cl *cluster.Cluster, j *job.Job) bool {
+	if cl.Len() < j.Nodes {
+		return false
+	}
+	return cl.TotalCapacityMB() >= j.TotalRequestMB()
+}
+
+// disaggPlace implements the Zacarias placement: prefer compute-available
+// nodes whose free memory covers perNodeMB; take the most-free nodes and
+// borrow the deficit from the most-free lenders otherwise.
+func disaggPlace(cl *cluster.Cluster, j *job.Job, perNodeMB int64, ranker LenderRanker) (*cluster.JobAllocation, bool) {
+	avail := cl.IdleComputeNodes()
+	if len(avail) < j.Nodes {
+		return nil, false
+	}
+	// Order candidates by free memory descending so the selected compute
+	// nodes need as little borrowing as possible.
+	sort.Slice(avail, func(a, b int) bool {
+		fa, fb := cl.Node(avail[a]).FreeMB(), cl.Node(avail[b]).FreeMB()
+		if fa != fb {
+			return fa > fb
+		}
+		return avail[a] < avail[b]
+	})
+	chosen := avail[:j.Nodes]
+
+	// Feasibility: total free memory in the system must cover the job.
+	if cl.TotalFreeMB() < int64(j.Nodes)*perNodeMB {
+		return nil, false
+	}
+
+	own := make(map[cluster.NodeID]bool, len(chosen))
+	for _, id := range chosen {
+		own[id] = true
+	}
+
+	// Plan local shares first (maximising the local-to-remote ratio),
+	// then plan the borrowing. Planning is pure so failure needs no
+	// rollback.
+	type plan struct {
+		node   cluster.NodeID
+		local  int64
+		borrow []cluster.Lease
+	}
+	plans := make([]plan, len(chosen))
+	var deficit int64
+	for i, id := range chosen {
+		local := minInt64(perNodeMB, cl.Node(id).FreeMB())
+		plans[i] = plan{node: id, local: local}
+		deficit += perNodeMB - local
+	}
+	if deficit > 0 {
+		// Remaining lendable memory per node, shared across the job's
+		// compute nodes as leases are planned.
+		lf := make(map[cluster.NodeID]int64)
+		for _, n := range cl.Nodes() {
+			if !own[n.ID] && n.FreeMB() > 0 {
+				lf[n.ID] = n.FreeMB()
+			}
+		}
+		for i := range plans {
+			need := perNodeMB - plans[i].local
+			if need == 0 {
+				continue
+			}
+			for _, l := range ranker(cl, plans[i].node, own) {
+				take := minInt64(need, lf[l])
+				if take <= 0 {
+					continue
+				}
+				plans[i].borrow = append(plans[i].borrow, cluster.Lease{Lender: l, MB: take})
+				lf[l] -= take
+				need -= take
+				if need == 0 {
+					break
+				}
+			}
+			if need > 0 {
+				return nil, false // pool exhausted despite the aggregate check
+			}
+		}
+	}
+
+	// Apply. Every step is guaranteed to succeed by the planning above;
+	// a failure indicates ledger corruption and panics via must helpers.
+	ja := &cluster.JobAllocation{Job: j.ID, PerNode: make([]cluster.NodeAllocation, 0, j.Nodes)}
+	for i, p := range plans {
+		mustStart(cl, p.node, j.ID)
+		ja.PerNode = append(ja.PerNode, cluster.NodeAllocation{Node: p.node})
+		mustGrowLocal(cl, ja, i, p.local)
+		for _, lease := range p.borrow {
+			mustGrowRemote(cl, ja, i, lease.Lender, lease.MB)
+		}
+	}
+	return ja, true
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func mustStart(cl *cluster.Cluster, id cluster.NodeID, jobID int) {
+	if err := cl.StartJob(id, jobID); err != nil {
+		panic(err)
+	}
+}
+
+func mustGrowLocal(cl *cluster.Cluster, ja *cluster.JobAllocation, i int, mb int64) {
+	if err := ja.GrowLocal(cl, i, mb); err != nil {
+		panic(err)
+	}
+}
+
+func mustGrowRemote(cl *cluster.Cluster, ja *cluster.JobAllocation, i int, lender cluster.NodeID, mb int64) {
+	if err := ja.GrowRemote(cl, i, lender, mb); err != nil {
+		panic(err)
+	}
+}

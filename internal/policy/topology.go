@@ -1,0 +1,37 @@
+package policy
+
+import (
+	"sort"
+
+	"dismem/internal/cluster"
+	"dismem/internal/topology"
+)
+
+// NearestFirstRanker returns a lender order that minimises remote-access
+// distance on the given torus: candidates are sorted by hop count from the
+// borrowing compute node, with ties broken by free memory descending and
+// then node ID. Cluster node IDs map directly onto torus endpoints.
+func NearestFirstRanker(t topology.Torus) LenderRanker {
+	return func(cl *cluster.Cluster, borrower cluster.NodeID, exclude map[cluster.NodeID]bool) []cluster.NodeID {
+		var ids []cluster.NodeID
+		for _, n := range cl.Nodes() {
+			if exclude[n.ID] || n.FreeMB() <= 0 {
+				continue
+			}
+			ids = append(ids, n.ID)
+		}
+		sort.Slice(ids, func(a, b int) bool {
+			ha := t.Hops(int(borrower), int(ids[a]))
+			hb := t.Hops(int(borrower), int(ids[b]))
+			if ha != hb {
+				return ha < hb
+			}
+			fa, fb := cl.Node(ids[a]).FreeMB(), cl.Node(ids[b]).FreeMB()
+			if fa != fb {
+				return fa > fb
+			}
+			return ids[a] < ids[b]
+		})
+		return ids
+	}
+}

@@ -1,0 +1,88 @@
+package policy
+
+import (
+	"testing"
+
+	"dismem/internal/cluster"
+	"dismem/internal/topology"
+)
+
+func TestNearestFirstRankerOrdering(t *testing.T) {
+	ring, err := topology.New(8, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := cluster.New(8, 32, 1000)
+	ranker := NearestFirstRanker(ring)
+	got := ranker(cl, 0, map[cluster.NodeID]bool{0: true})
+	// Ring distances from 0: 1→1, 7→1, 2→2, 6→2, 3→3, 5→3, 4→4.
+	want := []cluster.NodeID{1, 7, 2, 6, 3, 5, 4}
+	if len(got) != len(want) {
+		t.Fatalf("ranked = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranked = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNearestFirstRankerTieBreaksByFree(t *testing.T) {
+	ring, err := topology.New(8, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := cluster.New(8, 32, 1000)
+	// Nodes 1 and 7 are both 1 hop from node 0; make 7 freer.
+	if err := cl.Lend(1, 400); err != nil {
+		t.Fatal(err)
+	}
+	got := NearestFirstRanker(ring)(cl, 0, map[cluster.NodeID]bool{0: true})
+	if got[0] != 7 || got[1] != 1 {
+		t.Fatalf("ranked = %v, want node 7 (freer) before node 1", got)
+	}
+}
+
+func TestNearestFirstRankerSkipsFullNodes(t *testing.T) {
+	ring, err := topology.New(4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := cluster.New(4, 32, 1000)
+	if err := cl.Lend(1, 1000); err != nil { // neighbour has nothing left
+		t.Fatal(err)
+	}
+	got := NearestFirstRanker(ring)(cl, 0, map[cluster.NodeID]bool{0: true})
+	for _, id := range got {
+		if id == 1 {
+			t.Fatalf("full node 1 offered as lender: %v", got)
+		}
+	}
+}
+
+func TestPlaceWithNearestRankerBorrowsLocally(t *testing.T) {
+	ring, err := topology.New(6, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := NewWithRanker(Static, NearestFirstRanker(ring))
+	cl := cluster.New(6, 32, 1000)
+	ja, ok := pol.Place(cl, testJob(1, 1, 2500))
+	if !ok {
+		t.Fatal("placement failed")
+	}
+	borrower := int(ja.PerNode[0].Node)
+	for _, l := range ja.PerNode[0].Leases {
+		if h := ring.Hops(borrower, int(l.Lender)); h > 1 {
+			t.Fatalf("lease at %d hops despite nearest-first ranking", h)
+		}
+	}
+}
+
+func TestNewWithRankerNilFallsBack(t *testing.T) {
+	pol := NewWithRanker(Static, nil)
+	cl := cluster.New(3, 32, 1000)
+	if _, ok := pol.Place(cl, testJob(1, 1, 1500)); !ok {
+		t.Fatal("nil-ranker policy cannot place")
+	}
+}

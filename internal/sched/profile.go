@@ -1,0 +1,160 @@
+package sched
+
+import (
+	"math"
+	"sort"
+)
+
+// Profile is a step function of available resources over future time, used
+// by conservative backfill: every queued job gets a reservation carved out
+// of the profile, so no backfilled job can delay any earlier job.
+//
+// The profile starts from the current availability, gains resources at
+// running jobs' conservative completion times, and loses them over the
+// windows reserved for queued jobs.
+type Profile struct {
+	times []float64   // breakpoints, ascending; times[0] is "now"
+	avail []Resources // availability in [times[i], times[i+1])
+}
+
+// NewProfile builds a profile from current availability and future
+// releases (running jobs' conservative ends).
+func NewProfile(now float64, current Resources, releases []Release) *Profile {
+	p := &Profile{times: []float64{now}, avail: []Resources{current}}
+	rel := make([]Release, len(releases))
+	copy(rel, releases)
+	sort.Slice(rel, func(i, j int) bool { return rel[i].At < rel[j].At })
+	for _, r := range rel {
+		at := r.At
+		if at < now {
+			at = now // overdue release: counts as available now
+		}
+		i := p.indexFor(at)
+		p.splitAt(at)
+		i = p.indexFor(at)
+		for k := i; k < len(p.avail); k++ {
+			p.avail[k] = p.avail[k].Add(r.Res)
+		}
+	}
+	return p
+}
+
+// indexFor returns the segment index covering time t (t >= times[0]).
+func (p *Profile) indexFor(t float64) int {
+	i := sort.SearchFloat64s(p.times, t)
+	if i < len(p.times) && p.times[i] == t {
+		return i
+	}
+	return i - 1
+}
+
+// splitAt inserts a breakpoint at t if none exists.
+func (p *Profile) splitAt(t float64) {
+	i := sort.SearchFloat64s(p.times, t)
+	if i < len(p.times) && p.times[i] == t {
+		return
+	}
+	if i == 0 {
+		// t before the profile start: clamp (callers pass t >= now).
+		return
+	}
+	p.times = append(p.times, 0)
+	copy(p.times[i+1:], p.times[i:])
+	p.times[i] = t
+	p.avail = append(p.avail, Resources{})
+	copy(p.avail[i+1:], p.avail[i:])
+	p.avail[i] = p.avail[i-1]
+}
+
+// fitsOver reports whether demand d fits continuously over [start,
+// start+duration) given the profile.
+func (p *Profile) fitsOver(d Demand, start, duration float64) bool {
+	end := start + duration
+	for i := range p.times {
+		segStart := p.times[i]
+		segEnd := math.Inf(1)
+		if i+1 < len(p.times) {
+			segEnd = p.times[i+1]
+		}
+		if segEnd <= start || segStart >= end {
+			continue
+		}
+		if !d.Fits(p.avail[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EarliestFit returns the earliest time ≥ after at which demand d fits for
+// the whole duration. It returns +Inf when the demand never fits (even on
+// the final, steady-state segment).
+func (p *Profile) EarliestFit(d Demand, after, duration float64) float64 {
+	if after < p.times[0] {
+		after = p.times[0]
+	}
+	// Candidate start times: `after` and every later breakpoint.
+	if p.fitsOver(d, after, duration) {
+		return after
+	}
+	for i := range p.times {
+		t := p.times[i]
+		if t <= after {
+			continue
+		}
+		if p.fitsOver(d, t, duration) {
+			return t
+		}
+	}
+	return math.Inf(1)
+}
+
+// Reserve subtracts demand d from the profile over [start, start+duration).
+// Reservations may drive a segment negative only if the caller reserves
+// without checking EarliestFit first; conservative backfill never does.
+func (p *Profile) Reserve(d Demand, start, duration float64) {
+	end := start + duration
+	if start < p.times[0] {
+		start = p.times[0]
+	}
+	p.splitAt(start)
+	if !math.IsInf(end, 1) {
+		p.splitAt(end)
+	}
+	for i := range p.times {
+		segStart := p.times[i]
+		segEnd := math.Inf(1)
+		if i+1 < len(p.times) {
+			segEnd = p.times[i+1]
+		}
+		if segEnd <= start || segStart >= end {
+			continue
+		}
+		p.avail[i] = subtract(p.avail[i], d)
+	}
+}
+
+// subtract removes a demand's footprint from an availability vector. The
+// node share is taken from large nodes first when the demand requires
+// them, otherwise from normal nodes with large nodes as overflow —
+// mirroring how placement consumes the cheapest adequate nodes first.
+func subtract(r Resources, d Demand) Resources {
+	n := d.Nodes
+	if d.LargeOnly {
+		r.LargeNodes -= n
+	} else {
+		fromNormal := n
+		if fromNormal > r.NormalNodes {
+			fromNormal = r.NormalNodes
+		}
+		r.NormalNodes -= fromNormal
+		r.LargeNodes -= n - fromNormal
+	}
+	if d.UsePool {
+		r.FreeMB -= d.PooledMB
+	}
+	return r
+}
+
+// Segments returns the number of internal segments (for tests).
+func (p *Profile) Segments() int { return len(p.times) }

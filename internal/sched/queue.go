@@ -1,0 +1,92 @@
+// Package sched contains the scheduler-side mechanics that are independent
+// of the memory model: the pending-job queue (FIFO with requeue-to-front
+// priority for restarted jobs) and the EASY-backfill reservation arithmetic
+// over abstract resource vectors.
+//
+// The simulator (internal/core) translates cluster + policy state into the
+// Resources/Demand vectors used here, mirroring how Slurm's backfill plugin
+// reasons about aggregate availability rather than concrete placements.
+package sched
+
+import "sort"
+
+// Entry is one pending job in the queue.
+type Entry struct {
+	JobID    int
+	Enqueue  float64 // time the job (re)entered the queue
+	Priority int     // higher runs first; restarts can bump priority
+	seq      int     // insertion order for stable FIFO
+}
+
+// Queue is the pending-job queue: ordered by (Priority desc, Enqueue asc,
+// insertion order). It matches Slurm's default FIFO with priority override.
+type Queue struct {
+	items []Entry
+	seq   int
+}
+
+// Len returns the number of pending entries.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Push adds a job to the queue.
+func (q *Queue) Push(e Entry) {
+	e.seq = q.seq
+	q.seq++
+	q.items = append(q.items, e)
+	q.sort()
+}
+
+func (q *Queue) sort() {
+	sort.SliceStable(q.items, func(i, j int) bool {
+		a, b := q.items[i], q.items[j]
+		if a.Priority != b.Priority {
+			return a.Priority > b.Priority
+		}
+		if a.Enqueue != b.Enqueue {
+			return a.Enqueue < b.Enqueue
+		}
+		return a.seq < b.seq
+	})
+}
+
+// Head returns the first entry without removing it; ok is false when empty.
+func (q *Queue) Head() (Entry, bool) {
+	if len(q.items) == 0 {
+		return Entry{}, false
+	}
+	return q.items[0], true
+}
+
+// Items returns the queue contents in scheduling order, up to limit entries
+// (limit <= 0 means all). The paper's configuration caps the examined queue
+// and backfill window at 100 jobs.
+func (q *Queue) Items(limit int) []Entry {
+	n := len(q.items)
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]Entry, n)
+	copy(out, q.items[:n])
+	return out
+}
+
+// Remove deletes the entry for jobID, reporting whether it was present.
+func (q *Queue) Remove(jobID int) bool {
+	for i := range q.items {
+		if q.items[i].JobID == jobID {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether jobID is pending.
+func (q *Queue) Contains(jobID int) bool {
+	for i := range q.items {
+		if q.items[i].JobID == jobID {
+			return true
+		}
+	}
+	return false
+}

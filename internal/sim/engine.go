@@ -1,0 +1,198 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a priority queue of timestamped events. Events fire in
+// (time, insertion-order) order, so two runs with identical inputs produce
+// identical schedules. Event handles support cancellation and rescheduling,
+// which the scheduler uses to move job-completion events when a job's
+// slowdown changes.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Action is the callback invoked when an event fires. It receives the engine
+// so handlers can schedule follow-up events.
+type Action func(e *Engine)
+
+// Event is a scheduled occurrence. The zero value is not usable; obtain
+// events from Engine.Schedule.
+type Event struct {
+	at     float64
+	seq    uint64
+	index  int // heap index; -1 when not queued
+	fire   Action
+	cancel bool
+}
+
+// At returns the simulated time at which the event is due to fire.
+func (ev *Event) At() float64 { return ev.at }
+
+// Cancelled reports whether Cancel was called on the event.
+func (ev *Event) Cancelled() bool { return ev.cancel }
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator clock and event queue.
+// It is not safe for concurrent use; the simulation is single-threaded by
+// design so results are reproducible.
+type Engine struct {
+	now       float64
+	seq       uint64
+	queue     eventQueue
+	fired     uint64
+	maxT      float64
+	maxEvents uint64
+	halted    bool
+	exhausted bool
+}
+
+// New returns an engine with the clock at time zero and no horizon.
+func New() *Engine {
+	return &Engine{maxT: math.Inf(1)}
+}
+
+// SetMaxEvents installs a runaway backstop: Run halts once n events have
+// fired, and Exhausted reports it. Zero (the default) means unlimited.
+func (e *Engine) SetMaxEvents(n uint64) { e.maxEvents = n }
+
+// Exhausted reports whether a Run stopped because the event budget was
+// spent rather than because the queue drained or the horizon was reached.
+func (e *Engine) Exhausted() bool { return e.exhausted }
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Fired returns the number of events fired so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events currently queued (including
+// cancelled events that have not yet been popped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// SetHorizon stops the run when the clock would pass t. Events scheduled at
+// exactly t still fire.
+func (e *Engine) SetHorizon(t float64) { e.maxT = t }
+
+// Halt stops the run after the current event handler returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Schedule enqueues fn to fire at absolute time at. Scheduling in the past
+// panics: it always indicates a logic error in the caller, and silently
+// clamping would corrupt causality.
+func (e *Engine) Schedule(at float64, fn Action) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %g before now %g", at, e.now))
+	}
+	if math.IsNaN(at) {
+		panic("sim: schedule at NaN")
+	}
+	e.seq++
+	ev := &Event{at: at, seq: e.seq, fire: fn, index: -1}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After enqueues fn to fire d seconds from now.
+func (e *Engine) After(d float64, fn Action) *Event {
+	return e.Schedule(e.now+d, fn)
+}
+
+// Cancel marks ev so it will not fire. Cancelling an already-fired or
+// already-cancelled event is a no-op. The event is removed from the queue
+// immediately so very long simulations do not accumulate dead entries.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancel {
+		return
+	}
+	ev.cancel = true
+	if ev.index >= 0 {
+		heap.Remove(&e.queue, ev.index)
+	}
+}
+
+// Reschedule cancels ev and schedules its action at a new absolute time,
+// returning the replacement event.
+func (e *Engine) Reschedule(ev *Event, at float64) *Event {
+	fn := ev.fire
+	e.Cancel(ev)
+	return e.Schedule(at, fn)
+}
+
+// Step fires the next event, if any, and reports whether one fired.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if ev.cancel {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if ev.at > e.maxT {
+			return false
+		}
+		heap.Pop(&e.queue)
+		e.now = ev.at
+		e.fired++
+		ev.fire(e)
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty, the horizon is reached, the
+// event budget is exhausted, or Halt is called. It returns the final
+// simulated time.
+func (e *Engine) Run() float64 {
+	e.halted = false
+	e.exhausted = false
+	for !e.halted {
+		if e.maxEvents > 0 && e.fired >= e.maxEvents {
+			e.exhausted = true
+			break
+		}
+		if !e.Step() {
+			break
+		}
+	}
+	return e.now
+}
+
+// RunUntil runs the engine, stopping before any event later than t fires.
+// The clock is left at the time of the last fired event.
+func (e *Engine) RunUntil(t float64) float64 {
+	old := e.maxT
+	e.maxT = t
+	e.Run()
+	e.maxT = old
+	return e.now
+}

@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrder(t *testing.T) {
+	e := New()
+	var got []int
+	e.Schedule(3, func(*Engine) { got = append(got, 3) })
+	e.Schedule(1, func(*Engine) { got = append(got, 1) })
+	e.Schedule(2, func(*Engine) { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("clock = %g, want 3", e.Now())
+	}
+}
+
+func TestTieBreakByInsertion(t *testing.T) {
+	e := New()
+	var got []string
+	e.Schedule(5, func(*Engine) { got = append(got, "a") })
+	e.Schedule(5, func(*Engine) { got = append(got, "b") })
+	e.Schedule(5, func(*Engine) { got = append(got, "c") })
+	e.Run()
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("tie-break violated insertion order: %v", got)
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	e := New()
+	var at float64
+	e.Schedule(10, func(e *Engine) {
+		e.After(5, func(e *Engine) { at = e.Now() })
+	})
+	e.Run()
+	if at != 15 {
+		t.Fatalf("After fired at %g, want 15", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.Schedule(1, func(*Engine) { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+	// Double-cancel is a no-op.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestCancelRemovesFromQueue(t *testing.T) {
+	e := New()
+	ev := e.Schedule(1, func(*Engine) {})
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.Cancel(ev)
+	if e.Pending() != 0 {
+		t.Fatalf("pending after cancel = %d, want 0", e.Pending())
+	}
+}
+
+func TestReschedule(t *testing.T) {
+	e := New()
+	var at float64
+	ev := e.Schedule(10, func(e *Engine) { at = e.Now() })
+	e.Reschedule(ev, 20)
+	e.Run()
+	if at != 20 {
+		t.Fatalf("rescheduled event fired at %g, want 20", at)
+	}
+	if e.Fired() != 1 {
+		t.Fatalf("fired = %d, want 1 (original must not fire)", e.Fired())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(10, func(*Engine) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(5, func(*Engine) {})
+}
+
+func TestHorizon(t *testing.T) {
+	e := New()
+	var got []float64
+	for _, at := range []float64{1, 2, 3, 4} {
+		at := at
+		e.Schedule(at, func(*Engine) { got = append(got, at) })
+	}
+	e.RunUntil(2.5)
+	if len(got) != 2 {
+		t.Fatalf("fired %v, want events at 1 and 2 only", got)
+	}
+	// Remaining events still fire on an unbounded Run.
+	e.Run()
+	if len(got) != 4 {
+		t.Fatalf("fired %v after resume, want all 4", got)
+	}
+}
+
+func TestHalt(t *testing.T) {
+	e := New()
+	n := 0
+	e.Schedule(1, func(e *Engine) { n++; e.Halt() })
+	e.Schedule(2, func(*Engine) { n++ })
+	e.Run()
+	if n != 1 {
+		t.Fatalf("fired %d events, want 1 (halted)", n)
+	}
+	e.Run()
+	if n != 2 {
+		t.Fatalf("fired %d events after resume, want 2", n)
+	}
+}
+
+func TestRecurringEvent(t *testing.T) {
+	e := New()
+	count := 0
+	var tick Action
+	tick = func(e *Engine) {
+		count++
+		if count < 5 {
+			e.After(30, tick)
+		}
+	}
+	e.After(30, tick)
+	e.Run()
+	if count != 5 {
+		t.Fatalf("ticks = %d, want 5", count)
+	}
+	if e.Now() != 150 {
+		t.Fatalf("clock = %g, want 150", e.Now())
+	}
+}
+
+// Property: for any set of schedule times, events fire in sorted order and
+// the clock never moves backwards.
+func TestQuickFiringOrder(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := New()
+		var fired []float64
+		for _, r := range raw {
+			at := float64(r)
+			e.Schedule(at, func(e *Engine) { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		return sort.Float64sAreSorted(fired)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset fires exactly the complement.
+func TestQuickCancelSubset(t *testing.T) {
+	f := func(raw []uint16, seed int64) bool {
+		e := New()
+		rng := rand.New(rand.NewSource(seed))
+		want := 0
+		fired := 0
+		for _, r := range raw {
+			ev := e.Schedule(float64(r), func(*Engine) { fired++ })
+			if rng.Intn(2) == 0 {
+				e.Cancel(ev)
+			} else {
+				want++
+			}
+		}
+		e.Run()
+		return fired == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := New()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(float64(j%97), func(*Engine) {})
+		}
+		e.Run()
+	}
+}
+
+func TestMaxEventsBackstop(t *testing.T) {
+	e := New()
+	// A self-perpetuating tick that would never drain.
+	var tick Action
+	n := 0
+	tick = func(e *Engine) {
+		n++
+		e.After(1, tick)
+	}
+	e.After(1, tick)
+	e.SetMaxEvents(100)
+	e.Run()
+	if !e.Exhausted() {
+		t.Fatal("Exhausted() = false after hitting the budget")
+	}
+	if n != 100 {
+		t.Fatalf("fired %d events, want exactly 100", n)
+	}
+	// Raising the budget lets the run continue.
+	e.SetMaxEvents(150)
+	e.Run()
+	if n != 150 {
+		t.Fatalf("fired %d events after raise, want 150", n)
+	}
+}
+
+func TestMaxEventsZeroMeansUnlimited(t *testing.T) {
+	e := New()
+	for i := 0; i < 50; i++ {
+		e.Schedule(float64(i), func(*Engine) {})
+	}
+	e.Run()
+	if e.Exhausted() {
+		t.Fatal("unlimited engine reported exhaustion")
+	}
+	if e.Fired() != 50 {
+		t.Fatalf("fired = %d", e.Fired())
+	}
+}

@@ -1,0 +1,36 @@
+package slurmconf
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the configuration parser never panics and that any
+// accepted configuration either converts to a valid simulator config or
+// fails conversion with an error (never a panic).
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add("NodeName=n CPUs=1 RealMemory=100\n")
+	f.Add("NodeName=n[0-3] RealMemory=100\nDisaggPolicy=static\n")
+	f.Add("SchedulerParameters=bf_interval=30,default_queue_depth=100\n")
+	f.Add("Key=Value\n# comment\n")
+	f.Add("NodeName=n[9-1] RealMemory=5\n")
+	f.Add("=\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		parsed, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		cfg, err := parsed.CoreConfig()
+		if err != nil {
+			return
+		}
+		// Whatever CoreConfig accepts must normalise cleanly.
+		if err := cfg.Normalize(); err != nil {
+			t.Fatalf("converted config fails Normalize: %v\ninput: %q", err, input)
+		}
+		if cfg.Cluster.Nodes != parsed.TotalNodes() {
+			t.Fatalf("node count mismatch: %d vs %d", cfg.Cluster.Nodes, parsed.TotalNodes())
+		}
+	})
+}

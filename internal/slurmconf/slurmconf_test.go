@@ -1,0 +1,261 @@
+package slurmconf
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"dismem/internal/cluster"
+	"dismem/internal/core"
+	"dismem/internal/policy"
+	"dismem/internal/topology"
+)
+
+const sample = `# simulated system, paper Table 4
+SchedulerType=sched/backfill
+SchedulerParameters=bf_interval=30,default_queue_depth=100,bf_max_job_test=100
+NodeName=node[0-511] CPUs=32 RealMemory=65536
+NodeName=node[512-1023] CPUs=32 RealMemory=131072
+
+DisaggPolicy=dynamic
+DisaggUpdateInterval=300
+DisaggOOM=fail_restart
+`
+
+func TestParseSample(t *testing.T) {
+	f, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.TotalNodes() != 1024 {
+		t.Fatalf("nodes = %d, want 1024", f.TotalNodes())
+	}
+	if len(f.Nodes) != 2 {
+		t.Fatalf("groups = %d, want 2", len(f.Nodes))
+	}
+	if f.Nodes[0].Count != 512 || f.Nodes[0].RealMemoryMB != 65536 || f.Nodes[0].CPUs != 32 {
+		t.Fatalf("group 0 = %+v", f.Nodes[0])
+	}
+	if got := f.Options["schedulerparameters.bf_interval"]; got != "30" {
+		t.Fatalf("bf_interval = %q", got)
+	}
+	if got := f.Options["schedulertype"]; got != "sched/backfill" {
+		t.Fatalf("schedulertype = %q", got)
+	}
+}
+
+func TestCoreConfigFromSample(t *testing.T) {
+	f, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := f.CoreConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Cluster.Nodes != 1024 || cfg.Cluster.NormalMB != 65536 {
+		t.Fatalf("cluster = %+v", cfg.Cluster)
+	}
+	if cfg.Cluster.LargeFrac != 0.5 {
+		t.Fatalf("large frac = %g, want 0.5", cfg.Cluster.LargeFrac)
+	}
+	if cfg.Policy != policy.Dynamic {
+		t.Fatalf("policy = %v", cfg.Policy)
+	}
+	if cfg.SchedInterval != 30 || cfg.QueueDepth != 100 {
+		t.Fatalf("scheduler: interval=%g depth=%d", cfg.SchedInterval, cfg.QueueDepth)
+	}
+	if cfg.UpdateInterval != 300 || cfg.OOM != core.FailRestart {
+		t.Fatalf("dynamic params: %g %v", cfg.UpdateInterval, cfg.OOM)
+	}
+	// The produced config must be accepted by the simulator.
+	if err := cfg.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleNodeName(t *testing.T) {
+	f, err := Parse(strings.NewReader("NodeName=login CPUs=8 RealMemory=32768\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.TotalNodes() != 1 || f.Nodes[0].Name != "login" {
+		t.Fatalf("nodes = %+v", f.Nodes)
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []string{
+		"NoEqualsSign\n",
+		"NodeName=node[5-2] RealMemory=100\n",
+		"NodeName=node1 CPUs=abc RealMemory=100\n",
+		"NodeName=node1 CPUs=4\n", // missing RealMemory
+		"SchedulerParameters=bf_interval\n",
+		"NodeName=node1 BadAttr\n",
+	}
+	for _, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); !errors.Is(err, ErrSyntax) {
+			t.Errorf("input %q: err = %v, want ErrSyntax", in, err)
+		}
+	}
+}
+
+func TestCoreConfigRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		conf string
+	}{
+		{"no nodes", "DisaggPolicy=static\n"},
+		{"non-double large", "NodeName=a[0-1] CPUs=4 RealMemory=1000\nNodeName=b[0-1] CPUs=4 RealMemory=1500\n"},
+		{"three capacities", "NodeName=a CPUs=4 RealMemory=1000\nNodeName=b CPUs=4 RealMemory=2000\nNodeName=c CPUs=4 RealMemory=4000\n"},
+		{"mixed cpus", "NodeName=a CPUs=4 RealMemory=1000\nNodeName=b CPUs=8 RealMemory=2000\n"},
+		{"bad policy", "NodeName=a CPUs=4 RealMemory=1000\nDisaggPolicy=magic\n"},
+		{"bad oom", "NodeName=a CPUs=4 RealMemory=1000\nDisaggOOM=retry\n"},
+		{"bad interval", "NodeName=a CPUs=4 RealMemory=1000\nDisaggUpdateInterval=-5\n"},
+		{"bad lender", "NodeName=a CPUs=4 RealMemory=1000\nDisaggLenderPolicy=random\n"},
+		{"bad hop penalty", "NodeName=a CPUs=4 RealMemory=1000\nDisaggHopPenalty=-1\n"},
+	}
+	for _, tc := range cases {
+		f, err := Parse(strings.NewReader(tc.conf))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", tc.name, err)
+		}
+		if _, err := f.CoreConfig(); err == nil {
+			t.Errorf("%s: invalid config accepted", tc.name)
+		}
+	}
+}
+
+func TestTopologyKeys(t *testing.T) {
+	conf := "NodeName=n[0-63] CPUs=32 RealMemory=65536\nDisaggLenderPolicy=nearest_first\nDisaggHopPenalty=0.5\n"
+	f, err := Parse(strings.NewReader(conf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := f.CoreConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.LenderPolicy != core.NearestFirst {
+		t.Fatalf("lender policy = %v", cfg.LenderPolicy)
+	}
+	if cfg.Topology == nil || cfg.Topology.Size() < 64 {
+		t.Fatalf("topology = %v", cfg.Topology)
+	}
+	if cfg.HopPenalty != 0.5 {
+		t.Fatalf("hop penalty = %g", cfg.HopPenalty)
+	}
+	if err := cfg.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHopPenaltyAloneCreatesTopology(t *testing.T) {
+	conf := "NodeName=n[0-15] CPUs=4 RealMemory=1000\nDisaggHopPenalty=0.3\n"
+	f, err := Parse(strings.NewReader(conf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := f.CoreConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Topology == nil {
+		t.Fatal("hop penalty without topology must auto-design one")
+	}
+}
+
+func TestCommentsAndBlanks(t *testing.T) {
+	conf := "\n# full comment\n   \nNodeName=n CPUs=1 RealMemory=100\n"
+	f, err := Parse(strings.NewReader(conf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.TotalNodes() != 1 {
+		t.Fatalf("nodes = %d", f.TotalNodes())
+	}
+}
+
+func TestBackfillAlgorithmKey(t *testing.T) {
+	for in, want := range map[string]core.BackfillMode{
+		"easy":         core.EASYBackfill,
+		"conservative": core.ConservativeBackfill,
+		"none":         core.NoBackfill,
+	} {
+		conf := "NodeName=n CPUs=1 RealMemory=100\nSchedulerParameters=bf_algorithm=" + in + "\n"
+		f, err := Parse(strings.NewReader(conf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := f.CoreConfig()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Backfill != want {
+			t.Fatalf("%s: backfill = %v, want %v", in, cfg.Backfill, want)
+		}
+	}
+	f, err := Parse(strings.NewReader("NodeName=n CPUs=1 RealMemory=100\nSchedulerParameters=bf_algorithm=magic\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.CoreConfig(); err == nil {
+		t.Fatal("bad bf_algorithm accepted")
+	}
+}
+
+func TestWriteConfigRoundTrip(t *testing.T) {
+	var cfg core.Config
+	cfg.Cluster = cluster.Config{Nodes: 64, Cores: 32, NormalMB: 65536, LargeFrac: 0.25}
+	cfg.Policy = policy.Dynamic
+	cfg.SchedInterval = 30
+	cfg.QueueDepth = 100
+	cfg.UpdateInterval = 300
+	cfg.Backfill = core.ConservativeBackfill
+	cfg.OOM = core.CheckpointRestart
+	cfg.HopPenalty = 0.5
+	torus := topology.Design(cfg.Cluster.Nodes)
+	cfg.Topology = &torus
+
+	var buf bytes.Buffer
+	if err := WriteConfig(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := f.CoreConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Cluster != cfg.Cluster {
+		t.Fatalf("cluster mismatch:\n%+v\n%+v", back.Cluster, cfg.Cluster)
+	}
+	if back.Policy != cfg.Policy || back.SchedInterval != cfg.SchedInterval ||
+		back.QueueDepth != cfg.QueueDepth || back.UpdateInterval != cfg.UpdateInterval ||
+		back.Backfill != cfg.Backfill || back.OOM != cfg.OOM || back.HopPenalty != cfg.HopPenalty {
+		t.Fatalf("config mismatch:\n%+v\n%+v", back, cfg)
+	}
+	if back.Topology == nil {
+		t.Fatal("hop penalty must re-create a topology")
+	}
+}
+
+func TestWriteConfigBaselineOmitsDynamicKeys(t *testing.T) {
+	var cfg core.Config
+	cfg.Cluster = cluster.Config{Nodes: 4, Cores: 8, NormalMB: 1000}
+	cfg.Policy = policy.Baseline
+	var buf bytes.Buffer
+	if err := WriteConfig(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "DisaggUpdateInterval") || strings.Contains(out, "DisaggOOM") {
+		t.Fatalf("baseline config carries dynamic keys:\n%s", out)
+	}
+	if !strings.Contains(out, "DisaggPolicy=baseline") {
+		t.Fatalf("policy missing:\n%s", out)
+	}
+}

@@ -1,0 +1,98 @@
+// Package sweep runs independent simulation tasks in parallel with a
+// bounded worker pool, preserving input order in the results. The
+// experiment harness uses it to spread a figure's scenario grid across
+// cores; every simulation is self-contained (own engine, own RNG), so the
+// only shared state is the read-only job trace.
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Task computes the i-th result.
+type Task[T any] func() (T, error)
+
+// Result pairs a task's output with its error.
+type Result[T any] struct {
+	Value T
+	Err   error
+}
+
+// Run executes all tasks with at most workers goroutines (0 = NumCPU) and
+// returns the results in task order. It never short-circuits: every task
+// runs even if an earlier one fails, so partial grids remain inspectable.
+func Run[T any](tasks []Task[T], workers int) []Result[T] {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	results := make([]Result[T], len(tasks))
+	if len(tasks) == 0 {
+		return results
+	}
+	if workers <= 1 {
+		for i := range tasks {
+			results[i] = call(tasks[i])
+		}
+		return results
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = call(tasks[i])
+			}
+		}()
+	}
+	for i := range tasks {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// call runs one task, converting a panic into ErrPanic so a single bad
+// scenario cannot take down a whole sweep.
+func call[T any](t Task[T]) (res Result[T]) {
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = fmt.Errorf("%w: %v", ErrPanic, r)
+		}
+	}()
+	res.Value, res.Err = t()
+	return res
+}
+
+// FirstError returns the first non-nil error in task order, or nil.
+func FirstError[T any](results []Result[T]) error {
+	for i := range results {
+		if results[i].Err != nil {
+			return results[i].Err
+		}
+	}
+	return nil
+}
+
+// Values extracts the values, returning the first error encountered.
+func Values[T any](results []Result[T]) ([]T, error) {
+	if err := FirstError(results); err != nil {
+		return nil, err
+	}
+	out := make([]T, len(results))
+	for i := range results {
+		out[i] = results[i].Value
+	}
+	return out, nil
+}
+
+// ErrPanic wraps a recovered panic from a task.
+var ErrPanic = errors.New("sweep: task panicked")

@@ -1,0 +1,36 @@
+package swf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the SWF parser never panics and that anything it
+// accepts survives a write/parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add("; header only\n")
+	f.Add("")
+	f.Add("1 0 -1 10 1 -1 -1 1 20 -1 1 -1 -1 -1 -1 -1 -1 -1\n")
+	f.Add("garbage line\n")
+	f.Add(strings.Repeat("9 ", 18) + "\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		parsed, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, parsed); err != nil {
+			t.Fatalf("accepted input failed to write: %v", err)
+		}
+		again, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("own output failed to parse: %v", err)
+		}
+		if len(again.Records) != len(parsed.Records) {
+			t.Fatalf("round trip changed record count: %d -> %d",
+				len(parsed.Records), len(again.Records))
+		}
+	})
+}

@@ -1,0 +1,157 @@
+// Package swf reads and writes the Standard Workload Format (SWF), the
+// job-trace interchange format of the Parallel Workloads Archive and the
+// input format of the Slurm simulator.
+//
+// An SWF file holds one job per line with 18 whitespace-separated numeric
+// fields; header lines start with ';'. Unknown or inapplicable values are
+// -1. See Chapin et al., "Benchmarks and standards for the evaluation of
+// parallel job schedulers" (JSSPP'99).
+package swf
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Record is one SWF job entry. Field names follow the standard; units are
+// seconds, processor counts, and KB per processor.
+type Record struct {
+	JobID          int
+	SubmitTime     float64
+	WaitTime       float64
+	RunTime        float64
+	AllocProcs     int
+	AvgCPUTime     float64
+	UsedMemKB      int64 // per processor
+	ReqProcs       int
+	ReqTime        float64
+	ReqMemKB       int64 // per processor
+	Status         int   // 1 completed, 0 failed, 5 cancelled, -1 unknown
+	UserID         int
+	GroupID        int
+	ExecutableID   int
+	QueueID        int
+	PartitionID    int
+	PrecedingJobID int
+	ThinkTime      float64
+}
+
+// Status codes defined by the standard.
+const (
+	StatusFailed    = 0
+	StatusCompleted = 1
+	StatusCancelled = 5
+	StatusUnknown   = -1
+)
+
+// ErrFormat reports a malformed SWF line.
+var ErrFormat = errors.New("swf: malformed record")
+
+// File is a parsed SWF file: header comments (without the leading ';') and
+// records.
+type File struct {
+	Header  []string
+	Records []Record
+}
+
+// Parse reads an entire SWF stream.
+func Parse(r io.Reader) (*File, error) {
+	f := &File{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, ";"):
+			f.Header = append(f.Header, strings.TrimSpace(strings.TrimPrefix(line, ";")))
+		default:
+			rec, err := parseLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			f.Records = append(f.Records, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func parseLine(line string) (Record, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 18 {
+		return Record{}, fmt.Errorf("%w: %d fields, want 18", ErrFormat, len(fields))
+	}
+	fv := make([]float64, 18)
+	for i, s := range fields {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Record{}, fmt.Errorf("%w: field %d %q", ErrFormat, i+1, s)
+		}
+		fv[i] = v
+	}
+	return Record{
+		JobID:          int(fv[0]),
+		SubmitTime:     fv[1],
+		WaitTime:       fv[2],
+		RunTime:        fv[3],
+		AllocProcs:     int(fv[4]),
+		AvgCPUTime:     fv[5],
+		UsedMemKB:      int64(fv[6]),
+		ReqProcs:       int(fv[7]),
+		ReqTime:        fv[8],
+		ReqMemKB:       int64(fv[9]),
+		Status:         int(fv[10]),
+		UserID:         int(fv[11]),
+		GroupID:        int(fv[12]),
+		ExecutableID:   int(fv[13]),
+		QueueID:        int(fv[14]),
+		PartitionID:    int(fv[15]),
+		PrecedingJobID: int(fv[16]),
+		ThinkTime:      fv[17],
+	}, nil
+}
+
+// Write emits the file in standard form: header comments then one record
+// per line.
+func Write(w io.Writer, f *File) error {
+	bw := bufio.NewWriter(w)
+	for _, h := range f.Header {
+		if _, err := fmt.Fprintf(bw, "; %s\n", h); err != nil {
+			return err
+		}
+	}
+	for i := range f.Records {
+		if err := writeRecord(bw, &f.Records[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeRecord(w io.Writer, r *Record) error {
+	_, err := fmt.Fprintf(w, "%d %s %s %s %d %s %d %d %s %d %d %d %d %d %d %d %d %s\n",
+		r.JobID, num(r.SubmitTime), num(r.WaitTime), num(r.RunTime),
+		r.AllocProcs, num(r.AvgCPUTime), r.UsedMemKB, r.ReqProcs,
+		num(r.ReqTime), r.ReqMemKB, r.Status, r.UserID, r.GroupID,
+		r.ExecutableID, r.QueueID, r.PartitionID, r.PrecedingJobID,
+		num(r.ThinkTime))
+	return err
+}
+
+// num renders a float compactly: integers without a fraction.
+func num(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 2, 64)
+}

@@ -1,0 +1,281 @@
+// Package textplot renders small terminal charts — horizontal bar charts,
+// grouped bar charts, and scatter plots — used by the experiment CLI to
+// visualise figure data without any plotting dependency.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar is one labelled value of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders horizontal bars scaled to width characters. Negative
+// and NaN values render as empty bars marked "-". The value column shows
+// the raw numbers with the given format (default %.3f).
+func BarChart(title string, bars []Bar, width int, format string) string {
+	if width <= 0 {
+		width = 40
+	}
+	if format == "" {
+		format = "%.3f"
+	}
+	var max float64
+	labelW := 0
+	for _, b := range bars {
+		if !math.IsNaN(b.Value) && b.Value > max {
+			max = b.Value
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	for _, b := range bars {
+		sb.WriteString(fmt.Sprintf("%-*s ", labelW, b.Label))
+		if math.IsNaN(b.Value) || b.Value < 0 {
+			sb.WriteString(strings.Repeat(" ", width))
+			sb.WriteString("  -\n")
+			continue
+		}
+		n := 0
+		if max > 0 {
+			n = int(b.Value / max * float64(width))
+		}
+		if n > width {
+			n = width
+		}
+		sb.WriteString(strings.Repeat("█", n))
+		sb.WriteString(strings.Repeat(" ", width-n))
+		sb.WriteString("  ")
+		sb.WriteString(fmt.Sprintf(format, b.Value))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Series is one named series of a grouped chart.
+type Series struct {
+	Name   string
+	Values []float64 // aligned with the group labels
+}
+
+// GroupedBars renders one row per group with one bar per series, for
+// side-by-side policy comparisons. NaN values are rendered as "-".
+func GroupedBars(title string, groups []string, series []Series, width int) string {
+	if width <= 0 {
+		width = 30
+	}
+	var max float64
+	for _, s := range series {
+		for _, v := range s.Values {
+			if !math.IsNaN(v) && v > max {
+				max = v
+			}
+		}
+	}
+	labelW := 0
+	for _, g := range groups {
+		if len(g) > labelW {
+			labelW = len(g)
+		}
+	}
+	nameW := 0
+	for _, s := range series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	for gi, g := range groups {
+		for si, s := range series {
+			label := ""
+			if si == 0 {
+				label = g
+			}
+			v := math.NaN()
+			if gi < len(s.Values) {
+				v = s.Values[gi]
+			}
+			sb.WriteString(fmt.Sprintf("%-*s %-*s ", labelW, label, nameW, s.Name))
+			if math.IsNaN(v) || v < 0 {
+				sb.WriteString("-\n")
+				continue
+			}
+			n := 0
+			if max > 0 {
+				n = int(v / max * float64(width))
+			}
+			if n > width {
+				n = width
+			}
+			sb.WriteString(strings.Repeat("█", n))
+			sb.WriteString(fmt.Sprintf(" %.3f\n", v))
+		}
+	}
+	return sb.String()
+}
+
+// Point is one (x, y) observation of a scatter plot.
+type Point struct {
+	X, Y   float64
+	Marked bool // rendered as '*' instead of '·'
+}
+
+// Scatter renders points on a cols×rows character grid with axis ranges
+// derived from the data. Marked points win cell conflicts.
+func Scatter(title string, pts []Point, cols, rows int) string {
+	if cols <= 0 {
+		cols = 60
+	}
+	if rows <= 0 {
+		rows = 16
+	}
+	if len(pts) == 0 {
+		return title + "\n(no data)\n"
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, rows)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", cols))
+	}
+	for _, p := range pts {
+		// The subtraction can overflow to ±Inf for extreme inputs, so
+		// the cell indices are clamped defensively.
+		c := clampIndex((p.X-minX)/(maxX-minX)*float64(cols-1), cols)
+		r := rows - 1 - clampIndex((p.Y-minY)/(maxY-minY)*float64(rows-1), rows)
+		ch := '·'
+		if p.Marked {
+			ch = '*'
+		}
+		if grid[r][c] != '*' {
+			grid[r][c] = ch
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "%.3g\n", maxY)
+	for _, row := range grid {
+		sb.WriteString("|")
+		sb.WriteString(string(row))
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("+")
+	sb.WriteString(strings.Repeat("-", cols))
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "%.3g%s%.3g\n", minX, strings.Repeat(" ", maxInt(1, cols-12)), maxX)
+	return sb.String()
+}
+
+// Heatmap renders a matrix of non-negative values as shaded cells, darkest
+// at the maximum. Rows print top-down in the given order; each cell also
+// shows its value with the given format (default %.2f).
+func Heatmap(title string, rowLabels, colLabels []string, cells [][]float64, format string) string {
+	if format == "" {
+		format = "%.2f"
+	}
+	var max float64
+	for _, row := range cells {
+		for _, v := range row {
+			if !math.IsNaN(v) && v > max {
+				max = v
+			}
+		}
+	}
+	shades := []rune(" ░▒▓█")
+	labelW := 0
+	for _, l := range rowLabels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	cellW := 0
+	for _, l := range colLabels {
+		if len(l) > cellW {
+			cellW = len(l)
+		}
+	}
+	if w := len(fmt.Sprintf(format, max)) + 2; w > cellW {
+		cellW = w
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(strings.Repeat(" ", labelW+1))
+	for _, c := range colLabels {
+		sb.WriteString(fmt.Sprintf("%*s", cellW+1, c))
+	}
+	sb.WriteByte('\n')
+	for ri, row := range cells {
+		label := ""
+		if ri < len(rowLabels) {
+			label = rowLabels[ri]
+		}
+		sb.WriteString(fmt.Sprintf("%-*s ", labelW, label))
+		for _, v := range row {
+			if math.IsNaN(v) {
+				sb.WriteString(fmt.Sprintf("%*s", cellW+1, "-"))
+				continue
+			}
+			shade := shades[0]
+			if max > 0 {
+				idx := int(v / max * float64(len(shades)-1))
+				if idx >= len(shades) {
+					idx = len(shades) - 1
+				}
+				shade = shades[idx]
+			}
+			sb.WriteString(fmt.Sprintf(" %c%*s", shade, cellW-1, fmt.Sprintf(format, v)))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// clampIndex converts a possibly non-finite cell coordinate into a valid
+// index in [0, n).
+func clampIndex(v float64, n int) int {
+	if math.IsNaN(v) || v < 0 {
+		return 0
+	}
+	if i := int(v); i < n {
+		return i
+	}
+	return n - 1
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

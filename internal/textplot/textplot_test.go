@@ -1,0 +1,174 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBarChartBasics(t *testing.T) {
+	out := BarChart("title", []Bar{
+		{"full", 1.0},
+		{"half", 0.5},
+		{"none", 0},
+		{"missing", math.NaN()},
+	}, 10, "")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "title" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if got := strings.Count(lines[1], "█"); got != 10 {
+		t.Fatalf("full bar = %d cells, want 10", got)
+	}
+	if got := strings.Count(lines[2], "█"); got != 5 {
+		t.Fatalf("half bar = %d cells, want 5", got)
+	}
+	if strings.Count(lines[3], "█") != 0 {
+		t.Fatal("zero bar not empty")
+	}
+	if !strings.HasSuffix(lines[4], "-") {
+		t.Fatalf("NaN bar = %q, want trailing -", lines[4])
+	}
+	// Labels aligned to the widest.
+	if !strings.HasPrefix(lines[1], "full    ") {
+		t.Fatalf("label not padded: %q", lines[1])
+	}
+}
+
+func TestBarChartAllZero(t *testing.T) {
+	out := BarChart("", []Bar{{"a", 0}, {"b", 0}}, 10, "%.1f")
+	if strings.Contains(out, "█") {
+		t.Fatal("zero-valued chart drew bars")
+	}
+	if !strings.Contains(out, "0.0") {
+		t.Fatal("custom format ignored")
+	}
+}
+
+func TestGroupedBars(t *testing.T) {
+	out := GroupedBars("cmp", []string{"37%", "50%"}, []Series{
+		{Name: "static", Values: []float64{0.5, 0.8}},
+		{Name: "dynamic", Values: []float64{1.0, math.NaN()}},
+	}, 20)
+	if !strings.Contains(out, "static") || !strings.Contains(out, "dynamic") {
+		t.Fatal("series names missing")
+	}
+	if !strings.Contains(out, "37%") || !strings.Contains(out, "50%") {
+		t.Fatal("group labels missing")
+	}
+	// NaN renders as '-'.
+	lines := strings.Split(out, "\n")
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "dynamic") && strings.HasSuffix(strings.TrimSpace(l), "-") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("NaN cell not rendered as '-':\n%s", out)
+	}
+	// Missing values (short series) also render as '-'.
+	out2 := GroupedBars("", []string{"a", "b"}, []Series{{Name: "s", Values: []float64{1}}}, 10)
+	if !strings.Contains(out2, "-") {
+		t.Fatal("short series not padded with '-'")
+	}
+}
+
+func TestScatter(t *testing.T) {
+	pts := []Point{
+		{X: 0, Y: 0},
+		{X: 1, Y: 1, Marked: true},
+		{X: 0.5, Y: 0.5},
+	}
+	out := Scatter("sc", pts, 20, 10)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "·") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+	// 10 grid rows plus title, top label, axis, bottom label.
+	if got := strings.Count(out, "|"); got != 10 {
+		t.Fatalf("grid rows = %d, want 10", got)
+	}
+	if Scatter("x", nil, 10, 5) != "x\n(no data)\n" {
+		t.Fatal("empty scatter mis-rendered")
+	}
+}
+
+func TestScatterDegenerateRanges(t *testing.T) {
+	// All points identical: ranges are widened, no panic, point lands
+	// somewhere on the grid.
+	out := Scatter("", []Point{{X: 5, Y: 5}, {X: 5, Y: 5}}, 10, 5)
+	if !strings.Contains(out, "·") {
+		t.Fatalf("degenerate scatter lost its point:\n%s", out)
+	}
+}
+
+// Property: bar lengths are monotone in value and bounded by width.
+func TestQuickBarMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b)
+		if math.IsInf(a, 0) || math.IsInf(b, 0) || math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		out := BarChart("", []Bar{{"a", a}, {"b", b}}, 25, "")
+		lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+		ca := strings.Count(lines[0], "█")
+		cb := strings.Count(lines[1], "█")
+		return ca <= cb && cb <= 25
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scatter never panics and keeps grid dimensions for arbitrary
+// finite inputs.
+func TestQuickScatterShape(t *testing.T) {
+	f := func(raw []float64) bool {
+		var pts []Point
+		for i := 0; i+1 < len(raw); i += 2 {
+			x, y := raw[i], raw[i+1]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			pts = append(pts, Point{X: x, Y: y})
+		}
+		if len(pts) == 0 {
+			return true
+		}
+		out := Scatter("", pts, 30, 8)
+		return strings.Count(out, "|") == 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	out := Heatmap("hm",
+		[]string{"hi", "lo"},
+		[]string{"a", "b"},
+		[][]float64{{1.0, 0.5}, {0.0, math.NaN()}}, "%.1f")
+	if !strings.Contains(out, "hm") {
+		t.Fatal("title missing")
+	}
+	// Maximum cell uses the darkest shade, NaN renders as '-'.
+	if !strings.Contains(out, "█") {
+		t.Fatalf("max shade missing:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Fatalf("NaN cell missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title + header + 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// All-zero heatmaps must not panic or divide by zero.
+	zero := Heatmap("", []string{"r"}, []string{"c"}, [][]float64{{0}}, "")
+	if !strings.Contains(zero, "0.00") {
+		t.Fatalf("zero heatmap broken:\n%s", zero)
+	}
+}

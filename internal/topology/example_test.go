@@ -1,0 +1,26 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"dismem/internal/topology"
+)
+
+// Design picks near-cubic dimensions for the requested endpoint count; the
+// paper's 1024-node synthetic system fits an 8×8×16 torus... or better.
+func ExampleDesign() {
+	t := topology.Design(1024)
+	fmt.Println(t)
+	fmt.Println("hops 0->511:", t.Hops(0, 511))
+	// Output:
+	// 8×8×16 torus (1024 nodes, diameter 16)
+	// hops 0->511: 9
+}
+
+// RankByHops orders lenders by wraparound distance: on an 8-ring, node 7
+// is one hop from node 0.
+func ExampleTorus_RankByHops() {
+	ring, _ := topology.New(8, 1, 1)
+	fmt.Println(ring.RankByHops(0, []int{4, 2, 7}))
+	// Output: [7 2 4]
+}

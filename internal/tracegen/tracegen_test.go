@@ -1,0 +1,146 @@
+package tracegen
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"dismem/internal/swf"
+)
+
+func smallParams() Params {
+	return Params{
+		SystemNodes:       64,
+		Load:              0.7,
+		Days:              1,
+		LargeFrac:         0.5,
+		Overestimation:    0.6,
+		GoogleCollections: 1500,
+		Seed:              1,
+	}
+}
+
+func TestRunPipeline(t *testing.T) {
+	out, err := Run(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Jobs) == 0 || len(out.Jobs) != len(out.Specs) {
+		t.Fatalf("jobs=%d specs=%d", len(out.Jobs), len(out.Specs))
+	}
+	for _, j := range out.Jobs {
+		if err := j.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if j.RequestMB < j.PeakUsageMB() {
+			t.Fatalf("job %d: request %d below peak %d", j.ID, j.RequestMB, j.PeakUsageMB())
+		}
+	}
+	// Achieved large-memory mix near the requested 50 %.
+	if f := out.LargeJobFraction(); math.Abs(f-0.5) > 0.15 {
+		t.Fatalf("large fraction = %g, want ≈0.5", f)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Jobs) != len(b.Jobs) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Jobs), len(b.Jobs))
+	}
+	for i := range a.Jobs {
+		ja, jb := a.Jobs[i], b.Jobs[i]
+		if ja.SubmitTime != jb.SubmitTime || ja.Nodes != jb.Nodes ||
+			ja.RequestMB != jb.RequestMB || ja.BaseRuntime != jb.BaseRuntime {
+			t.Fatalf("job %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestOverestimationAffectsRequestsOnly(t *testing.T) {
+	p0 := smallParams()
+	p0.Overestimation = 0
+	p6 := smallParams()
+	p6.Overestimation = 0.6
+	a, err := Run(p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i].PeakUsageMB() != b.Jobs[i].PeakUsageMB() {
+			t.Fatalf("job %d: peaks differ across overestimation settings", i)
+		}
+		want := int64(float64(a.Jobs[i].PeakUsageMB()) * 1.6)
+		if b.Jobs[i].RequestMB != want {
+			t.Fatalf("job %d: request %d, want %d", i, b.Jobs[i].RequestMB, want)
+		}
+	}
+	// +0 %: request equals peak (the paper's conservative baseline).
+	for _, j := range a.Jobs {
+		if j.RequestMB != j.PeakUsageMB() {
+			t.Fatalf("job %d: +0%% request %d != peak %d", j.ID, j.RequestMB, j.PeakUsageMB())
+		}
+	}
+}
+
+func TestWriteSWF(t *testing.T) {
+	out, err := Run(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := out.WriteSWF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := swf.Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Records) != len(out.Jobs) {
+		t.Fatalf("SWF records = %d, want %d", len(f.Records), len(out.Jobs))
+	}
+	back, err := swf.ToJobs(f, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range back {
+		if back[i].Nodes != out.Jobs[i].Nodes {
+			t.Fatalf("job %d: node count lost in SWF round trip", i)
+		}
+	}
+}
+
+func TestLublinModel(t *testing.T) {
+	p := smallParams()
+	p.Model = "lublin"
+	out, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Jobs) == 0 {
+		t.Fatal("lublin model produced no jobs")
+	}
+	for _, j := range out.Jobs {
+		if err := j.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestUnknownModelRejected(t *testing.T) {
+	p := smallParams()
+	p.Model = "feitelson96"
+	if _, err := Run(p); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}

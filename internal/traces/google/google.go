@@ -1,0 +1,237 @@
+// Package google synthesises a Borg-like cluster trace with the structure
+// of the Google 2019 release (Tirmazi et al., EuroSys'20) that the paper
+// mines for per-job memory-usage shapes.
+//
+// The real trace is obfuscated: memory is normalised to the largest machine
+// (the paper denormalises against 12 TB) and usage is recorded as average
+// and maximum over 5-minute windows. This package reproduces exactly those
+// semantics on synthetic data so the downstream pipeline (filtering to
+// best-effort batch jobs, denormalisation, window-max usage, matching by
+// size/runtime/memory) exercises the same code paths.
+package google
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"dismem/internal/memtrace"
+)
+
+// Priority tiers of the 2019 trace.
+type Priority int
+
+const (
+	Free Priority = iota
+	BestEffortBatch
+	Mid
+	Production
+	Monitoring
+)
+
+func (p Priority) String() string {
+	switch p {
+	case Free:
+		return "free"
+	case BestEffortBatch:
+		return "best-effort batch"
+	case Mid:
+		return "mid"
+	case Production:
+		return "production"
+	case Monitoring:
+		return "monitoring"
+	}
+	return "unknown"
+}
+
+// WindowSec is the trace's memory-usage recording window (5 minutes).
+const WindowSec = 300.0
+
+// LargestMachineMB is the denormalisation constant: the largest machine
+// memory in operation at trace time was reported as 12 TB.
+const LargestMachineMB = int64(12) * 1024 * 1024
+
+// Collection is one trace entry: a job or an alloc set (a resource
+// reservation jobs can run inside).
+type Collection struct {
+	ID         int
+	IsAllocSet bool
+	Priority   Priority
+	SchedClass int // 0 = most latency-insensitive … 3 = most sensitive
+	Tasks      int
+	RuntimeSec float64
+	FinishedOK bool      // finished normally at least once (derived from Events)
+	Events     []Event   // lifecycle event stream
+	WindowAvg  []float64 // per 5-min window, normalised to LargestMachineMB
+	WindowMax  []float64
+}
+
+// Dataset is a synthetic Borg cell.
+type Dataset struct {
+	Collections []Collection
+}
+
+// shapeKind enumerates the synthetic usage-shape families observed in
+// cluster traces: flat services, ramping batch jobs, phase-cyclic
+// analytics, and spiky interactive work.
+type shapeKind int
+
+const (
+	shapeFlat shapeKind = iota
+	shapeRamp
+	shapeCyclic
+	shapeSpiky
+	numShapes
+)
+
+// Generate synthesises a cell with n collections across all priority tiers.
+func Generate(rng *rand.Rand, n int) *Dataset {
+	d := &Dataset{Collections: make([]Collection, 0, n)}
+	for i := 0; i < n; i++ {
+		c := Collection{
+			ID:         i + 1,
+			IsAllocSet: rng.Float64() < 0.08,
+			Priority:   samplePriority(rng),
+			SchedClass: rng.Intn(4),
+			Tasks:      1 + int(math.Exp(rng.NormFloat64()*1.2+1)),
+			RuntimeSec: math.Exp(rng.NormFloat64()*1.5 + math.Log(2*3600)),
+		}
+		if c.RuntimeSec < WindowSec {
+			c.RuntimeSec = WindowSec
+		}
+		c.Events = synthesiseEvents(rng, &c)
+		c.FinishedOK = c.FinishedNormally()
+		windows := int(math.Ceil(c.RuntimeSec / WindowSec))
+		if windows > 2000 {
+			windows = 2000
+		}
+		// Peak normalised memory: log-uniform between ~256 MB and
+		// ~512 GB of the 12 TB machine.
+		peak := math.Exp(rng.Float64()*math.Log(2048) + math.Log(256.0/float64(LargestMachineMB)))
+		c.WindowAvg, c.WindowMax = synthesiseWindows(rng, shapeKind(rng.Intn(int(numShapes))), windows, peak)
+		d.Collections = append(d.Collections, c)
+	}
+	return d
+}
+
+func samplePriority(rng *rand.Rand) Priority {
+	// Cell b of the 2019 trace has the largest batch share.
+	u := rng.Float64()
+	switch {
+	case u < 0.10:
+		return Free
+	case u < 0.60:
+		return BestEffortBatch
+	case u < 0.75:
+		return Mid
+	case u < 0.95:
+		return Production
+	default:
+		return Monitoring
+	}
+}
+
+// synthesiseWindows builds per-window (avg, max) pairs for one usage shape.
+// Max ≥ avg in every window, and the global max equals peak.
+func synthesiseWindows(rng *rand.Rand, kind shapeKind, n int, peak float64) (avg, max []float64) {
+	avg = make([]float64, n)
+	max = make([]float64, n)
+	base := peak * (0.25 + 0.35*rng.Float64())
+	peakAt := rng.Intn(n)
+	for i := 0; i < n; i++ {
+		var level float64
+		switch kind {
+		case shapeFlat:
+			level = base * (0.9 + 0.2*rng.Float64())
+		case shapeRamp:
+			level = base + (peak-base)*float64(i)/float64(maxInt(n-1, 1))
+		case shapeCyclic:
+			phase := 2 * math.Pi * float64(i) / 12 // ~1 h period
+			level = base + (peak-base)*0.5*(1+math.Sin(phase))
+		case shapeSpiky:
+			level = base
+			if rng.Float64() < 0.1 {
+				level = base + (peak-base)*rng.Float64()
+			}
+		}
+		if level > peak {
+			level = peak
+		}
+		jitter := 1 + 0.1*(rng.Float64()-0.5)
+		a := level * jitter * 0.9
+		m := level * jitter
+		if m > peak {
+			m = peak
+		}
+		if a > m {
+			a = m
+		}
+		avg[i], max[i] = a, m
+	}
+	// Guarantee the peak is reached in exactly one window.
+	max[peakAt] = peak
+	if avg[peakAt] > peak {
+		avg[peakAt] = peak
+	}
+	return avg, max
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FilterBatch applies the paper's selection: best-effort batch jobs (not
+// alloc sets), latency-insensitive scheduling class (≤ 1), finished
+// normally at least once.
+func (d *Dataset) FilterBatch() []*Collection {
+	var out []*Collection
+	for i := range d.Collections {
+		c := &d.Collections[i]
+		if c.IsAllocSet || c.Priority != BestEffortBatch || c.SchedClass > 1 || !c.FinishedNormally() {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// ErrNoWindows reports a collection without usage records.
+var ErrNoWindows = errors.New("google: collection has no usage windows")
+
+// UsageTrace converts a collection's windowed records into a simulator
+// usage trace: the maximum used memory defines the usage for the period
+// between two measurements (paper §3.2.2), denormalised against the 12 TB
+// machine.
+func (c *Collection) UsageTrace() (*memtrace.Trace, error) {
+	if len(c.WindowMax) == 0 {
+		return nil, ErrNoWindows
+	}
+	pts := make([]memtrace.Point, len(c.WindowMax))
+	for i, m := range c.WindowMax {
+		pts[i] = memtrace.Point{T: float64(i) * WindowSec, MB: Denormalize(m)}
+	}
+	return memtrace.New(pts)
+}
+
+// Denormalize converts a normalised memory value into MB.
+func Denormalize(norm float64) int64 {
+	if norm < 0 {
+		return 0
+	}
+	return int64(norm * float64(LargestMachineMB))
+}
+
+// PeakMB returns the collection's denormalised peak memory.
+func (c *Collection) PeakMB() int64 {
+	var p float64
+	for _, m := range c.WindowMax {
+		if m > p {
+			p = m
+		}
+	}
+	return Denormalize(p)
+}

@@ -1,0 +1,172 @@
+package google
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dismem/internal/memtrace"
+)
+
+func TestGeneratePopulation(t *testing.T) {
+	d := Generate(rand.New(rand.NewSource(1)), 2000)
+	if len(d.Collections) != 2000 {
+		t.Fatalf("collections = %d", len(d.Collections))
+	}
+	byPrio := map[Priority]int{}
+	allocSets := 0
+	for i := range d.Collections {
+		c := &d.Collections[i]
+		byPrio[c.Priority]++
+		if c.IsAllocSet {
+			allocSets++
+		}
+		if len(c.WindowAvg) != len(c.WindowMax) || len(c.WindowMax) == 0 {
+			t.Fatalf("collection %d: bad windows", c.ID)
+		}
+		for w := range c.WindowMax {
+			if c.WindowAvg[w] > c.WindowMax[w] {
+				t.Fatalf("collection %d window %d: avg %g > max %g",
+					c.ID, w, c.WindowAvg[w], c.WindowMax[w])
+			}
+			if c.WindowMax[w] < 0 || c.WindowMax[w] > 1 {
+				t.Fatalf("collection %d: normalised max %g outside [0,1]", c.ID, c.WindowMax[w])
+			}
+		}
+	}
+	// Cell b is batch-heavy: best-effort batch must dominate.
+	if byPrio[BestEffortBatch] < byPrio[Production] {
+		t.Fatalf("priorities = %v: batch must dominate in cell b", byPrio)
+	}
+	if allocSets == 0 {
+		t.Fatal("no alloc sets generated")
+	}
+}
+
+func TestFilterBatch(t *testing.T) {
+	d := Generate(rand.New(rand.NewSource(2)), 3000)
+	batch := d.FilterBatch()
+	if len(batch) == 0 {
+		t.Fatal("filter removed everything")
+	}
+	if len(batch) == len(d.Collections) {
+		t.Fatal("filter removed nothing")
+	}
+	for _, c := range batch {
+		if c.IsAllocSet || c.Priority != BestEffortBatch || c.SchedClass > 1 || !c.FinishedOK {
+			t.Fatalf("filtered set contains non-conforming collection %+v", c)
+		}
+	}
+}
+
+func TestDenormalize(t *testing.T) {
+	if got := Denormalize(1); got != LargestMachineMB {
+		t.Fatalf("Denormalize(1) = %d, want %d", got, LargestMachineMB)
+	}
+	if got := Denormalize(0.5); got != LargestMachineMB/2 {
+		t.Fatalf("Denormalize(0.5) = %d", got)
+	}
+	if got := Denormalize(-0.1); got != 0 {
+		t.Fatalf("Denormalize(-0.1) = %d, want 0", got)
+	}
+}
+
+func TestUsageTraceSemantics(t *testing.T) {
+	c := &Collection{
+		RuntimeSec: 900,
+		WindowMax:  []float64{0.001, 0.002, 0.0015},
+		WindowAvg:  []float64{0.0008, 0.0018, 0.001},
+	}
+	tr, err := c.UsageTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("trace points = %d, want 3", tr.Len())
+	}
+	// Usage between measurements equals the window max.
+	if got := tr.At(100); got != Denormalize(0.001) {
+		t.Fatalf("At(100) = %d, want window-0 max", got)
+	}
+	if got := tr.At(400); got != Denormalize(0.002) {
+		t.Fatalf("At(400) = %d, want window-1 max", got)
+	}
+	if c.PeakMB() != Denormalize(0.002) {
+		t.Fatalf("peak = %d", c.PeakMB())
+	}
+	empty := &Collection{}
+	if _, err := empty.UsageTrace(); err != ErrNoWindows {
+		t.Fatalf("err = %v, want ErrNoWindows", err)
+	}
+}
+
+func TestShapeLibrary(t *testing.T) {
+	d := Generate(rand.New(rand.NewSource(3)), 3000)
+	lib, err := NewShapeLibrary(d, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Len() == 0 {
+		t.Fatal("empty library")
+	}
+	rng := rand.New(rand.NewSource(4))
+	for _, tc := range []struct {
+		peak    int64
+		runtime float64
+	}{
+		{1024, 600}, {32 * 1024, 7200}, {120 * 1024, 86400}, {7, 60},
+	} {
+		tr := lib.TraceFor(rng, tc.peak, tc.runtime)
+		if tr.Peak() != tc.peak {
+			t.Fatalf("peak = %d, want %d", tr.Peak(), tc.peak)
+		}
+		if tr.Duration() > tc.runtime*1.0001 {
+			t.Fatalf("duration = %g beyond runtime %g", tr.Duration(), tc.runtime)
+		}
+	}
+}
+
+func TestShapeLibraryEmptyDataset(t *testing.T) {
+	if _, err := NewShapeLibrary(&Dataset{}, 0.05); err != ErrEmptyLibrary {
+		t.Fatalf("err = %v, want ErrEmptyLibrary", err)
+	}
+}
+
+func TestRescaleExactPeak(t *testing.T) {
+	tr := memtrace.MustNew([]memtrace.Point{{T: 0, MB: 100}, {T: 10, MB: 333}, {T: 20, MB: 200}})
+	out := rescale(tr, 1000)
+	if out.Peak() != 1000 {
+		t.Fatalf("peak = %d, want exactly 1000", out.Peak())
+	}
+	if out.At(0) >= out.Peak() {
+		t.Fatal("shape flattened by rescale")
+	}
+}
+
+// Property: library traces always hit the requested peak exactly and stay
+// positive, for arbitrary peaks and runtimes.
+func TestQuickLibraryPeakExact(t *testing.T) {
+	d := Generate(rand.New(rand.NewSource(5)), 1000)
+	lib, err := NewShapeLibrary(d, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	f := func(rawPeak uint32, rawRt uint32) bool {
+		peak := int64(rawPeak%(130*1024)) + 1
+		runtime := float64(rawRt%864000) + 60
+		tr := lib.TraceFor(rng, peak, runtime)
+		if tr.Peak() != peak {
+			return false
+		}
+		for _, p := range tr.Points() {
+			if p.MB < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"dismem/internal/job"
+)
+
+// Characterization summarises a job trace the way the paper's §3.3 does:
+// load, size/runtime distributions, memory classes and the gap between
+// average and peak memory use.
+type Characterization struct {
+	Jobs      int
+	SpanSec   float64 // last submission time
+	NodeHours float64
+
+	SerialFrac   float64 // share of 1-node jobs
+	Pow2Frac     float64 // share of power-of-two sizes
+	MaxNodes     int
+	MedianNodes  int
+	MedianRunSec float64
+
+	LargeMemFrac float64 // peak above the normal-node boundary
+	MeanPeakMB   float64
+	MeanAvgMB    float64 // mean of per-job average usage
+	AvgToPeak    float64 // MeanAvgMB / MeanPeakMB: the reclaimable gap
+
+	MeanOverestimation float64 // mean request/peak − 1
+
+	DiurnalIndex float64 // peak-hour vs trough-hour arrival ratio (≥1)
+}
+
+// Characterize computes the summary. normalMB separates normal- from
+// large-memory jobs (the paper's 64 GB boundary).
+func Characterize(jobs []*job.Job, normalMB int64) (*Characterization, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	c := &Characterization{Jobs: len(jobs)}
+	var nodes []int
+	var runtimes []float64
+	var peakSum, avgSum, ovSum float64
+	hourly := make([]float64, 24)
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return nil, err
+		}
+		if j.SubmitTime > c.SpanSec {
+			c.SpanSec = j.SubmitTime
+		}
+		c.NodeHours += j.NodeHours()
+		nodes = append(nodes, j.Nodes)
+		runtimes = append(runtimes, j.BaseRuntime)
+		if j.Nodes == 1 {
+			c.SerialFrac++
+		}
+		if j.Nodes&(j.Nodes-1) == 0 {
+			c.Pow2Frac++
+		}
+		if j.Nodes > c.MaxNodes {
+			c.MaxNodes = j.Nodes
+		}
+		peak := float64(j.PeakUsageMB())
+		peakSum += peak
+		mean, err := j.Usage.MeanOver(j.BaseRuntime)
+		if err != nil {
+			return nil, err
+		}
+		avgSum += mean
+		if j.PeakUsageMB() > normalMB {
+			c.LargeMemFrac++
+		}
+		if peak > 0 {
+			ovSum += float64(j.RequestMB)/peak - 1
+		}
+		hourly[int(math.Mod(j.SubmitTime/3600, 24))]++
+	}
+	n := float64(len(jobs))
+	c.SerialFrac /= n
+	c.Pow2Frac /= n
+	c.LargeMemFrac /= n
+	c.MeanPeakMB = peakSum / n
+	c.MeanAvgMB = avgSum / n
+	if c.MeanPeakMB > 0 {
+		c.AvgToPeak = c.MeanAvgMB / c.MeanPeakMB
+	}
+	c.MeanOverestimation = ovSum / n
+
+	sort.Ints(nodes)
+	sort.Float64s(runtimes)
+	c.MedianNodes = nodes[len(nodes)/2]
+	c.MedianRunSec = runtimes[len(runtimes)/2]
+
+	peakHour, troughHour := hourly[0], hourly[0]
+	for _, h := range hourly {
+		if h > peakHour {
+			peakHour = h
+		}
+		if h < troughHour {
+			troughHour = h
+		}
+	}
+	if troughHour > 0 {
+		c.DiurnalIndex = peakHour / troughHour
+	} else {
+		c.DiurnalIndex = math.Inf(1)
+	}
+	return c, nil
+}
+
+// Load returns the trace's offered CPU load against a system of the given
+// size over its span.
+func (c *Characterization) Load(systemNodes int) float64 {
+	if c.SpanSec <= 0 || systemNodes <= 0 {
+		return 0
+	}
+	return c.NodeHours * 3600 / (float64(systemNodes) * c.SpanSec)
+}
+
+func (c *Characterization) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "jobs:              %d over %.1f days (%.0f node-hours)\n", c.Jobs, c.SpanSec/86400, c.NodeHours)
+	fmt.Fprintf(&b, "sizes:             median %d, max %d, %.0f%% serial, %.0f%% power-of-two\n",
+		c.MedianNodes, c.MaxNodes, c.SerialFrac*100, c.Pow2Frac*100)
+	fmt.Fprintf(&b, "median runtime:    %.0f s\n", c.MedianRunSec)
+	fmt.Fprintf(&b, "large-memory jobs: %.1f%%\n", c.LargeMemFrac*100)
+	fmt.Fprintf(&b, "memory use:        mean peak %.0f MB, mean avg %.0f MB (avg/peak %.2f)\n",
+		c.MeanPeakMB, c.MeanAvgMB, c.AvgToPeak)
+	fmt.Fprintf(&b, "overestimation:    +%.0f%% mean request over peak\n", c.MeanOverestimation*100)
+	fmt.Fprintf(&b, "diurnal index:     %.2f (peak-hour / trough-hour arrivals)\n", c.DiurnalIndex)
+	return b.String()
+}

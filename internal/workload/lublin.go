@@ -1,0 +1,219 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Lublin–Feitelson workload model (JPDC 2003), the second classic
+// synthetic-workload generator alongside CIRNE. Jobs have:
+//
+//   - sizes drawn from a two-stage log-uniform distribution with a serial
+//     fraction and a strong power-of-two bias,
+//   - runtimes from a hyper-gamma distribution whose mixing weight depends
+//     on the job size (bigger jobs run longer on average), and
+//   - arrivals from a gamma inter-arrival process modulated by the daily
+//     cycle.
+//
+// Parameter values follow the published batch-partition fits, lightly
+// rounded; Scale-sensitive fields (MaxNodes, target load) work like the
+// CIRNE generator's.
+
+// LublinParams parameterises the generator.
+type LublinParams struct {
+	MaxNodes    int
+	Days        float64
+	Load        float64
+	SystemNodes int
+
+	SerialFrac float64 // P(1-node job); batch fit ≈ 0.244
+	Pow2Frac   float64 // P(size snaps to a power of two) ≈ 0.625
+	// Two-stage uniform over log2(size): low range [ULow, UMed] with
+	// probability UProb, high range [UMed, UHi] otherwise.
+	ULow, UMed, UHi float64
+	UProb           float64
+
+	// Hyper-gamma runtime: Gamma(A1,B1) with weight P, Gamma(A2,B2)
+	// with 1−P; P decreases linearly with log2(size).
+	A1, B1, A2, B2 float64
+	PBase, PSlope  float64
+
+	// Gamma inter-arrival shape (rate is derived from the target load).
+	ArrivalShape float64
+	DayAmplitude float64
+
+	MinRuntime, MaxRuntime float64
+	LimitAccuracyMin       float64
+}
+
+// NewLublinParams returns the batch-partition defaults for a system of the
+// given size and target load.
+func NewLublinParams(systemNodes int, load, days float64) LublinParams {
+	maxNodes := 128
+	return LublinParams{
+		MaxNodes:         maxNodes,
+		Days:             days,
+		Load:             load,
+		SystemNodes:      systemNodes,
+		SerialFrac:       0.244,
+		Pow2Frac:         0.625,
+		ULow:             0.8,
+		UMed:             4.5,
+		UHi:              math.Log2(float64(maxNodes)),
+		UProb:            0.70,
+		A1:               4.2,
+		B1:               900,  // short mode: mean ≈ 1 h
+		A2:               12.0, // long mode: mean ≈ 12 h
+		B2:               3600,
+		PBase:            0.85,
+		PSlope:           0.05,
+		ArrivalShape:     2.0,
+		DayAmplitude:     0.6,
+		MinRuntime:       60,
+		MaxRuntime:       5 * 86400,
+		LimitAccuracyMin: 0.2,
+	}
+}
+
+func (p *LublinParams) validate() error {
+	switch {
+	case p.MaxNodes < 1, p.SystemNodes < 1:
+		return ErrParams
+	case p.Days <= 0, p.Load <= 0 || p.Load > 1:
+		return ErrParams
+	case p.SerialFrac < 0 || p.SerialFrac > 1, p.Pow2Frac < 0 || p.Pow2Frac > 1:
+		return ErrParams
+	case p.ULow < 0 || p.UMed < p.ULow || p.UHi < p.UMed:
+		return ErrParams
+	case p.UProb < 0 || p.UProb > 1:
+		return ErrParams
+	case p.A1 <= 0 || p.B1 <= 0 || p.A2 <= 0 || p.B2 <= 0:
+		return ErrParams
+	case p.ArrivalShape <= 0:
+		return ErrParams
+	case p.MinRuntime <= 0 || p.MaxRuntime < p.MinRuntime:
+		return ErrParams
+	case p.LimitAccuracyMin <= 0 || p.LimitAccuracyMin > 1:
+		return ErrParams
+	case p.DayAmplitude < 0 || p.DayAmplitude >= 1:
+		return ErrParams
+	}
+	return nil
+}
+
+// GenerateLublin produces a job trace meeting the target load, sorted by
+// submission time.
+func GenerateLublin(p LublinParams, rng *rand.Rand) ([]Spec, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	span := p.Days * 86400
+	targetNodeSec := p.Load * float64(p.SystemNodes) * span
+
+	var specs []Spec
+	var accum float64
+	for accum < targetNodeSec {
+		nodes := p.sampleSize(rng)
+		runtime := p.sampleRuntime(rng, nodes)
+		limit := runtime / (p.LimitAccuracyMin + rng.Float64()*(1-p.LimitAccuracyMin))
+		specs = append(specs, Spec{Nodes: nodes, Runtime: runtime, Limit: limit})
+		accum += float64(nodes) * runtime
+	}
+
+	// Gamma inter-arrivals scaled to spread the jobs over the span,
+	// then thinned through the diurnal cycle. The final times are
+	// re-scaled to the span so the load target holds regardless of the
+	// random walk's endpoint.
+	times := make([]float64, len(specs))
+	t := 0.0
+	meanGap := span / float64(len(specs)+1)
+	for i := range times {
+		gap := rgamma(rng, p.ArrivalShape) * meanGap / p.ArrivalShape
+		hour := math.Mod(t/3600, 24)
+		w := 1 + p.DayAmplitude*math.Cos(2*math.Pi*(hour-14)/24)
+		t += gap / w // busy hours compress the gaps
+		times[i] = t
+	}
+	if t > 0 {
+		f := span * 0.999 / t
+		for i := range times {
+			times[i] *= f
+		}
+	}
+	for i := range specs {
+		specs[i].Submit = times[i]
+	}
+	return specs, nil
+}
+
+func (p *LublinParams) sampleSize(rng *rand.Rand) int {
+	if rng.Float64() < p.SerialFrac {
+		return 1
+	}
+	var x float64
+	if rng.Float64() < p.UProb {
+		x = p.ULow + rng.Float64()*(p.UMed-p.ULow)
+	} else {
+		x = p.UMed + rng.Float64()*(p.UHi-p.UMed)
+	}
+	var n int
+	if rng.Float64() < p.Pow2Frac {
+		n = 1 << int(x+0.5)
+	} else {
+		n = int(math.Exp2(x) + 0.5)
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > p.MaxNodes {
+		n = p.MaxNodes
+	}
+	return n
+}
+
+func (p *LublinParams) sampleRuntime(rng *rand.Rand, nodes int) float64 {
+	// Mixing probability of the short mode decreases with size.
+	mix := p.PBase - p.PSlope*math.Log2(float64(nodes)+1)
+	if mix < 0.1 {
+		mix = 0.1
+	}
+	var r float64
+	if rng.Float64() < mix {
+		r = rgamma(rng, p.A1) * p.B1 / p.A1
+	} else {
+		r = rgamma(rng, p.A2) * p.B2 / p.A2 * 12 // long mode mean ≈ 12·B2/…
+	}
+	if r < p.MinRuntime {
+		r = p.MinRuntime
+	}
+	if r > p.MaxRuntime {
+		r = p.MaxRuntime
+	}
+	return r
+}
+
+// rgamma draws from Gamma(shape, 1) using Marsaglia–Tsang, with the
+// standard boost for shape < 1.
+func rgamma(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		// Gamma(a) = Gamma(a+1) · U^{1/a}
+		return rgamma(rng, shape+1) * math.Pow(rng.Float64(), 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLublinParamsValidate(t *testing.T) {
+	good := NewLublinParams(512, 0.8, 2)
+	if err := good.validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*LublinParams){
+		func(p *LublinParams) { p.Load = 0 },
+		func(p *LublinParams) { p.MaxNodes = 0 },
+		func(p *LublinParams) { p.UMed = p.ULow - 1 },
+		func(p *LublinParams) { p.A1 = 0 },
+		func(p *LublinParams) { p.ArrivalShape = 0 },
+		func(p *LublinParams) { p.LimitAccuracyMin = 0 },
+		func(p *LublinParams) { p.UProb = 2 },
+	}
+	for i, mutate := range mutations {
+		bad := good
+		mutate(&bad)
+		if err := bad.validate(); !errors.Is(err, ErrParams) {
+			t.Errorf("mutation %d: err = %v, want ErrParams", i, err)
+		}
+	}
+}
+
+func TestGenerateLublinMeetsLoad(t *testing.T) {
+	p := NewLublinParams(256, 0.75, 2)
+	specs, err := GenerateLublin(p, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) == 0 {
+		t.Fatal("no jobs")
+	}
+	var nodeSec float64
+	for _, s := range specs {
+		nodeSec += float64(s.Nodes) * s.Runtime
+	}
+	target := p.Load * float64(p.SystemNodes) * p.Days * 86400
+	if nodeSec < target {
+		t.Fatalf("node-seconds %g below target %g", nodeSec, target)
+	}
+}
+
+func TestGenerateLublinInvariants(t *testing.T) {
+	p := NewLublinParams(128, 0.7, 1)
+	specs, err := GenerateLublin(p, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := p.Days * 86400
+	for i, s := range specs {
+		if s.Nodes < 1 || s.Nodes > p.MaxNodes {
+			t.Fatalf("spec %d: nodes %d", i, s.Nodes)
+		}
+		if s.Runtime < p.MinRuntime || s.Runtime > p.MaxRuntime {
+			t.Fatalf("spec %d: runtime %g", i, s.Runtime)
+		}
+		if s.Limit < s.Runtime {
+			t.Fatalf("spec %d: limit below runtime", i)
+		}
+		if s.Submit < 0 || s.Submit > span {
+			t.Fatalf("spec %d: submit %g outside span", i, s.Submit)
+		}
+		if i > 0 && specs[i-1].Submit > s.Submit {
+			t.Fatal("arrivals not sorted")
+		}
+	}
+}
+
+func TestLublinSizeDistributionShape(t *testing.T) {
+	p := NewLublinParams(128, 0.7, 1)
+	rng := rand.New(rand.NewSource(3))
+	n := 20000
+	serial, pow2 := 0, 0
+	for i := 0; i < n; i++ {
+		s := p.sampleSize(rng)
+		if s == 1 {
+			serial++
+		}
+		if s&(s-1) == 0 {
+			pow2++
+		}
+	}
+	if frac := float64(serial) / float64(n); frac < 0.18 || frac > 0.42 {
+		t.Fatalf("serial fraction = %g, want near 0.244 (plus snapping)", frac)
+	}
+	// Power-of-two sizes dominate (snapping plus serial jobs).
+	if frac := float64(pow2) / float64(n); frac < 0.6 {
+		t.Fatalf("power-of-two fraction = %g, want > 0.6", frac)
+	}
+}
+
+func TestLublinRuntimeSizeCorrelation(t *testing.T) {
+	// Bigger jobs draw the long runtime mode more often, so their mean
+	// runtime must be higher.
+	p := NewLublinParams(128, 0.7, 1)
+	rng := rand.New(rand.NewSource(4))
+	meanFor := func(nodes int) float64 {
+		var sum float64
+		for i := 0; i < 5000; i++ {
+			sum += p.sampleRuntime(rng, nodes)
+		}
+		return sum / 5000
+	}
+	small := meanFor(1)
+	big := meanFor(128)
+	if big <= small {
+		t.Fatalf("mean runtime: 128-node %g not above 1-node %g", big, small)
+	}
+}
+
+func TestRgammaMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, shape := range []float64{0.5, 1, 2.5, 9} {
+		n := 60000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			v := rgamma(rng, shape)
+			if v <= 0 {
+				t.Fatalf("rgamma(%g) produced %g", shape, v)
+			}
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / float64(n)
+		variance := sumSq/float64(n) - mean*mean
+		// Gamma(k,1): mean k, variance k.
+		if math.Abs(mean-shape) > 0.06*shape+0.03 {
+			t.Fatalf("rgamma(%g): mean %g", shape, mean)
+		}
+		if math.Abs(variance-shape) > 0.12*shape+0.06 {
+			t.Fatalf("rgamma(%g): variance %g", shape, variance)
+		}
+	}
+}
+
+func TestLublinBuildsJobs(t *testing.T) {
+	p := NewLublinParams(32, 0.6, 0.5)
+	specs, err := GenerateLublin(p, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := BuildJobs(specs, BuildParams{
+		LargeFrac: 0.25, Overestimation: 0.5,
+		Source: PhasedUsage{}, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Property: generation is deterministic for a fixed seed and load-monotone
+// (higher load never yields fewer jobs).
+func TestQuickLublinDeterministicAndMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		pLow := NewLublinParams(64, 0.4, 0.5)
+		pHigh := NewLublinParams(64, 0.8, 0.5)
+		a1, err := GenerateLublin(pLow, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		a2, err := GenerateLublin(pLow, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		if len(a1) != len(a2) {
+			return false
+		}
+		for i := range a1 {
+			if a1[i] != a2[i] {
+				return false
+			}
+		}
+		b, err := GenerateLublin(pHigh, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		var la, lb float64
+		for _, s := range a1 {
+			la += float64(s.Nodes) * s.Runtime
+		}
+		for _, s := range b {
+			lb += float64(s.Nodes) * s.Runtime
+		}
+		return lb >= la
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// QuantileSampler draws samples from a distribution defined by its
+// five-number summary (Table 3 of the paper), log-linearly interpolating
+// the quantile function between the known points. Memory footprints span
+// orders of magnitude, so interpolation happens in log space.
+type QuantileSampler struct {
+	qs   [5]float64 // quantile levels 0, .25, .5, .75, 1
+	vals [5]float64
+}
+
+// ErrBadSummary reports an unusable five-number summary.
+var ErrBadSummary = errors.New("workload: summary values not non-decreasing and positive")
+
+// NewQuantileSampler builds a sampler from min, Q1, median, Q3, max.
+// Values must be non-decreasing; zero minimums are nudged to 1 so the
+// log-space interpolation is defined.
+func NewQuantileSampler(min, q1, med, q3, max float64) (*QuantileSampler, error) {
+	v := [5]float64{min, q1, med, q3, max}
+	for i := range v {
+		if v[i] < 0 {
+			return nil, ErrBadSummary
+		}
+		if v[i] == 0 {
+			v[i] = 1
+		}
+		if i > 0 && v[i] < v[i-1] {
+			return nil, ErrBadSummary
+		}
+	}
+	return &QuantileSampler{qs: [5]float64{0, 0.25, 0.5, 0.75, 1}, vals: v}, nil
+}
+
+// Quantile evaluates the interpolated quantile function at q in [0,1].
+func (s *QuantileSampler) Quantile(q float64) float64 {
+	if q <= 0 {
+		return s.vals[0]
+	}
+	if q >= 1 {
+		return s.vals[4]
+	}
+	i := sort.SearchFloat64s(s.qs[:], q)
+	// q is strictly between qs[i-1] and qs[i] (or equals qs[i]).
+	if s.qs[i] == q {
+		return s.vals[i]
+	}
+	f := (q - s.qs[i-1]) / (s.qs[i] - s.qs[i-1])
+	lo, hi := math.Log(s.vals[i-1]), math.Log(s.vals[i])
+	return math.Exp(lo + f*(hi-lo))
+}
+
+// Sample draws one value.
+func (s *QuantileSampler) Sample(rng *rand.Rand) float64 {
+	return s.Quantile(rng.Float64())
+}
+
+// Per-node peak memory (MB) distributions from the paper's Table 3.
+// NormalMemorySampler covers jobs that fit a normal (64 GB) node;
+// LargeMemorySampler covers jobs that need a large (128 GB) node.
+func NormalMemorySampler() *QuantileSampler {
+	s, err := NewQuantileSampler(1, 4037, 8089, 15341, 65532)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// LargeMemorySampler covers the paper's large-memory job distribution.
+func LargeMemorySampler() *QuantileSampler {
+	s, err := NewQuantileSampler(65538, 76176, 86961, 99956, 130046)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Bucket is one row of the paper's Table 2 histogram: per-node peak memory
+// in GB, [Lo, Hi) — together with the share of jobs falling in it.
+type Bucket struct {
+	LoGB, HiGB float64
+	Share      float64
+}
+
+// MemoryDist is a bucketed memory distribution (Table 2 style).
+type MemoryDist []Bucket
+
+// Table 2 of the paper, "Synthetic" columns (adapted from the ARCHER
+// survey): share of jobs per max-memory bucket, for all jobs and broken
+// down by job size (Normal ≤ 32 nodes, Large > 32 nodes).
+var (
+	ArcherAll = MemoryDist{
+		{0, 12, 0.610}, {12, 24, 0.186}, {24, 48, 0.115}, {48, 96, 0.069}, {96, 128, 0.020},
+	}
+	ArcherNormalSize = MemoryDist{
+		{0, 12, 0.695}, {12, 24, 0.194}, {24, 48, 0.077}, {48, 96, 0.030}, {96, 128, 0.004},
+	}
+	ArcherLargeSize = MemoryDist{
+		{0, 12, 0.530}, {12, 24, 0.169}, {24, 48, 0.148}, {48, 96, 0.112}, {96, 128, 0.042},
+	}
+	// GrizzlyAll is Table 2's Grizzly column, used to calibrate the
+	// synthetic Grizzly dataset.
+	GrizzlyAll = MemoryDist{
+		{0, 12, 0.733}, {12, 24, 0.124}, {24, 48, 0.082}, {48, 96, 0.057}, {96, 128, 0.005},
+	}
+	GrizzlyNormalSize = MemoryDist{
+		{0, 12, 0.635}, {12, 24, 0.202}, {24, 48, 0.085}, {48, 96, 0.070}, {96, 128, 0.008},
+	}
+	GrizzlyLargeSize = MemoryDist{
+		{0, 12, 0.778}, {12, 24, 0.089}, {24, 48, 0.080}, {48, 96, 0.050}, {96, 128, 0.003},
+	}
+)
+
+// Validate checks the distribution sums to ~1 with ordered buckets.
+func (d MemoryDist) Validate() error {
+	var sum float64
+	for i, b := range d {
+		if b.LoGB < 0 || b.HiGB <= b.LoGB || b.Share < 0 {
+			return errors.New("workload: malformed bucket")
+		}
+		if i > 0 && b.LoGB < d[i-1].HiGB {
+			return errors.New("workload: overlapping buckets")
+		}
+		sum += b.Share
+	}
+	if math.Abs(sum-1) > 0.02 {
+		return errors.New("workload: bucket shares do not sum to 1")
+	}
+	return nil
+}
+
+// SampleMB draws a per-node peak memory value in MB: a bucket by share,
+// then log-uniform within the bucket (memory use is heavy-tailed toward
+// the low end of each bucket).
+func (d MemoryDist) SampleMB(rng *rand.Rand) int64 {
+	u := rng.Float64()
+	var acc float64
+	b := d[len(d)-1]
+	for _, bk := range d {
+		acc += bk.Share
+		if u <= acc {
+			b = bk
+			break
+		}
+	}
+	lo := b.LoGB * 1024
+	if lo < 1 {
+		lo = 1
+	}
+	hi := b.HiGB * 1024
+	v := math.Exp(math.Log(lo) + rng.Float64()*(math.Log(hi)-math.Log(lo)))
+	mb := int64(v)
+	if mb < 1 {
+		mb = 1
+	}
+	return mb
+}
+
+// Histogram classifies per-node peak values (MB) into d's buckets and
+// returns the observed share per bucket; values outside all buckets are
+// clamped into the nearest one.
+func (d MemoryDist) Histogram(valuesMB []int64) []float64 {
+	shares := make([]float64, len(d))
+	if len(valuesMB) == 0 {
+		return shares
+	}
+	for _, v := range valuesMB {
+		gb := float64(v) / 1024
+		idx := len(d) - 1
+		for i, b := range d {
+			if gb < b.HiGB {
+				idx = i
+				break
+			}
+		}
+		shares[idx]++
+	}
+	for i := range shares {
+		shares[i] /= float64(len(valuesMB))
+	}
+	return shares
+}
+
+// Overestimate converts a true peak into the user's request given an
+// overestimation factor: +0.60 means "demand is 60 % above the peak".
+func Overestimate(peakMB int64, factor float64) int64 {
+	if factor < 0 {
+		factor = 0
+	}
+	return int64(float64(peakMB) * (1 + factor))
+}
