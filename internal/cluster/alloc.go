@@ -90,7 +90,10 @@ func (ja *JobAllocation) Release(c *Cluster) error {
 			return fmt.Errorf("release job %d: %w", ja.Job, err)
 		}
 		na.LocalMB = 0
-		na.Leases = nil
+		// Truncate rather than nil out: a re-placed allocation reuses the
+		// lease capacity instead of re-growing it from scratch, so repeated
+		// adjust/restart cycles stop churning slice allocations.
+		na.Leases = na.Leases[:0]
 	}
 	return nil
 }

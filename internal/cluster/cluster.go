@@ -60,8 +60,63 @@ var (
 )
 
 // Cluster owns the node ledgers and enforces the accounting invariants.
+//
+// Alongside the flat ledger it maintains incremental indexes (see index.go):
+// an ordered free-memory treap, a compute-available bitset, a static
+// capacity ordering, and O(1) running aggregates. Every mutating method
+// keeps them in sync, so the placement and dynamic-adjustment hot paths read
+// them instead of rescanning the node slice.
 type Cluster struct {
 	nodes []Node
+
+	free     freeIndex
+	idle     idleSet
+	capOrder []NodeID // node IDs sorted by (CapacityMB asc, ID asc); immutable
+
+	capTotal  int64
+	freeTotal int64
+	busy      int
+
+	lendersBuf []NodeID // scratch returned by LendersByFreeDesc
+	idleBuf    []NodeID // scratch returned by IdleComputeNodes
+}
+
+// initIndexes builds the incremental indexes from the freshly constructed
+// node slice. Nodes start idle and empty, so free == capacity everywhere.
+func (c *Cluster) initIndexes() {
+	frees := make([]int64, len(c.nodes))
+	c.capOrder = make([]NodeID, len(c.nodes))
+	for i := range c.nodes {
+		frees[i] = c.nodes[i].FreeMB()
+		c.capTotal += c.nodes[i].CapacityMB
+		c.freeTotal += frees[i]
+		c.capOrder[i] = NodeID(i)
+	}
+	c.free.init(frees)
+	c.idle.init(len(c.nodes))
+	for i := range c.nodes {
+		c.idle.setTo(i, c.nodes[i].IsComputeAvailable())
+	}
+	sort.Slice(c.capOrder, func(a, b int) bool {
+		ca, cb := c.nodes[c.capOrder[a]].CapacityMB, c.nodes[c.capOrder[b]].CapacityMB
+		if ca != cb {
+			return ca < cb
+		}
+		return c.capOrder[a] < c.capOrder[b]
+	})
+}
+
+// reindexMem refiles node n in the free-memory index and folds the delta
+// into the free-total aggregate. delta is the change in allocated memory
+// (positive = memory taken).
+func (c *Cluster) reindexMem(n *Node, delta int64) {
+	c.freeTotal -= delta
+	c.free.update(n.ID, n.FreeMB())
+}
+
+// reindexIdle refreshes node n's compute-availability bit.
+func (c *Cluster) reindexIdle(n *Node) {
+	c.idle.setTo(int(n.ID), n.IsComputeAvailable())
 }
 
 // Config describes a cluster to build: Normal-capacity and Large-capacity
@@ -79,6 +134,7 @@ func New(n, cores int, capacityMB int64) *Cluster {
 	for i := range c.nodes {
 		c.nodes[i] = Node{ID: NodeID(i), Cores: cores, CapacityMB: capacityMB, RunningJob: NoJob}
 	}
+	c.initIndexes()
 	return c
 }
 
@@ -95,6 +151,7 @@ func NewMixed(cfg Config) *Cluster {
 		}
 		c.nodes[i] = Node{ID: NodeID(i), Cores: cfg.Cores, CapacityMB: cap, RunningJob: NoJob}
 	}
+	c.initIndexes()
 	return c
 }
 
@@ -108,37 +165,33 @@ func (c *Cluster) Node(id NodeID) *Node { return &c.nodes[id] }
 // Nodes returns the node slice for iteration (read-only).
 func (c *Cluster) Nodes() []Node { return c.nodes }
 
-// TotalCapacityMB returns the sum of node capacities.
-func (c *Cluster) TotalCapacityMB() int64 {
-	var t int64
-	for i := range c.nodes {
-		t += c.nodes[i].CapacityMB
-	}
-	return t
-}
+// TotalCapacityMB returns the sum of node capacities (O(1), cached at
+// construction — capacities never change).
+func (c *Cluster) TotalCapacityMB() int64 { return c.capTotal }
 
-// TotalFreeMB returns the total unallocated memory across all nodes.
-func (c *Cluster) TotalFreeMB() int64 {
-	var t int64
-	for i := range c.nodes {
-		t += c.nodes[i].FreeMB()
-	}
-	return t
-}
+// TotalFreeMB returns the total unallocated memory across all nodes (O(1),
+// maintained incrementally by the ledger operations).
+func (c *Cluster) TotalFreeMB() int64 { return c.freeTotal }
 
 // TotalAllocatedMB returns the total memory currently allocated (local on
-// compute nodes plus lent to remote jobs).
-func (c *Cluster) TotalAllocatedMB() int64 {
-	var t int64
-	for i := range c.nodes {
-		t += c.nodes[i].LocalMB + c.nodes[i].LentMB
-	}
-	return t
+// compute nodes plus lent to remote jobs). O(1): per node,
+// local + lent == capacity − free, so the total is the capacity total minus
+// the free total.
+func (c *Cluster) TotalAllocatedMB() int64 { return c.capTotal - c.freeTotal }
+
+// IdleComputeNodes returns the IDs of nodes able to start a new job, in
+// ascending ID order. The returned slice is a scratch buffer owned by the
+// cluster: it is valid until the next IdleComputeNodes call and must not be
+// retained or mutated.
+func (c *Cluster) IdleComputeNodes() []NodeID {
+	c.idleBuf = c.idle.appendIDs(c.idleBuf[:0])
+	return c.idleBuf
 }
 
-// IdleComputeNodes returns the IDs of nodes able to start a new job,
-// in ascending ID order.
-func (c *Cluster) IdleComputeNodes() []NodeID {
+// idleComputeNodesRef is the retained pre-index reference implementation:
+// a full rescan of the node slice. The differential tests assert the bitset
+// stays byte-identical to it after every ledger operation.
+func (c *Cluster) idleComputeNodesRef() []NodeID {
 	var ids []NodeID
 	for i := range c.nodes {
 		if c.nodes[i].IsComputeAvailable() {
@@ -148,16 +201,16 @@ func (c *Cluster) IdleComputeNodes() []NodeID {
 	return ids
 }
 
-// BusyNodes returns the number of nodes currently running a job.
-func (c *Cluster) BusyNodes() int {
-	n := 0
-	for i := range c.nodes {
-		if c.nodes[i].RunningJob != NoJob {
-			n++
-		}
-	}
-	return n
-}
+// IdleComputeCount returns the number of compute-available nodes in O(1).
+func (c *Cluster) IdleComputeCount() int { return c.idle.count }
+
+// BusyNodes returns the number of nodes currently running a job (O(1)).
+func (c *Cluster) BusyNodes() int { return c.busy }
+
+// CapacityOrder returns all node IDs sorted by (capacity asc, ID asc). The
+// slice is immutable and shared; callers must not modify it. The baseline
+// policy walks it to prefer the smallest adequate node without re-sorting.
+func (c *Cluster) CapacityOrder() []NodeID { return c.capOrder }
 
 // StartJob marks node id as running job. It fails if the node is busy.
 func (c *Cluster) StartJob(id NodeID, job int) error {
@@ -166,6 +219,8 @@ func (c *Cluster) StartJob(id NodeID, job int) error {
 		return fmt.Errorf("%w: node %d runs job %d", ErrNodeBusy, id, n.RunningJob)
 	}
 	n.RunningJob = job
+	c.busy++
+	c.reindexIdle(n)
 	return nil
 }
 
@@ -176,6 +231,8 @@ func (c *Cluster) EndJob(id NodeID) error {
 		return fmt.Errorf("%w: node %d", ErrNodeIdle, id)
 	}
 	n.RunningJob = NoJob
+	c.busy--
+	c.reindexIdle(n)
 	return nil
 }
 
@@ -189,6 +246,7 @@ func (c *Cluster) AllocLocal(id NodeID, mb int64) error {
 		return fmt.Errorf("%w: node %d free %d MB, need %d MB", ErrInsufficientMemory, id, n.FreeMB(), mb)
 	}
 	n.LocalMB += mb
+	c.reindexMem(n, mb)
 	return nil
 }
 
@@ -202,6 +260,7 @@ func (c *Cluster) ReleaseLocal(id NodeID, mb int64) error {
 		return fmt.Errorf("%w: node %d local %d MB, release %d MB", ErrOverRelease, id, n.LocalMB, mb)
 	}
 	n.LocalMB -= mb
+	c.reindexMem(n, -mb)
 	return nil
 }
 
@@ -217,6 +276,8 @@ func (c *Cluster) Lend(id NodeID, mb int64) error {
 		return fmt.Errorf("%w: node %d free %d MB, lend %d MB", ErrInsufficientMemory, id, n.FreeMB(), mb)
 	}
 	n.LentMB += mb
+	c.reindexMem(n, mb)
+	c.reindexIdle(n) // lending past half capacity flips compute availability
 	return nil
 }
 
@@ -230,6 +291,8 @@ func (c *Cluster) ReturnLend(id NodeID, mb int64) error {
 		return fmt.Errorf("%w: node %d lent %d MB, return %d MB", ErrOverRelease, id, n.LentMB, mb)
 	}
 	n.LentMB -= mb
+	c.reindexMem(n, -mb)
+	c.reindexIdle(n)
 	return nil
 }
 
@@ -237,7 +300,30 @@ func (c *Cluster) ReturnLend(id NodeID, mb int64) error {
 // free memory descending (ties by ascending ID), excluding the nodes in
 // exclude. The static policy borrows from the most-free nodes first to
 // minimise the number of lenders per job.
+//
+// The slice is read from the incremental free-memory index — no rescan, no
+// sort, no allocation beyond the first call. It is a scratch buffer owned by
+// the cluster: valid until the next LendersByFreeDesc call, and it must not
+// be retained, mutated, or read across ledger mutations.
 func (c *Cluster) LendersByFreeDesc(exclude map[NodeID]bool) []NodeID {
+	ids := c.lendersBuf[:0]
+	c.free.ascend(func(id NodeID, free int64) bool {
+		if free <= 0 {
+			return false // descending order: everything after is empty too
+		}
+		if !exclude[id] {
+			ids = append(ids, id)
+		}
+		return true
+	})
+	c.lendersBuf = ids
+	return ids
+}
+
+// lendersByFreeDescRef is the retained pre-index reference implementation
+// (rescan + sort per call). The differential tests assert the index walk
+// returns byte-identical orderings to it for arbitrary op sequences.
+func (c *Cluster) lendersByFreeDescRef(exclude map[NodeID]bool) []NodeID {
 	var ids []NodeID
 	for i := range c.nodes {
 		id := NodeID(i)
@@ -258,9 +344,35 @@ func (c *Cluster) LendersByFreeDesc(exclude map[NodeID]bool) []NodeID {
 	return ids
 }
 
-// CheckInvariants verifies the ledger is consistent; it returns the first
-// violation found, or nil. Tests and the simulator's debug mode call this.
+// AscendLenders walks the nodes with free memory in (free desc, ID asc)
+// order without materialising a slice, stopping when yield returns false.
+// Consumers that only need lenders until a deficit is covered use this to
+// touch O(answer) nodes instead of ranking the whole cluster. The ledger
+// must not be mutated during the walk.
+func (c *Cluster) AscendLenders(yield func(id NodeID, free int64) bool) {
+	c.free.ascend(func(id NodeID, free int64) bool {
+		if free <= 0 {
+			return false
+		}
+		return yield(id, free)
+	})
+}
+
+// AscendFree walks all nodes — including those with no free memory — in
+// (free desc, ID asc) order, stopping when yield returns false. The
+// disaggregated placement uses it to pick compute nodes in the same order
+// the retired candidate sort produced. The ledger must not be mutated
+// during the walk.
+func (c *Cluster) AscendFree(yield func(id NodeID, free int64) bool) {
+	c.free.ascend(yield)
+}
+
+// CheckInvariants verifies the ledger is consistent and the incremental
+// indexes agree with it; it returns the first violation found, or nil.
+// Tests and the simulator's debug mode call this.
 func (c *Cluster) CheckInvariants() error {
+	var freeSum int64
+	busy := 0
 	for i := range c.nodes {
 		n := &c.nodes[i]
 		if n.LocalMB < 0 || n.LentMB < 0 {
@@ -273,6 +385,34 @@ func (c *Cluster) CheckInvariants() error {
 		if n.RunningJob == NoJob && n.LocalMB != 0 {
 			return fmt.Errorf("node %d: idle but has %d MB local allocation", i, n.LocalMB)
 		}
+		freeSum += n.FreeMB()
+		if n.RunningJob != NoJob {
+			busy++
+		}
+	}
+	// Index consistency: every derived structure must mirror the ledger.
+	if freeSum != c.freeTotal {
+		return fmt.Errorf("index: free total %d, ledger sum %d", c.freeTotal, freeSum)
+	}
+	if busy != c.busy {
+		return fmt.Errorf("index: busy count %d, ledger count %d", c.busy, busy)
+	}
+	idle := 0
+	for i := range c.nodes {
+		n := &c.nodes[i]
+		if got := c.free.key[i]; got != n.FreeMB() {
+			return fmt.Errorf("index: node %d filed under %d MB free, ledger has %d", i, got, n.FreeMB())
+		}
+		avail := n.IsComputeAvailable()
+		if avail {
+			idle++
+		}
+		if got := c.idle.bits[i>>6]&(1<<uint(i&63)) != 0; got != avail {
+			return fmt.Errorf("index: node %d idle bit %t, ledger says %t", i, got, avail)
+		}
+	}
+	if idle != c.idle.count {
+		return fmt.Errorf("index: idle count %d, ledger count %d", c.idle.count, idle)
 	}
 	return nil
 }

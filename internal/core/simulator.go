@@ -8,6 +8,7 @@ import (
 
 	"dismem/internal/cluster"
 	"dismem/internal/job"
+	"dismem/internal/memtrace"
 	"dismem/internal/policy"
 	"dismem/internal/sched"
 	"dismem/internal/sim"
@@ -23,6 +24,7 @@ type Simulator struct {
 	cl     *cluster.Cluster
 	pol    policy.Policy
 	ranker policy.LenderRanker
+	adj    *policy.Adjuster
 	eng    *sim.Engine
 	model  *slowdown.Model
 	rng    *rand.Rand
@@ -38,6 +40,10 @@ type Simulator struct {
 	curAllocMB    int64
 	curBusyNodes  int
 	tickScheduled bool
+
+	// Scratch reused across refreshAll calls (the per-event hot path).
+	idsBuf   []int
+	fracsBuf []float64
 }
 
 // runningJob is the live state of one dispatched job.
@@ -50,10 +56,11 @@ type runningJob struct {
 	progress float64 // completed base-seconds of work
 	slow     float64 // current slowdown factor (≥1)
 	period   float64 // this job's jittered memory-update period
+	use      memtrace.Cursor // usage-trace reader at this attempt's progress
 
-	finishEv *sim.Event
-	limitEv  *sim.Event
-	updateEv *sim.Event
+	finishEv sim.Handle
+	limitEv  sim.Handle
+	updateEv sim.Handle
 }
 
 // New validates the configuration and trace and builds a simulator.
@@ -74,7 +81,9 @@ func New(cfg Config, jobs []*job.Job) (*Simulator, error) {
 	if err := checkDependencies(jobs, byID); err != nil {
 		return nil, err
 	}
-	ranker := policy.MostFreeRanker
+	// A nil ranker selects the most-free lender order served directly from
+	// the cluster's free-memory index — no ranking is materialised.
+	var ranker policy.LenderRanker
 	if cfg.LenderPolicy == NearestFirst {
 		ranker = policy.NearestFirstRanker(*cfg.Topology)
 	}
@@ -85,6 +94,7 @@ func New(cfg Config, jobs []*job.Job) (*Simulator, error) {
 		cl:      cluster.NewMixed(cfg.Cluster),
 		pol:     policy.NewWithRanker(cfg.Policy, ranker),
 		ranker:  ranker,
+		adj:     policy.NewAdjuster(ranker),
 		eng:     sim.New(),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		running: make(map[int]*runningJob),
@@ -386,6 +396,7 @@ func (s *Simulator) start(j *job.Job, ja *cluster.JobAllocation) {
 		progress: s.banked[j.ID],
 		slow:     1,
 		period:   s.cfg.UpdateInterval * (1 + s.cfg.UpdateJitter*(2*s.rng.Float64()-1)),
+		use:      j.Usage.Cursor(),
 	}
 	delete(s.banked, j.ID)
 	s.running[j.ID] = rj
@@ -481,12 +492,12 @@ func (s *Simulator) onMemoryUpdate(id int) {
 	// Decider: provision for the maximum usage between now and the next
 	// update, read from the offline usage trace at the job's progress.
 	window := rj.period / rj.slow // wallclock window mapped to progress time
-	target := rj.j.Usage.MaxIn(rj.progress, rj.progress+window)
+	target := rj.use.MaxIn(rj.progress, rj.progress+window)
 
 	before := rj.alloc.TotalMB()
 	oom := false
 	for i := range rj.alloc.PerNode {
-		if err := policy.AdjustRanked(s.cl, rj.alloc, i, target, s.ranker); err != nil {
+		if err := s.adj.Adjust(s.cl, rj.alloc, i, target); err != nil {
 			if err == policy.ErrOutOfMemory {
 				oom = true
 				break
@@ -573,13 +584,13 @@ func (s *Simulator) bank(rj *runningJob) {
 
 	var meanUse float64
 	if p1 > p0 {
-		m, err := rj.j.Usage.MeanIn(p0, p1)
+		m, err := rj.use.MeanIn(p0, p1)
 		if err != nil {
 			panic(err)
 		}
 		meanUse = m
 	} else {
-		meanUse = float64(rj.j.Usage.At(p0))
+		meanUse = float64(rj.use.At(p0))
 	}
 	s.res.UsedMBSeconds += meanUse * float64(rj.j.Nodes) * dt
 }
@@ -617,11 +628,12 @@ func (s *Simulator) remoteFraction(na *cluster.NodeAllocation) float64 {
 // associative, so unordered iteration would make results irreproducible.
 func (s *Simulator) refreshAll() {
 	now := s.eng.Now()
-	ids := make([]int, 0, len(s.running))
+	ids := s.idsBuf[:0]
 	for id := range s.running {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
+	s.idsBuf = ids
 	for _, id := range ids {
 		s.bank(s.running[id])
 	}
@@ -636,10 +648,11 @@ func (s *Simulator) refreshAll() {
 	rho := s.model.Pressure(traffic)
 	for _, id := range ids {
 		rj := s.running[id]
-		fracs := make([]float64, len(rj.alloc.PerNode))
+		fracs := s.fracsBuf[:0]
 		for i := range rj.alloc.PerNode {
-			fracs[i] = s.remoteFraction(&rj.alloc.PerNode[i])
+			fracs = append(fracs, s.remoteFraction(&rj.alloc.PerNode[i]))
 		}
+		s.fracsBuf = fracs
 		rj.slow = slowdown.JobSlowdownWeighted(rj.j.Profile, fracs, rho)
 		remaining := rj.j.BaseRuntime - rj.progress
 		if remaining < 0 {
@@ -649,7 +662,7 @@ func (s *Simulator) refreshAll() {
 		if math.IsInf(at, 0) || math.IsNaN(at) {
 			panic(fmt.Sprintf("core: bad finish time for job %d", rj.j.ID))
 		}
-		if rj.finishEv == nil {
+		if !rj.finishEv.Pending() {
 			id := rj.j.ID
 			rj.finishEv = s.eng.Schedule(at, func(*sim.Engine) { s.onFinish(id) })
 		} else if rj.finishEv.At() != at {

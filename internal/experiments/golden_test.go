@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"dismem/internal/core"
+	"dismem/internal/policy"
+)
+
+// Golden digests of one Bench()-preset scenario per policy (job mix 50 %,
+// +60 % overestimation, 75 % memory configuration — the BenchmarkScenario
+// cell). They were recorded on the pre-index implementation that rescanned
+// and re-sorted the cluster on every borrow; the incremental indexes must
+// reproduce the simulation bit-for-bit, so any digest change here means the
+// optimisation altered scheduling behaviour and is a bug, not drift.
+//
+// To regenerate after an intentional behaviour change, run the test and
+// copy the "got" digests it prints on failure.
+var goldenScenarioDigests = map[string]string{
+	"baseline": "d3e5ba7b5ade33f87867007770910bdfd98be75793b6878f4cb9bbad0ed91b15",
+	"static":   "ffc9305f18012fc49827355b2f0df9b58410132d9d53e31602456bfec1329c8f",
+	"dynamic":  "28f13c4fd4640b3aa3b2c64e322252b2afd913f1aa762241bc775dc9fa893f6f",
+}
+
+// digestResult folds every determinism-relevant field of a Result — job
+// records, attempts, OOM kills, the utilisation integrals — into a sha256
+// digest. Floats are folded as exact IEEE-754 bit patterns: two runs are
+// "identical" only if every time stamp matches to the last bit.
+func digestResult(r *core.Result) string {
+	var b strings.Builder
+	fb := func(f float64) { fmt.Fprintf(&b, "%016x,", math.Float64bits(f)) }
+	fmt.Fprintf(&b, "policy=%s,infeasible=%t,job=%d,", r.Policy, r.Infeasible, r.InfeasibleJob)
+	fmt.Fprintf(&b, "completed=%d,timedout=%d,abandoned=%d,oom=%d,nodes=%d,cap=%d,",
+		r.Completed, r.TimedOut, r.Abandoned, r.OOMKills, r.Nodes, r.TotalCapacityMB)
+	fb(r.Makespan)
+	fb(r.AllocMBSeconds)
+	fb(r.UsedMBSeconds)
+	fb(r.BusyNodeSeconds)
+	for i := range r.Records {
+		rec := &r.Records[i]
+		fmt.Fprintf(&b, "id=%d,outcome=%d,restarts=%d,", rec.Job.ID, rec.Outcome, rec.Restarts)
+		fb(rec.Submit)
+		fb(rec.FirstStart)
+		fb(rec.LastStart)
+		fb(rec.Finish)
+		for _, a := range rec.Attempts {
+			fmt.Fprintf(&b, "how=%d,", a.How)
+			fb(a.Start)
+			fb(a.End)
+		}
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestGoldenScenarioDigest is the determinism regression gate for the
+// incremental cluster-ledger indexes: it runs the BenchmarkScenario cell
+// twice per policy and asserts (a) the two runs are bit-identical and
+// (b) they match the digest recorded before the indexes existed.
+func TestGoldenScenarioDigest(t *testing.T) {
+	p := Bench()
+	trace, err := p.SyntheticTrace(0.5, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := MemConfigByPct(75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []policy.Kind{policy.Baseline, policy.Static, policy.Dynamic} {
+		t.Run(kind.String(), func(t *testing.T) {
+			res1, err := p.RunScenario(trace.Jobs, p.SystemNodes, mc, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res2, err := p.RunScenario(trace.Jobs, p.SystemNodes, mc, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d1, d2 := digestResult(res1), digestResult(res2)
+			if d1 != d2 {
+				t.Fatalf("two identical runs diverged: %s vs %s", d1, d2)
+			}
+			want := goldenScenarioDigests[kind.String()]
+			if d1 != want {
+				t.Fatalf("digest mismatch for %s:\n  got  %s\n  want %s\n"+
+					"(events fired: run1=%d jobs, completed=%d oom=%d)",
+					kind, d1, want, len(res1.Records), res1.Completed, res1.OOMKills)
+			}
+		})
+	}
+}

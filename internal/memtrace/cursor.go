@@ -1,0 +1,99 @@
+package memtrace
+
+import "sort"
+
+// Cursor is a stateful reader over a Trace for callers whose query times are
+// (mostly) monotonically increasing — the simulator reads each job's usage
+// trace at its ever-advancing progress. The cursor remembers the segment of
+// the previous query and advances linearly from it, so a full pass over the
+// trace costs O(points) total instead of O(queries · log points). A query
+// earlier than the current segment (a restart from a checkpoint) falls back
+// to binary search, so results never depend on the query order.
+//
+// All methods return exactly what the corresponding Trace method returns:
+// the same segment decomposition and the same floating-point operation
+// order, so switching a caller to a cursor cannot change simulation results.
+//
+// The zero Cursor is not usable; obtain one from Trace.Cursor. A Cursor is
+// not safe for concurrent use.
+type Cursor struct {
+	tr  *Trace
+	idx int // last index with pts[idx].T <= t of the previous query, min 0
+}
+
+// Cursor returns a cursor positioned at the start of the trace.
+func (tr *Trace) Cursor() Cursor { return Cursor{tr: tr} }
+
+// seek moves idx to the index Trace.At would compute for t: the last point
+// with T <= t, clamped to 0.
+func (c *Cursor) seek(t float64) {
+	pts := c.tr.pts
+	if c.idx > 0 && pts[c.idx].T > t {
+		i := sort.Search(len(pts), func(i int) bool { return pts[i].T > t }) - 1
+		if i < 0 {
+			i = 0
+		}
+		c.idx = i
+		return
+	}
+	for c.idx+1 < len(pts) && pts[c.idx+1].T <= t {
+		c.idx++
+	}
+}
+
+// At is Trace.At with the cursor's positioning.
+func (c *Cursor) At(t float64) int64 {
+	c.seek(t)
+	return c.tr.pts[c.idx].MB
+}
+
+// MaxIn is Trace.MaxIn with the cursor's positioning. Only t0 moves the
+// cursor: the scan toward t1 is a look-ahead, so a later query at a time
+// before t1 (but ≥ t0) still advances monotonically.
+func (c *Cursor) MaxIn(t0, t1 float64) int64 {
+	if t1 < t0 {
+		t0, t1 = t1, t0
+	}
+	c.seek(t0)
+	pts := c.tr.pts
+	max := pts[c.idx].MB
+	for i := c.idx + 1; i < len(pts) && pts[i].T < t1; i++ {
+		if pts[i].MB > max {
+			max = pts[i].MB
+		}
+	}
+	return max
+}
+
+// MeanIn is Trace.MeanIn with the cursor's positioning. It accumulates the
+// same per-segment areas in the same order as the Trace method, so the
+// result is bit-identical. The cursor is left at the segment containing t1.
+func (c *Cursor) MeanIn(t0, t1 float64) (float64, error) {
+	if t1 <= t0 {
+		return 0, ErrBadWindow
+	}
+	c.seek(t0)
+	pts := c.tr.pts
+	j := c.idx
+	var area float64
+	t := t0
+	for t < t1 {
+		// Next breakpoint strictly after t. Before the first sample the
+		// first point itself is the breakpoint.
+		k := j + 1
+		if pts[j].T > t {
+			k = j
+		}
+		next := t1
+		if k < len(pts) && pts[k].T < t1 {
+			next = pts[k].T
+		}
+		area += float64(pts[j].MB) * (next - t)
+		if next < t1 {
+			j = k
+		}
+		t = next
+	}
+	c.idx = j
+	return area / (t1 - t0), nil
+}

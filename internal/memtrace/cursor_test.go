@@ -1,0 +1,131 @@
+package memtrace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomTrace builds a valid trace with n points, random strictly-increasing
+// times (possibly starting after 0, to exercise the before-first-sample
+// clamp) and random usage levels.
+func randomTrace(rng *rand.Rand, n int) *Trace {
+	pts := make([]Point, n)
+	t := rng.Float64() * 3 // sometimes > 0
+	for i := range pts {
+		pts[i] = Point{T: t, MB: rng.Int63n(1 << 20)}
+		t += 0.01 + rng.Float64()*5
+	}
+	return MustNew(pts)
+}
+
+// TestCursorDifferential drives a cursor with a mostly-monotone query stream
+// (with deliberate regressions, as a checkpoint restart produces) and checks
+// every answer is bit-identical to the stateless Trace methods.
+func TestCursorDifferential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTrace(rng, 1+rng.Intn(40))
+		c := tr.Cursor()
+		q := rng.Float64() * 2
+		for i := 0; i < 200; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				if got, want := c.At(q), tr.At(q); got != want {
+					t.Logf("At(%g) = %d, want %d", q, got, want)
+					return false
+				}
+			case 1:
+				t1 := q + rng.Float64()*10
+				if rng.Intn(8) == 0 {
+					t1 = q - rng.Float64() // swapped interval
+				}
+				if got, want := c.MaxIn(q, t1), tr.MaxIn(q, t1); got != want {
+					t.Logf("MaxIn(%g,%g) = %d, want %d", q, t1, got, want)
+					return false
+				}
+			case 2:
+				t1 := q + 0.001 + rng.Float64()*10
+				got, gerr := c.MeanIn(q, t1)
+				want, werr := tr.MeanIn(q, t1)
+				if (gerr != nil) != (werr != nil) {
+					return false
+				}
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Logf("MeanIn(%g,%g) = %v, want %v", q, t1, got, want)
+					return false
+				}
+			case 3:
+				if _, err := c.MeanIn(q, q); err != ErrBadWindow {
+					t.Logf("MeanIn empty window: err = %v", err)
+					return false
+				}
+			}
+			// Mostly advance; occasionally jump back (restart).
+			if rng.Intn(10) == 0 {
+				q = rng.Float64() * 5
+			} else {
+				q += rng.Float64() * 3
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCursorSequentialIsLinear sanity-checks the cursor against a known
+// trace with hand-computed answers, including the before-first-sample clamp.
+func TestCursorSequential(t *testing.T) {
+	tr := MustNew([]Point{{T: 2, MB: 100}, {T: 4, MB: 300}, {T: 6, MB: 200}})
+	c := tr.Cursor()
+	if got := c.At(0); got != 100 {
+		t.Fatalf("At(0) = %d, want 100 (clamped to first sample)", got)
+	}
+	if got := c.MaxIn(1, 5); got != 300 {
+		t.Fatalf("MaxIn(1,5) = %d, want 300", got)
+	}
+	m, err := c.MeanIn(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (100.0 + 300.0) / 2; m != want {
+		t.Fatalf("MeanIn(3,5) = %g, want %g", m, want)
+	}
+	if got := c.At(7); got != 200 {
+		t.Fatalf("At(7) = %d, want 200", got)
+	}
+	// Regression: back before the first point again.
+	if got := c.At(1); got != 100 {
+		t.Fatalf("At(1) after regression = %d, want 100", got)
+	}
+}
+
+// BenchmarkTraceAtSequential compares a sequential scan through a large
+// trace via the stateless binary-search At against the cursor.
+func BenchmarkTraceAtSequential(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := randomTrace(rng, 4096)
+	dur := tr.Duration()
+	b.Run("search", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			step := dur / 1000
+			for t := 0.0; t < dur; t += step {
+				tr.At(t)
+			}
+		}
+	})
+	b.Run("cursor", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := tr.Cursor()
+			step := dur / 1000
+			for t := 0.0; t < dur; t += step {
+				c.At(t)
+			}
+		}
+	})
+}

@@ -11,8 +11,23 @@ import (
 // out-of-memory handling (Fail/Restart or Checkpoint/Restart).
 var ErrOutOfMemory = errors.New("policy: out of disaggregated memory")
 
-// Adjust is the Decider + Actuator of the dynamic policy for one compute
-// node of a running job: it resizes the node's allocation to targetMB.
+// Adjuster is the Decider + Actuator of the dynamic policy. It carries the
+// scratch buffers the grow path needs, so one Adjuster per simulator makes
+// every adjustment tick allocation-free. It is not safe for concurrent use.
+type Adjuster struct {
+	ranker LenderRanker // nil = most-free via the cluster index
+
+	own   []cluster.NodeID // the adjusted job's compute nodes
+	takes []cluster.Lease  // planned borrows for one grow
+	exc   map[cluster.NodeID]bool
+}
+
+// NewAdjuster returns an Adjuster with the given lender order for growth;
+// nil selects the default most-free order, served from the cluster's
+// free-memory index without materialising a ranking.
+func NewAdjuster(ranker LenderRanker) *Adjuster { return &Adjuster{ranker: ranker} }
+
+// Adjust resizes compute node i of the job's allocation to targetMB.
 //
 // Shrinking deallocates remote memory before local memory; growing
 // allocates local memory first and borrows remotely only for the remainder,
@@ -21,18 +36,9 @@ var ErrOutOfMemory = errors.New("policy: out of disaggregated memory")
 // On ErrOutOfMemory the allocation retains whatever it held plus any
 // partial growth — the caller is expected to kill and resubmit the job,
 // which releases everything.
-func Adjust(cl *cluster.Cluster, ja *cluster.JobAllocation, i int, targetMB int64) error {
-	return AdjustRanked(cl, ja, i, targetMB, MostFreeRanker)
-}
-
-// AdjustRanked is Adjust with a custom lender order for growth (used by
-// the topology-aware configuration).
-func AdjustRanked(cl *cluster.Cluster, ja *cluster.JobAllocation, i int, targetMB int64, ranker LenderRanker) error {
+func (a *Adjuster) Adjust(cl *cluster.Cluster, ja *cluster.JobAllocation, i int, targetMB int64) error {
 	if targetMB < 0 {
 		return cluster.ErrNegativeAmount
-	}
-	if ranker == nil {
-		ranker = MostFreeRanker
 	}
 	na := &ja.PerNode[i]
 	cur := na.TotalMB()
@@ -40,9 +46,21 @@ func AdjustRanked(cl *cluster.Cluster, ja *cluster.JobAllocation, i int, targetM
 	case targetMB < cur:
 		return shrinkTo(cl, ja, i, cur-targetMB)
 	case targetMB > cur:
-		return growBy(cl, ja, i, targetMB-cur, ranker)
+		return a.growBy(cl, ja, i, targetMB-cur)
 	}
 	return nil
+}
+
+// Adjust is the one-shot form of Adjuster.Adjust with the default lender
+// order, kept for tests and callers outside the simulation loop.
+func Adjust(cl *cluster.Cluster, ja *cluster.JobAllocation, i int, targetMB int64) error {
+	return NewAdjuster(nil).Adjust(cl, ja, i, targetMB)
+}
+
+// AdjustRanked is Adjust with a custom lender order for growth (used by
+// the topology-aware configuration); nil means the default order.
+func AdjustRanked(cl *cluster.Cluster, ja *cluster.JobAllocation, i int, targetMB int64, ranker LenderRanker) error {
+	return NewAdjuster(ranker).Adjust(cl, ja, i, targetMB)
 }
 
 func shrinkTo(cl *cluster.Cluster, ja *cluster.JobAllocation, i int, excess int64) error {
@@ -58,7 +76,7 @@ func shrinkTo(cl *cluster.Cluster, ja *cluster.JobAllocation, i int, excess int6
 	return nil
 }
 
-func growBy(cl *cluster.Cluster, ja *cluster.JobAllocation, i int, need int64, ranker LenderRanker) error {
+func (a *Adjuster) growBy(cl *cluster.Cluster, ja *cluster.JobAllocation, i int, need int64) error {
 	na := &ja.PerNode[i]
 	// Local first.
 	if free := cl.Node(na.Node).FreeMB(); free > 0 {
@@ -71,13 +89,58 @@ func growBy(cl *cluster.Cluster, ja *cluster.JobAllocation, i int, need int64, r
 	if need == 0 {
 		return nil
 	}
-	// Borrow the rest in ranker order, excluding the job's own compute
+	// Borrow the rest in lender order, excluding the job's own compute
 	// nodes (their free memory belongs to their local side).
-	own := make(map[cluster.NodeID]bool, len(ja.PerNode))
-	for j := range ja.PerNode {
-		own[ja.PerNode[j].Node] = true
+	if a.ranker != nil {
+		return a.growRanked(cl, ja, i, need)
 	}
-	for _, lender := range ranker(cl, na.Node, own) {
+	own := a.own[:0]
+	for k := range ja.PerNode {
+		own = append(own, ja.PerNode[k].Node)
+	}
+	a.own = own
+	// Plan from the index walk, then apply: the ledger must not change
+	// mid-walk, and the walk stops as soon as the deficit is covered, so
+	// the common first-lender-suffices case touches O(log N) nodes.
+	takes := a.takes[:0]
+	rem := need
+	cl.AscendLenders(func(id cluster.NodeID, free int64) bool {
+		if containsNode(own, id) {
+			return true
+		}
+		take := minInt64(rem, free)
+		takes = append(takes, cluster.Lease{Lender: id, MB: take})
+		rem -= take
+		return rem > 0
+	})
+	a.takes = takes
+	for _, t := range takes {
+		if err := ja.GrowRemote(cl, i, t.Lender, t.MB); err != nil {
+			return err
+		}
+	}
+	if rem > 0 {
+		// Partial growth is retained, exactly as the pre-index grow loop
+		// left it when the pool ran dry mid-iteration.
+		return ErrOutOfMemory
+	}
+	return nil
+}
+
+// growRanked is the custom-ranker grow path, identical to the pre-index
+// implementation apart from the reused exclusion map.
+func (a *Adjuster) growRanked(cl *cluster.Cluster, ja *cluster.JobAllocation, i int, need int64) error {
+	na := &ja.PerNode[i]
+	if a.exc == nil {
+		a.exc = make(map[cluster.NodeID]bool, len(ja.PerNode))
+	}
+	for id := range a.exc {
+		delete(a.exc, id)
+	}
+	for k := range ja.PerNode {
+		a.exc[ja.PerNode[k].Node] = true
+	}
+	for _, lender := range a.ranker(cl, na.Node, a.exc) {
 		take := minInt64(need, cl.Node(lender).FreeMB())
 		if take == 0 {
 			continue

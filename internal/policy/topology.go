@@ -11,15 +11,24 @@ import (
 // distance on the given torus: candidates are sorted by hop count from the
 // borrowing compute node, with ties broken by free memory descending and
 // then node ID. Cluster node IDs map directly onto torus endpoints.
+//
+// The candidate set is streamed from the cluster's free-memory index and
+// collected into a buffer owned by the returned closure, so ranking
+// allocates nothing after the buffer has grown once; the hop sort itself is
+// unavoidable because the order depends on the borrower. The returned
+// ranker is therefore not safe for concurrent use, and its result is valid
+// only until the next call.
 func NearestFirstRanker(t topology.Torus) LenderRanker {
+	var buf []cluster.NodeID
 	return func(cl *cluster.Cluster, borrower cluster.NodeID, exclude map[cluster.NodeID]bool) []cluster.NodeID {
-		var ids []cluster.NodeID
-		for _, n := range cl.Nodes() {
-			if exclude[n.ID] || n.FreeMB() <= 0 {
-				continue
+		ids := buf[:0]
+		cl.AscendLenders(func(id cluster.NodeID, _ int64) bool {
+			if !exclude[id] {
+				ids = append(ids, id)
 			}
-			ids = append(ids, n.ID)
-		}
+			return true
+		})
+		buf = ids
 		sort.Slice(ids, func(a, b int) bool {
 			ha := t.Hops(int(borrower), int(ids[a]))
 			hb := t.Hops(int(borrower), int(ids[b]))

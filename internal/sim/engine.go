@@ -5,6 +5,12 @@
 // identical schedules. Event handles support cancellation and rescheduling,
 // which the scheduler uses to move job-completion events when a job's
 // slowdown changes.
+//
+// Event structs are pooled: once an event has fired or been cancelled its
+// storage is reused by a later Schedule, so a long simulation performs O(1)
+// allocations per firing instead of one per Schedule. Handles carry a
+// generation stamp, making operations on spent handles safe no-ops rather
+// than corruption of whatever event happens to occupy the storage next.
 package sim
 
 import (
@@ -17,21 +23,38 @@ import (
 // so handlers can schedule follow-up events.
 type Action func(e *Engine)
 
-// Event is a scheduled occurrence. The zero value is not usable; obtain
-// events from Engine.Schedule.
+// Event is the pooled storage for one scheduled occurrence. Callers never
+// hold an *Event directly; they hold a Handle.
 type Event struct {
-	at     float64
-	seq    uint64
-	index  int // heap index; -1 when not queued
-	fire   Action
-	cancel bool
+	at    float64
+	seq   uint64
+	index int // heap index; -1 when not queued
+	gen   uint64
+	fire  Action
 }
 
-// At returns the simulated time at which the event is due to fire.
-func (ev *Event) At() float64 { return ev.at }
+// Handle identifies one scheduled event. The zero Handle refers to no event
+// and every operation on it is a no-op. A Handle is spent once its event
+// fires or is cancelled; operations on spent handles are no-ops too (the
+// underlying storage may already belong to a different event).
+type Handle struct {
+	ev  *Event
+	gen uint64
+}
 
-// Cancelled reports whether Cancel was called on the event.
-func (ev *Event) Cancelled() bool { return ev.cancel }
+// Pending reports whether the event is still queued to fire.
+func (h Handle) Pending() bool {
+	return h.ev != nil && h.ev.gen == h.gen && h.ev.index >= 0
+}
+
+// At returns the simulated time at which the event is due to fire, or NaN
+// if the handle is zero or spent.
+func (h Handle) At() float64 {
+	if !h.Pending() {
+		return math.NaN()
+	}
+	return h.ev.at
+}
 
 // eventQueue implements heap.Interface ordered by (at, seq).
 type eventQueue []*Event
@@ -70,6 +93,7 @@ type Engine struct {
 	now       float64
 	seq       uint64
 	queue     eventQueue
+	free      []*Event // recycled event storage
 	fired     uint64
 	maxT      float64
 	maxEvents uint64
@@ -96,8 +120,7 @@ func (e *Engine) Now() float64 { return e.now }
 // Fired returns the number of events fired so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of events currently queued (including
-// cancelled events that have not yet been popped).
+// Pending returns the number of events currently queued.
 func (e *Engine) Pending() int { return len(e.queue) }
 
 // SetHorizon stops the run when the clock would pass t. Events scheduled at
@@ -110,63 +133,84 @@ func (e *Engine) Halt() { e.halted = true }
 // Schedule enqueues fn to fire at absolute time at. Scheduling in the past
 // panics: it always indicates a logic error in the caller, and silently
 // clamping would corrupt causality.
-func (e *Engine) Schedule(at float64, fn Action) *Event {
+func (e *Engine) Schedule(at float64, fn Action) Handle {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %g before now %g", at, e.now))
 	}
 	if math.IsNaN(at) {
 		panic("sim: schedule at NaN")
 	}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{}
+	}
 	e.seq++
-	ev := &Event{at: at, seq: e.seq, fire: fn, index: -1}
+	ev.at = at
+	ev.seq = e.seq
+	ev.fire = fn
+	ev.index = -1
 	heap.Push(&e.queue, ev)
-	return ev
+	return Handle{ev: ev, gen: ev.gen}
 }
 
 // After enqueues fn to fire d seconds from now.
-func (e *Engine) After(d float64, fn Action) *Event {
+func (e *Engine) After(d float64, fn Action) Handle {
 	return e.Schedule(e.now+d, fn)
 }
 
-// Cancel marks ev so it will not fire. Cancelling an already-fired or
-// already-cancelled event is a no-op. The event is removed from the queue
-// immediately so very long simulations do not accumulate dead entries.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.cancel {
-		return
-	}
-	ev.cancel = true
-	if ev.index >= 0 {
-		heap.Remove(&e.queue, ev.index)
-	}
+// recycle marks ev spent (invalidating every Handle stamped with the old
+// generation) and returns its storage to the pool.
+func (e *Engine) recycle(ev *Event) {
+	ev.gen++
+	ev.fire = nil
+	e.free = append(e.free, ev)
 }
 
-// Reschedule cancels ev and schedules its action at a new absolute time,
-// returning the replacement event.
-func (e *Engine) Reschedule(ev *Event, at float64) *Event {
-	fn := ev.fire
-	e.Cancel(ev)
+// Cancel removes the event from the queue so it will not fire. Cancelling a
+// zero, fired, or already-cancelled handle is a no-op. The storage is
+// recycled immediately, so very long simulations neither accumulate dead
+// queue entries nor allocate per firing.
+func (e *Engine) Cancel(h Handle) {
+	if !h.Pending() {
+		return
+	}
+	heap.Remove(&e.queue, h.ev.index)
+	e.recycle(h.ev)
+}
+
+// Reschedule cancels h and schedules its action at a new absolute time,
+// returning the replacement handle. The handle must be pending.
+func (e *Engine) Reschedule(h Handle, at float64) Handle {
+	if !h.Pending() {
+		panic("sim: reschedule of a spent or zero event handle")
+	}
+	fn := h.ev.fire
+	e.Cancel(h)
 	return e.Schedule(at, fn)
 }
 
 // Step fires the next event, if any, and reports whether one fired.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := e.queue[0]
-		if ev.cancel {
-			heap.Pop(&e.queue)
-			continue
-		}
-		if ev.at > e.maxT {
-			return false
-		}
-		heap.Pop(&e.queue)
-		e.now = ev.at
-		e.fired++
-		ev.fire(e)
-		return true
+	if len(e.queue) == 0 {
+		return false
 	}
-	return false
+	ev := e.queue[0]
+	if ev.at > e.maxT {
+		return false
+	}
+	heap.Pop(&e.queue)
+	e.now = ev.at
+	e.fired++
+	fn := ev.fire
+	// Handles to ev stay valid (and inert: index is -1) while the handler
+	// runs; the storage is recycled only after it returns.
+	fn(e)
+	e.recycle(ev)
+	return true
 }
 
 // Run fires events until the queue is empty, the horizon is reached, the

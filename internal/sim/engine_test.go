@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -49,27 +50,27 @@ func TestAfterUsesCurrentTime(t *testing.T) {
 func TestCancel(t *testing.T) {
 	e := New()
 	fired := false
-	ev := e.Schedule(1, func(*Engine) { fired = true })
-	e.Cancel(ev)
+	h := e.Schedule(1, func(*Engine) { fired = true })
+	e.Cancel(h)
 	e.Run()
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	if !ev.Cancelled() {
-		t.Fatal("Cancelled() = false after Cancel")
+	if h.Pending() {
+		t.Fatal("Pending() = true after Cancel")
 	}
-	// Double-cancel is a no-op.
-	e.Cancel(ev)
-	e.Cancel(nil)
+	// Double-cancel and zero-handle cancel are no-ops.
+	e.Cancel(h)
+	e.Cancel(Handle{})
 }
 
 func TestCancelRemovesFromQueue(t *testing.T) {
 	e := New()
-	ev := e.Schedule(1, func(*Engine) {})
+	h := e.Schedule(1, func(*Engine) {})
 	if e.Pending() != 1 {
 		t.Fatalf("pending = %d, want 1", e.Pending())
 	}
-	e.Cancel(ev)
+	e.Cancel(h)
 	if e.Pending() != 0 {
 		t.Fatalf("pending after cancel = %d, want 0", e.Pending())
 	}
@@ -78,8 +79,11 @@ func TestCancelRemovesFromQueue(t *testing.T) {
 func TestReschedule(t *testing.T) {
 	e := New()
 	var at float64
-	ev := e.Schedule(10, func(e *Engine) { at = e.Now() })
-	e.Reschedule(ev, 20)
+	h := e.Schedule(10, func(e *Engine) { at = e.Now() })
+	h = e.Reschedule(h, 20)
+	if got := h.At(); got != 20 {
+		t.Fatalf("At() = %g after reschedule, want 20", got)
+	}
 	e.Run()
 	if at != 20 {
 		t.Fatalf("rescheduled event fired at %g, want 20", at)
@@ -154,6 +158,68 @@ func TestRecurringEvent(t *testing.T) {
 	}
 }
 
+// TestStaleHandleIsInert pins down the pool-safety contract: once an event
+// has fired, its handle is spent, and cancelling it must not disturb a new
+// event that was given the recycled storage.
+func TestStaleHandleIsInert(t *testing.T) {
+	e := New()
+	var stale Handle
+	stale = e.Schedule(1, func(*Engine) {})
+	e.Run()
+	if stale.Pending() {
+		t.Fatal("handle still pending after its event fired")
+	}
+	if !math.IsNaN(stale.At()) {
+		t.Fatalf("At() on spent handle = %g, want NaN", stale.At())
+	}
+
+	// The next Schedule reuses the fired event's storage (pool of one).
+	fired := false
+	fresh := e.Schedule(2, func(*Engine) { fired = true })
+	e.Cancel(stale) // must NOT cancel the fresh event
+	e.Run()
+	if !fired {
+		t.Fatal("stale Cancel killed a recycled event")
+	}
+	_ = fresh
+}
+
+// TestCancelDuringHandler checks that a handler cancelling other pending
+// events (the simulator's teardown pattern) works and that self-cancel of
+// the currently-firing event is a no-op rather than a double-recycle.
+func TestCancelDuringHandler(t *testing.T) {
+	e := New()
+	firedB := false
+	var ha, hb Handle
+	ha = e.Schedule(1, func(e *Engine) {
+		e.Cancel(ha) // self: already popped, must be inert
+		e.Cancel(hb)
+	})
+	hb = e.Schedule(2, func(*Engine) { firedB = true })
+	e.Run()
+	if firedB {
+		t.Fatal("event cancelled from a handler still fired")
+	}
+	if e.Fired() != 1 {
+		t.Fatalf("fired = %d, want 1", e.Fired())
+	}
+}
+
+// TestRescheduleSpentPanics pins the contract that Reschedule requires a
+// pending handle — silently rescheduling a recycled event would fire some
+// other event's action.
+func TestReschedulePanicsOnSpentHandle(t *testing.T) {
+	e := New()
+	h := e.Schedule(1, func(*Engine) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rescheduling a spent handle did not panic")
+		}
+	}()
+	e.Reschedule(h, 5)
+}
+
 // Property: for any set of schedule times, events fire in sorted order and
 // the clock never moves backwards.
 func TestQuickFiringOrder(t *testing.T) {
@@ -183,9 +249,9 @@ func TestQuickCancelSubset(t *testing.T) {
 		want := 0
 		fired := 0
 		for _, r := range raw {
-			ev := e.Schedule(float64(r), func(*Engine) { fired++ })
+			h := e.Schedule(float64(r), func(*Engine) { fired++ })
 			if rng.Intn(2) == 0 {
-				e.Cancel(ev)
+				e.Cancel(h)
 			} else {
 				want++
 			}
@@ -208,42 +274,27 @@ func BenchmarkScheduleRun(b *testing.B) {
 	}
 }
 
-func TestMaxEventsBackstop(t *testing.T) {
+// BenchmarkEngineScheduleCancel measures the schedule/cancel/reschedule
+// churn of a long-lived engine — the pattern the simulator's completion
+// events follow. With the event pool this is allocation-free at steady
+// state.
+func BenchmarkEngineScheduleCancel(b *testing.B) {
 	e := New()
-	// A self-perpetuating tick that would never drain.
-	var tick Action
-	n := 0
-	tick = func(e *Engine) {
-		n++
-		e.After(1, tick)
+	// Warm the pool and keep a rolling window of pending events.
+	var hs [64]Handle
+	for i := range hs {
+		hs[i] = e.Schedule(float64(i)+1e6, func(*Engine) {})
 	}
-	e.After(1, tick)
-	e.SetMaxEvents(100)
-	e.Run()
-	if !e.Exhausted() {
-		t.Fatal("Exhausted() = false after hitting the budget")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := i % len(hs)
+		e.Cancel(hs[slot])
+		hs[slot] = e.Schedule(float64(i)+1e6, func(*Engine) {})
+		hs[slot] = e.Reschedule(hs[slot], float64(i)+2e6)
 	}
-	if n != 100 {
-		t.Fatalf("fired %d events, want exactly 100", n)
-	}
-	// Raising the budget lets the run continue.
-	e.SetMaxEvents(150)
-	e.Run()
-	if n != 150 {
-		t.Fatalf("fired %d events after raise, want 150", n)
-	}
-}
-
-func TestMaxEventsZeroMeansUnlimited(t *testing.T) {
-	e := New()
-	for i := 0; i < 50; i++ {
-		e.Schedule(float64(i), func(*Engine) {})
-	}
-	e.Run()
-	if e.Exhausted() {
-		t.Fatal("unlimited engine reported exhaustion")
-	}
-	if e.Fired() != 50 {
-		t.Fatalf("fired = %d", e.Fired())
+	b.StopTimer()
+	for _, h := range hs {
+		e.Cancel(h)
 	}
 }

@@ -1,0 +1,58 @@
+#!/bin/sh
+# bench.sh — run the benchmark suite and record the results as JSON so the
+# performance trajectory is tracked across PRs.
+#
+# Usage:  scripts/bench.sh [output.json]
+#
+# The default output name is BENCH_<n>.json in the repo root, where <n> is
+# taken from the BENCH_SEQ environment variable (default 1, the PR that
+# introduced the incremental indexes). Benchmarks covered: the end-to-end
+# BenchmarkScenario suite plus the micro-benchmarks for each indexed
+# structure (lender ranking, dynamic placement, engine schedule/cancel,
+# trace cursor).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_${BENCH_SEQ:-1}.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+run() {
+    # $1 = package, $2 = benchmark regexp, $3 = benchtime
+    go test -run '^$' -bench "$2" -benchmem -benchtime "$3" "$1" \
+        | grep -E '^Benchmark' >>"$tmp" || true
+}
+
+run .                    'BenchmarkScenario'            100x
+run ./internal/cluster   'BenchmarkLenderRank'          1s
+run ./internal/policy    'BenchmarkPlaceDynamic'        1s
+run ./internal/sim       'BenchmarkEngineScheduleCancel' 1s
+run ./internal/memtrace  'BenchmarkTraceAtSequential'   1s
+
+awk -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    -v goversion="$(go version | awk '{print $3}')" '
+BEGIN {
+    printf "{\n  \"commit\": \"%s\",\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [\n", commit, date, goversion
+    first = 1
+}
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip -GOMAXPROCS suffix
+    iters = $2; ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, iters, (ns == "" ? "null" : ns), (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs)
+}
+END { printf "\n  ]\n}\n" }
+' "$tmp" >"$out"
+
+echo "wrote $out:"
+cat "$out"
