@@ -13,6 +13,7 @@ import (
 
 	"dismem/internal/experiments"
 	"dismem/internal/policy"
+	"dismem/internal/tracegen"
 )
 
 func benchPreset() experiments.Preset { return experiments.Bench() }
@@ -53,9 +54,35 @@ func BenchmarkFig4(b *testing.B) {
 	}
 }
 
-// BenchmarkFig5 times one panel (job mix 50 %, +60 % overestimation) — the
-// unit cell of the figure's 7×2 grid.
+// BenchmarkFig5 regenerates the whole figure — the 7×2 synthetic grid —
+// through the barrier-free pipeline. The trace cache is reset every
+// iteration so each run pays the full cold cost; cross-iteration reuse
+// would understate it.
 func BenchmarkFig5(b *testing.B) {
+	p := benchPreset()
+	for i := 0; i < b.N; i++ {
+		tracegen.ResetCache()
+		if _, err := experiments.RunFig5(p, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5Serial is the reference point for BenchmarkFig5: the
+// pre-pipeline serial driver that generates every trace from scratch.
+// The BenchmarkFig5/BenchmarkFig5Serial ratio is the pipeline's speedup.
+func BenchmarkFig5Serial(b *testing.B) {
+	p := benchPreset()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig5Serial(p, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5Panel times one panel (job mix 50 %, +60 % overestimation)
+// — the unit cell of the figure's grid.
+func BenchmarkFig5Panel(b *testing.B) {
 	p := benchPreset()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunFig5Panel(p, 0.5, 0.6); err != nil {
@@ -67,6 +94,7 @@ func BenchmarkFig5(b *testing.B) {
 func BenchmarkFig6(b *testing.B) {
 	p := benchPreset()
 	for i := 0; i < b.N; i++ {
+		tracegen.ResetCache()
 		if _, err := experiments.RunFig6(p); err != nil {
 			b.Fatal(err)
 		}
@@ -76,6 +104,7 @@ func BenchmarkFig6(b *testing.B) {
 func BenchmarkFig7(b *testing.B) {
 	p := benchPreset()
 	for i := 0; i < b.N; i++ {
+		tracegen.ResetCache()
 		if _, err := experiments.RunFig7(p); err != nil {
 			b.Fatal(err)
 		}
@@ -85,6 +114,7 @@ func BenchmarkFig7(b *testing.B) {
 func BenchmarkFig8(b *testing.B) {
 	p := benchPreset()
 	for i := 0; i < b.N; i++ {
+		tracegen.ResetCache()
 		if _, err := experiments.RunFig8(p, false); err != nil {
 			b.Fatal(err)
 		}
@@ -94,7 +124,21 @@ func BenchmarkFig8(b *testing.B) {
 func BenchmarkFig9(b *testing.B) {
 	p := benchPreset()
 	for i := 0; i < b.N; i++ {
+		tracegen.ResetCache()
 		if _, err := experiments.RunFig9(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeadlines regenerates the four replicated headline metrics
+// (two seeds). Fig. 5/6/7/9 replications share every trace through the
+// cache, so this also measures the cross-figure dedup win.
+func BenchmarkHeadlines(b *testing.B) {
+	p := benchPreset()
+	for i := 0; i < b.N; i++ {
+		tracegen.ResetCache()
+		if _, err := experiments.RunHeadlines(p, 2); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -170,9 +214,25 @@ func BenchmarkAblationPriority(b *testing.B) {
 	}
 }
 
-// BenchmarkTraceGeneration isolates the Fig. 3 pipeline.
+// BenchmarkTraceGeneration isolates the Fig. 3 pipeline. It bypasses the
+// trace cache: the point is the generator's cost, not a map lookup.
 func BenchmarkTraceGeneration(b *testing.B) {
 	p := benchPreset()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SyntheticTraceUncached(0.5, 0.6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceCacheHit is the other side: the cost of re-requesting an
+// already-generated trace, which is what every figure after the first pays.
+func BenchmarkTraceCacheHit(b *testing.B) {
+	p := benchPreset()
+	if _, err := p.SyntheticTrace(0.5, 0.6); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := p.SyntheticTrace(0.5, 0.6); err != nil {
 			b.Fatal(err)

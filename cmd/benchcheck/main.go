@@ -1,0 +1,116 @@
+// Command benchcheck compares a `go test -bench` run against a recorded
+// BENCH_<n>.json baseline and fails when any benchmark regressed beyond the
+// tolerance. It is the CI bench-smoke gate: run the benchmarks once and
+// pipe the output through benchcheck.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkFig5$|BenchmarkHeadlines$' -benchtime 1x . \
+//	    | go run ./cmd/benchcheck -baseline BENCH_2.json
+//
+// Flags:
+//
+//	-baseline path   recorded JSON baseline (required)
+//	-tolerance f     allowed fractional slowdown before failing (default 0.20)
+//
+// Benchmarks present in the input but absent from the baseline (or vice
+// versa) are reported and skipped; only the intersection is compared.
+// Exit status 1 on regression or if no benchmark could be compared.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+type baselineFile struct {
+	Commit     string `json:"commit"`
+	Benchmarks []struct {
+		Name    string   `json:"name"`
+		NsPerOp *float64 `json:"ns_per_op"`
+	} `json:"benchmarks"`
+}
+
+// benchLine matches e.g. "BenchmarkFig5-4   5   493572471 ns/op   ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	baselinePath := flag.String("baseline", "", "recorded BENCH_<n>.json to compare against")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional slowdown before failing")
+	flag.Parse()
+	if *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -baseline is required")
+		return 2
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		return 2
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", *baselinePath, err)
+		return 2
+	}
+	want := make(map[string]float64)
+	for _, b := range base.Benchmarks {
+		if b.NsPerOp != nil {
+			want[b.Name] = *b.NsPerOp
+		}
+	}
+
+	compared, regressed := 0, 0
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		got, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		ref, ok := want[name]
+		if !ok {
+			fmt.Printf("skip  %-40s not in baseline %s\n", name, *baselinePath)
+			continue
+		}
+		compared++
+		ratio := got / ref
+		status := "ok   "
+		if ratio > 1+*tolerance {
+			status = "FAIL "
+			regressed++
+		}
+		fmt.Printf("%s %-40s %14.0f ns/op vs %14.0f baseline (%+.1f%%)\n",
+			status, name, got, ref, (ratio-1)*100)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: reading stdin: %v\n", err)
+		return 2
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: no benchmark lines matched the baseline — nothing compared")
+		return 1
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: %d of %d benchmarks regressed beyond %.0f%% vs %s (commit %s)\n",
+			regressed, compared, *tolerance*100, *baselinePath, base.Commit)
+		return 1
+	}
+	fmt.Printf("benchcheck: %d benchmarks within %.0f%% of %s (commit %s)\n",
+		compared, *tolerance*100, *baselinePath, base.Commit)
+	return 0
+}

@@ -22,6 +22,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -29,6 +31,12 @@ import (
 )
 
 func main() {
+	// realMain returns instead of calling os.Exit so the profile defers
+	// always flush, even on error paths.
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	exp := flag.String("exp", "all", "experiment: table2 table3 fig2 fig4 fig5 fig6 fig7 fig8 fig9 ab-update ab-oom ab-backfill ab-lender ablations headlines all")
 	preset := flag.String("preset", "quick", "scale preset: quick or full")
 	withGrizzly := flag.Bool("grizzly", true, "include the Grizzly columns in fig5/fig8")
@@ -38,12 +46,48 @@ func main() {
 	seeds := flag.Int("seeds", 1, "replications for the headlines experiment (mean ± stdev)")
 	scenario := flag.String("scenario", "", "run a JSON scenario spec instead of a named experiment")
 	report := flag.String("report", "", "write a full markdown evaluation report to this path and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmpexp: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dmpexp: cpuprofile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote CPU profile to %s\n", *cpuprofile)
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dmpexp: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "dmpexp: memprofile: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "wrote heap profile to %s\n", *memprofile)
+		}()
+	}
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "dmpexp: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 
@@ -55,7 +99,7 @@ func main() {
 		p = experiments.Full()
 	default:
 		fmt.Fprintf(os.Stderr, "dmpexp: unknown preset %q\n", *preset)
-		os.Exit(2)
+		return 2
 	}
 	p.Seed = *seed
 
@@ -63,7 +107,7 @@ func main() {
 		f, err := os.Create(*report)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dmpexp: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		err = experiments.WriteReport(f, p, experiments.ReportOptions{
 			Grizzly:   *withGrizzly,
@@ -75,10 +119,10 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dmpexp: report: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("wrote %s\n", *report)
-		return
+		return 0
 	}
 
 	if *scenario != "" {
@@ -86,18 +130,18 @@ func main() {
 		out, cw, err := runScenarioFile(*scenario, p)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dmpexp: scenario: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("=== scenario %s (preset %s, %.1fs) ===\n%s\n", *scenario, p.Name, time.Since(start).Seconds(), out)
 		if *csvDir != "" && cw != nil {
 			path := filepath.Join(*csvDir, "scenario.csv")
 			if err := writeCSVFile(path, cw); err != nil {
 				fmt.Fprintf(os.Stderr, "dmpexp: %s: %v\n", path, err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Printf("wrote %s\n\n", path)
 		}
-		return
+		return 0
 	}
 
 	names := []string{*exp}
@@ -113,7 +157,7 @@ func main() {
 		out, cw, err := run(name, p, *withGrizzly, *seeds)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dmpexp: %s: %v\n", name, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("=== %s (preset %s, %.1fs) ===\n%s\n", name, p.Name, time.Since(start).Seconds(), out)
 		if *plot {
@@ -125,11 +169,12 @@ func main() {
 			path := filepath.Join(*csvDir, name+".csv")
 			if err := writeCSVFile(path, cw); err != nil {
 				fmt.Fprintf(os.Stderr, "dmpexp: %s: %v\n", path, err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Printf("wrote %s\n\n", path)
 		}
 	}
+	return 0
 }
 
 // csvWriter is implemented by every experiment result that can export

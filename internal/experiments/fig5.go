@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"dismem/internal/sweep"
 )
 
 // Fig5 reproduces Figure 5: normalised throughput vs. total system memory
@@ -20,12 +22,68 @@ var Fig5Overests = []float64{0, 0.60}
 
 // RunFig5 executes the full sweep. Pass includeGrizzly=false to skip the
 // Grizzly column (it needs the larger system and dataset).
+//
+// The whole figure is submitted to the shared pool as one task DAG up
+// front: each column's baseline-norm simulation is a future its two panels
+// wait on, trace generations dedupe through the tracegen cache, and panel
+// sweeps from different columns interleave freely — nothing waits behind a
+// barrier it does not depend on. Results are bit-identical to the serial
+// pipeline (RunFig5Serial); the golden tests enforce it.
 func RunFig5(p Preset, includeGrizzly bool) (*Fig5, error) {
+	pool := sweep.SharedPool()
+	var panels []*sweep.Future[*ThroughputGrid]
+	for _, lf := range Fig5LargeFracs {
+		lf := lf
+		label := fmt.Sprintf("large %.0f%%", lf*100)
+		// Normalisation uses the +0 % trace, shared by the column.
+		norm := sweep.Submit(pool, func() (float64, error) {
+			trace0, err := p.SyntheticTrace(lf, 0)
+			if err != nil {
+				return 0, err
+			}
+			return p.BaselineNorm(trace0.Jobs, p.SystemNodes)
+		})
+		for _, ov := range Fig5Overests {
+			ov := ov
+			panels = append(panels, sweep.Submit(pool, func() (*ThroughputGrid, error) {
+				tr, err := p.SyntheticTrace(lf, ov) // cache-shared with the norm task at +0 %
+				if err != nil {
+					return nil, err
+				}
+				n, err := norm.Get()
+				if err != nil {
+					return nil, err
+				}
+				return p.ThroughputSweep(tr.Jobs, p.SystemNodes, n, label, ov)
+			}))
+		}
+	}
+	if includeGrizzly {
+		for _, ov := range Fig5Overests {
+			ov := ov
+			panels = append(panels, sweep.Submit(pool, func() (*ThroughputGrid, error) {
+				return p.GrizzlyGrid(ov)
+			}))
+		}
+	}
+	grids, err := sweep.CollectValues(panels)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig5{Panels: grids}, nil
+}
+
+// RunFig5Serial is the retained pre-pipeline implementation: every stage
+// in sequence, every trace generated from scratch, barriers between
+// stages. The golden tests and benchmarks use it as the reference the
+// barrier-free pipeline must match bit-for-bit (and beat on wall-clock).
+func RunFig5Serial(p Preset, includeGrizzly bool) (*Fig5, error) {
 	out := &Fig5{}
 	for _, lf := range Fig5LargeFracs {
 		label := fmt.Sprintf("large %.0f%%", lf*100)
-		// Normalisation uses the +0 % trace, shared by the column.
-		trace0, err := p.SyntheticTrace(lf, 0)
+		// Normalisation uses the +0 % trace, shared by the column; every
+		// generation bypasses the cache, as the pre-pipeline code did.
+		trace0, err := p.SyntheticTraceUncached(lf, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -36,7 +94,7 @@ func RunFig5(p Preset, includeGrizzly bool) (*Fig5, error) {
 		for _, ov := range Fig5Overests {
 			jobs := trace0.Jobs
 			if ov != 0 {
-				tr, err := p.SyntheticTrace(lf, ov)
+				tr, err := p.SyntheticTraceUncached(lf, ov)
 				if err != nil {
 					return nil, err
 				}

@@ -6,6 +6,7 @@ import (
 
 	"dismem/internal/metrics"
 	"dismem/internal/policy"
+	"dismem/internal/sweep"
 )
 
 // Fig6 reproduces Figure 6: the empirical CDF of job response times for
@@ -49,43 +50,62 @@ var Fig6Scenarios = []struct {
 	{"underprovisioned", 50},
 }
 
-// RunFig6 executes the six panels.
+// RunFig6 executes the six panels. All twelve simulations are submitted
+// to the shared pool up front — each fetches its trace from the tracegen
+// cache, so the two policies of a panel share one generation and the
+// figure shares its traces with Fig. 5's 50 %-mix column.
 func RunFig6(p Preset) (*Fig6, error) {
 	const largeFrac = 0.50
-	out := &Fig6{}
-	for _, ov := range Fig5Overests {
-		trace, err := p.SyntheticTrace(largeFrac, ov)
+	pool := sweep.SharedPool()
+	mcs := make([]MemConfig, len(Fig6Scenarios))
+	for i, sc := range Fig6Scenarios {
+		mc, err := MemConfigByPct(sc.MemPct)
 		if err != nil {
 			return nil, err
 		}
+		mcs[i] = mc
+	}
+	pols := []policy.Kind{policy.Static, policy.Dynamic}
+	var futs []*sweep.Future[*metrics.ECDF]
+	for _, ov := range Fig5Overests {
+		ov := ov
+		for _, mc := range mcs {
+			mc := mc
+			for _, pol := range pols {
+				pol := pol
+				futs = append(futs, sweep.Submit(pool, func() (*metrics.ECDF, error) {
+					trace, err := p.SyntheticTrace(largeFrac, ov)
+					if err != nil {
+						return nil, err
+					}
+					res, err := p.RunScenario(trace.Jobs, p.SystemNodes, mc, pol)
+					if err != nil {
+						return nil, err
+					}
+					if res.Infeasible {
+						return nil, nil
+					}
+					rts := res.ResponseTimes()
+					if len(rts) == 0 {
+						return nil, nil
+					}
+					return metrics.NewECDF(rts)
+				}))
+			}
+		}
+	}
+	ecdfs, err := sweep.CollectValues(futs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig6{}
+	i := 0
+	for _, ov := range Fig5Overests {
 		for _, sc := range Fig6Scenarios {
-			mc, err := MemConfigByPct(sc.MemPct)
-			if err != nil {
-				return nil, err
-			}
 			panel := Fig6Panel{Scenario: sc.Name, MemPct: sc.MemPct, Overest: ov}
-			for _, pol := range []policy.Kind{policy.Static, policy.Dynamic} {
-				res, err := p.RunScenario(trace.Jobs, p.SystemNodes, mc, pol)
-				if err != nil {
-					return nil, err
-				}
-				if res.Infeasible {
-					continue
-				}
-				rts := res.ResponseTimes()
-				if len(rts) == 0 {
-					continue
-				}
-				e, err := metrics.NewECDF(rts)
-				if err != nil {
-					return nil, err
-				}
-				if pol == policy.Static {
-					panel.Static = e
-				} else {
-					panel.Dynamic = e
-				}
-			}
+			panel.Static = ecdfs[i]
+			panel.Dynamic = ecdfs[i+1]
+			i += 2
 			out.Panels = append(out.Panels, panel)
 		}
 	}

@@ -5,9 +5,9 @@ import (
 	"math"
 	"strings"
 
-	"dismem/internal/job"
 	"dismem/internal/metrics"
 	"dismem/internal/policy"
+	"dismem/internal/sweep"
 )
 
 // Fig7 reproduces Figure 7: throughput per dollar as a function of the job
@@ -52,51 +52,58 @@ func Fig7SysConfigs() []struct {
 // Fig7LargeFracs are the job-mix points on the x axis.
 var Fig7LargeFracs = []float64{0, 0.25, 0.50, 0.75, 1.00}
 
-// RunFig7 executes the sweep.
+// RunFig7 executes the sweep: all 80 simulations are submitted to the
+// shared pool up front. Each job mix is generated once per overestimation
+// level and shared across the four system panels — the per-figure memo map
+// this code used to carry is now the process-wide tracegen cache, which
+// also shares the mixes with Fig. 5 and the replication harness.
 func RunFig7(p Preset) (*Fig7, error) {
-	out := &Fig7{}
-	// Generate each job mix once per overestimation level and share it
-	// across the four system panels.
-	type key struct{ lf, ov float64 }
-	traces := map[key][]*job.Job{}
-	jobsFor := func(lf, ov float64) ([]*job.Job, error) {
-		k := key{lf, ov}
-		if js, ok := traces[k]; ok {
-			return js, nil
+	pool := sweep.SharedPool()
+	pols := []policy.Kind{policy.Static, policy.Dynamic}
+	var futs []*sweep.Future[float64]
+	for _, sys := range Fig7SysConfigs() {
+		sys := sys
+		for _, ov := range Fig5Overests {
+			ov := ov
+			for _, lf := range Fig7LargeFracs {
+				lf := lf
+				for _, pol := range pols {
+					pol := pol
+					futs = append(futs, sweep.Submit(pool, func() (float64, error) {
+						tr, err := p.SyntheticTrace(lf, ov)
+						if err != nil {
+							return 0, err
+						}
+						res, err := p.RunScenario(tr.Jobs, p.SystemNodes, sys.MC, pol)
+						if err != nil {
+							return 0, err
+						}
+						if res.Infeasible {
+							return math.NaN(), nil
+						}
+						totalMem := sys.MC.TotalMemMB(p.SystemNodes)
+						return metrics.ThroughputPerDollar(res.Throughput(), p.SystemNodes, totalMem), nil
+					}))
+				}
+			}
 		}
-		tr, err := p.SyntheticTrace(lf, ov)
-		if err != nil {
-			return nil, err
-		}
-		traces[k] = tr.Jobs
-		return tr.Jobs, nil
 	}
+	values, err := sweep.CollectValues(futs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig7{}
+	i := 0
 	for _, sys := range Fig7SysConfigs() {
 		for _, ov := range Fig5Overests {
 			panel := Fig7Panel{SysPct: sys.SysPct, Overest: ov}
 			for _, lf := range Fig7LargeFracs {
-				jobs, err := jobsFor(lf, ov)
-				if err != nil {
-					return nil, err
-				}
-				pt := Fig7Point{LargePct: int(lf * 100)}
-				totalMem := sys.MC.TotalMemMB(p.SystemNodes)
-				for _, pol := range []policy.Kind{policy.Static, policy.Dynamic} {
-					res, err := p.RunScenario(jobs, p.SystemNodes, sys.MC, pol)
-					if err != nil {
-						return nil, err
-					}
-					v := math.NaN()
-					if !res.Infeasible {
-						v = metrics.ThroughputPerDollar(res.Throughput(), p.SystemNodes, totalMem)
-					}
-					if pol == policy.Static {
-						pt.Static = v
-					} else {
-						pt.Dynamic = v
-					}
-				}
-				panel.Points = append(panel.Points, pt)
+				panel.Points = append(panel.Points, Fig7Point{
+					LargePct: int(lf * 100),
+					Static:   values[i],
+					Dynamic:  values[i+1],
+				})
+				i += 2
 			}
 			out.Panels = append(out.Panels, panel)
 		}

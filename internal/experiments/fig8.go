@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"dismem/internal/sweep"
 )
 
 // Fig8 reproduces Figure 8: the effect of memory overestimation on
@@ -17,42 +19,53 @@ type Fig8 struct {
 // Fig8Overests are the paper's overestimation panels.
 var Fig8Overests = []float64{0, 0.25, 0.50, 0.60, 0.75, 1.00}
 
-// RunFig8 executes the sweep; includeGrizzly controls the bottom row.
+// RunFig8 executes the sweep; includeGrizzly controls the bottom row. The
+// whole figure is one up-front task DAG: the shared baseline norm is a
+// future all six synthetic panels wait on, and the Grizzly rows run
+// alongside rather than after them.
 func RunFig8(p Preset, includeGrizzly bool) (*Fig8, error) {
 	const largeFrac = 0.50
-	out := &Fig8{}
+	pool := sweep.SharedPool()
 
-	trace0, err := p.SyntheticTrace(largeFrac, 0)
-	if err != nil {
-		return nil, err
-	}
-	norm, err := p.BaselineNorm(trace0.Jobs, p.SystemNodes)
-	if err != nil {
-		return nil, err
-	}
+	norm := sweep.Submit(pool, func() (float64, error) {
+		trace0, err := p.SyntheticTrace(largeFrac, 0)
+		if err != nil {
+			return 0, err
+		}
+		return p.BaselineNorm(trace0.Jobs, p.SystemNodes)
+	})
+	var synth, griz []*sweep.Future[*ThroughputGrid]
 	for _, ov := range Fig8Overests {
-		jobs := trace0.Jobs
-		if ov != 0 {
+		ov := ov
+		synth = append(synth, sweep.Submit(pool, func() (*ThroughputGrid, error) {
 			tr, err := p.SyntheticTrace(largeFrac, ov)
 			if err != nil {
 				return nil, err
 			}
-			jobs = tr.Jobs
-		}
-		g, err := p.ThroughputSweep(jobs, p.SystemNodes, norm, "large 50%", ov)
-		if err != nil {
-			return nil, err
-		}
-		out.Synthetic = append(out.Synthetic, g)
-	}
-
-	if includeGrizzly {
-		for _, ov := range Fig8Overests {
-			g, err := p.GrizzlyGrid(ov)
+			n, err := norm.Get()
 			if err != nil {
 				return nil, err
 			}
-			out.Grizzly = append(out.Grizzly, g)
+			return p.ThroughputSweep(tr.Jobs, p.SystemNodes, n, "large 50%", ov)
+		}))
+	}
+	if includeGrizzly {
+		for _, ov := range Fig8Overests {
+			ov := ov
+			griz = append(griz, sweep.Submit(pool, func() (*ThroughputGrid, error) {
+				return p.GrizzlyGrid(ov)
+			}))
+		}
+	}
+
+	out := &Fig8{}
+	var err error
+	if out.Synthetic, err = sweep.CollectValues(synth); err != nil {
+		return nil, err
+	}
+	if includeGrizzly {
+		if out.Grizzly, err = sweep.CollectValues(griz); err != nil {
+			return nil, err
 		}
 	}
 	return out, nil

@@ -151,10 +151,23 @@ func MemConfigByPct(pct int) (MemConfig, error) {
 	return MemConfig{}, fmt.Errorf("experiments: no memory configuration labelled %d%%", pct)
 }
 
-// SyntheticTrace generates the synthetic workload for a (large-job mix,
-// overestimation) scenario via the Fig. 3 pipeline.
+// SyntheticTrace returns the synthetic workload for a (large-job mix,
+// overestimation) scenario via the Fig. 3 pipeline. Traces are served from
+// the content-addressed tracegen cache: panels, figures, and replication
+// seeds that need the same workload share one immutable generation, so
+// callers must never mutate the returned Output or its Jobs.
 func (p Preset) SyntheticTrace(largeFrac, overest float64) (*tracegen.Output, error) {
-	return tracegen.Run(tracegen.Params{
+	return tracegen.Cached(p.syntheticParams(largeFrac, overest))
+}
+
+// SyntheticTraceUncached bypasses the trace cache; the golden tests use it
+// to prove cached and fresh generations are bit-identical.
+func (p Preset) SyntheticTraceUncached(largeFrac, overest float64) (*tracegen.Output, error) {
+	return tracegen.Run(p.syntheticParams(largeFrac, overest))
+}
+
+func (p Preset) syntheticParams(largeFrac, overest float64) tracegen.Params {
+	return tracegen.Params{
 		SystemNodes:       p.SystemNodes,
 		Load:              p.Load,
 		Days:              p.Days,
@@ -164,7 +177,7 @@ func (p Preset) SyntheticTrace(largeFrac, overest float64) (*tracegen.Output, er
 		GoogleCollections: p.GoogleCollections,
 		Cirne:             p.Cirne,
 		Seed:              p.Seed,
-	})
+	}
 }
 
 // GrizzlyDataset synthesises the LDMS dataset at the preset's scale.

@@ -75,58 +75,73 @@ type Headlines struct {
 	MemorySavingPoints Stat // static−dynamic minimum provisioning gap, Fig. 9
 }
 
-// RunHeadlines replicates all four headline metrics.
+// RunHeadlines replicates all four headline metrics. The four replications
+// are independent and run concurrently on the shared pool; within each,
+// Replicate fans the seeds out too, and every (figure, seed) trace request
+// dedupes through the tracegen cache — a replication seed generates its
+// 50 %-mix trace once, not once per figure. Errors surface in the fixed
+// metric order the serial code used.
 func RunHeadlines(p Preset, seeds int) (*Headlines, error) {
-	out := &Headlines{Seeds: seeds}
-	var err error
-	out.ThroughputGainPts, err = Replicate(p, seeds, func(q Preset) (float64, error) {
-		f5, err := RunFig5(q, false)
-		if err != nil {
-			return 0, err
-		}
-		return f5.DynamicAdvantage(), nil
+	pool := sweep.SharedPool()
+	throughput := sweep.Submit(pool, func() (Stat, error) {
+		return Replicate(p, seeds, func(q Preset) (float64, error) {
+			f5, err := RunFig5(q, false)
+			if err != nil {
+				return 0, err
+			}
+			return f5.DynamicAdvantage(), nil
+		})
 	})
-	if err != nil {
-		return nil, err
-	}
-	out.TPDGainFrac, err = Replicate(p, seeds, func(q Preset) (float64, error) {
-		f7, err := RunFig7(q)
-		if err != nil {
-			return 0, err
-		}
-		return f7.MaxDynamicGain(), nil
+	tpd := sweep.Submit(pool, func() (Stat, error) {
+		return Replicate(p, seeds, func(q Preset) (float64, error) {
+			f7, err := RunFig7(q)
+			if err != nil {
+				return 0, err
+			}
+			return f7.MaxDynamicGain(), nil
+		})
 	})
-	if err != nil {
-		return nil, err
-	}
-	out.MedianRespReduct, err = Replicate(p, seeds, func(q Preset) (float64, error) {
-		f6, err := RunFig6(q)
-		if err != nil {
-			return 0, err
-		}
-		best := math.NaN()
-		for _, panel := range f6.Panels {
-			if panel.Overest > 0 && panel.Scenario == "underprovisioned" &&
-				panel.Static != nil && panel.Dynamic != nil {
-				r := panel.MedianReduction()
-				if math.IsNaN(best) || r > best {
-					best = r
+	resp := sweep.Submit(pool, func() (Stat, error) {
+		return Replicate(p, seeds, func(q Preset) (float64, error) {
+			f6, err := RunFig6(q)
+			if err != nil {
+				return 0, err
+			}
+			best := math.NaN()
+			for _, panel := range f6.Panels {
+				if panel.Overest > 0 && panel.Scenario == "underprovisioned" &&
+					panel.Static != nil && panel.Dynamic != nil {
+					r := panel.MedianReduction()
+					if math.IsNaN(best) || r > best {
+						best = r
+					}
 				}
 			}
-		}
-		return best, nil
+			return best, nil
+		})
 	})
-	if err != nil {
+	saving := sweep.Submit(pool, func() (Stat, error) {
+		return Replicate(p, seeds, func(q Preset) (float64, error) {
+			f9, err := RunFig9(q)
+			if err != nil {
+				return 0, err
+			}
+			return float64(f9.MaxMemorySaving()), nil
+		})
+	})
+
+	out := &Headlines{Seeds: seeds}
+	var err error
+	if out.ThroughputGainPts, err = throughput.Get(); err != nil {
 		return nil, err
 	}
-	out.MemorySavingPoints, err = Replicate(p, seeds, func(q Preset) (float64, error) {
-		f9, err := RunFig9(q)
-		if err != nil {
-			return 0, err
-		}
-		return float64(f9.MaxMemorySaving()), nil
-	})
-	if err != nil {
+	if out.TPDGainFrac, err = tpd.Get(); err != nil {
+		return nil, err
+	}
+	if out.MedianRespReduct, err = resp.Get(); err != nil {
+		return nil, err
+	}
+	if out.MemorySavingPoints, err = saving.Get(); err != nil {
 		return nil, err
 	}
 	return out, nil

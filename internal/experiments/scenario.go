@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"dismem/internal/core"
+	"dismem/internal/job"
 	"dismem/internal/metrics"
 	"dismem/internal/policy"
 	"dismem/internal/sweep"
@@ -177,7 +178,7 @@ func (p Preset) RunScenarioSpec(s *ScenarioSpec) (*ScenarioResult, error) {
 	if s.Trace.Seed != 0 {
 		seed = s.Trace.Seed
 	}
-	tr, err := tracegen.Run(tracegen.Params{
+	tr, err := tracegen.Cached(tracegen.Params{
 		SystemNodes:       nodes,
 		Load:              load,
 		Days:              days,
@@ -194,12 +195,20 @@ func (p Preset) RunScenarioSpec(s *ScenarioSpec) (*ScenarioResult, error) {
 	}
 	// Dependency chains are a BuildJobs option the pipeline does not
 	// thread through; regenerate the dependency layer here when asked.
+	// The generated trace is cached and shared, so the jobs are cloned
+	// before the chains are written — never through the shared pointers.
+	jobs := tr.Jobs
 	if s.Trace.ChainFrac > 0 {
+		jobs = make([]*job.Job, len(tr.Jobs))
+		for i, jb := range tr.Jobs {
+			clone := *jb
+			jobs[i] = &clone
+		}
 		chainRng := newRand(seed + 99)
-		for i := range tr.Jobs {
+		for i := range jobs {
 			if i > 0 && chainRng.Float64() < s.Trace.ChainFrac {
 				back := 1 + chainRng.Intn(min(i, 5))
-				tr.Jobs[i].DependsOn = tr.Jobs[i].ID - back
+				jobs[i].DependsOn = jobs[i].ID - back
 			}
 		}
 	}
@@ -215,7 +224,7 @@ func (p Preset) RunScenarioSpec(s *ScenarioSpec) (*ScenarioResult, error) {
 			tasks = append(tasks, func() (ScenarioRow, error) {
 				row := ScenarioRow{MemPct: mc.LabelPct, Policy: pol.String(),
 					Throughput: Infeasible, MedianResponse: Infeasible, MeanStretch: Infeasible}
-				res, err := p.RunScenarioWith(tr.Jobs, nodes, mc, pol, func(cfg *core.Config) {
+				res, err := p.RunScenarioWith(jobs, nodes, mc, pol, func(cfg *core.Config) {
 					cfg.Backfill = bf
 					cfg.OOM = oom
 					cfg.EnforceTimeLimit = s.EnforceTimeLimit

@@ -108,17 +108,23 @@ func (p Preset) GrizzlyGrid(overest float64) (*ThroughputGrid, error) {
 	if len(tracesOv) != len(traces0) {
 		return nil, fmt.Errorf("experiments: grizzly week count changed across overestimations")
 	}
-	grids := make([]*ThroughputGrid, 0, len(traces0))
+	// One norm-then-sweep chain per sampled week, all weeks in flight at
+	// once on the shared pool.
+	pool := sweep.SharedPool()
+	futs := make([]*sweep.Future[*ThroughputGrid], len(traces0))
 	for i := range traces0 {
-		norm, err := p.BaselineNorm(traces0[i], p.GrizzlyNodes)
-		if err != nil {
-			return nil, err
-		}
-		g, err := p.ThroughputSweep(tracesOv[i], p.GrizzlyNodes, norm, "grizzly", overest)
-		if err != nil {
-			return nil, err
-		}
-		grids = append(grids, g)
+		i := i
+		futs[i] = sweep.Submit(pool, func() (*ThroughputGrid, error) {
+			norm, err := p.BaselineNorm(traces0[i], p.GrizzlyNodes)
+			if err != nil {
+				return nil, err
+			}
+			return p.ThroughputSweep(tracesOv[i], p.GrizzlyNodes, norm, "grizzly", overest)
+		})
+	}
+	grids, err := sweep.CollectValues(futs)
+	if err != nil {
+		return nil, err
 	}
 	return averageGrids(grids), nil
 }

@@ -3,13 +3,18 @@
 // experiment harness uses it to spread a figure's scenario grid across
 // cores; every simulation is self-contained (own engine, own RNG), so the
 // only shared state is the read-only job trace.
+//
+// All parallel work in the process executes on one shared pool
+// (SharedPool): Run called from inside a pool worker borrows the caller's
+// pool instead of spawning a fresh worker set, so nesting sweeps (figure →
+// panel → scenario grid) never oversubscribes the machine. For
+// dependency-shaped work, Submit/Future expose the pool directly:
+// submit-now/await-later with helping waits (see Pool).
 package sweep
 
 import (
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 )
 
 // Task computes the i-th result.
@@ -21,42 +26,43 @@ type Result[T any] struct {
 	Err   error
 }
 
-// Run executes all tasks with at most workers goroutines (0 = NumCPU) and
-// returns the results in task order. It never short-circuits: every task
-// runs even if an earlier one fails, so partial grids remain inspectable.
+// Run executes all tasks on the shared pool and returns the results in
+// task order. It never short-circuits: every task runs even if an earlier
+// one fails, so partial grids remain inspectable.
+//
+// workers bounds how many of *this call's* tasks are unfinished at once:
+// 0 submits everything up front (global concurrency is still capped by the
+// shared pool), 1 runs serially inline, and n > 1 keeps a window of n
+// tasks in flight. Unlike the retired per-call worker set, no goroutines
+// are spawned beyond the shared pool's bound, no matter how deeply Run
+// calls nest.
 func Run[T any](tasks []Task[T], workers int) []Result[T] {
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > len(tasks) {
-		workers = len(tasks)
-	}
 	results := make([]Result[T], len(tasks))
 	if len(tasks) == 0 {
 		return results
 	}
-	if workers <= 1 {
+	if workers == 1 || len(tasks) == 1 {
 		for i := range tasks {
 			results[i] = call(tasks[i])
 		}
 		return results
 	}
-	var wg sync.WaitGroup
-	idx := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				results[i] = call(tasks[i])
-			}
-		}()
+	if workers <= 0 || workers > len(tasks) {
+		workers = len(tasks)
+	}
+	p := SharedPool()
+	futs := make([]*Future[T], len(tasks))
+	next := 0
+	for ; next < workers; next++ {
+		futs[next] = Submit(p, tasks[next])
 	}
 	for i := range tasks {
-		idx <- i
+		results[i] = futs[i].Wait()
+		if next < len(tasks) {
+			futs[next] = Submit(p, tasks[next])
+			next++
+		}
 	}
-	close(idx)
-	wg.Wait()
 	return results
 }
 

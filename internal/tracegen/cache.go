@@ -1,0 +1,151 @@
+package tracegen
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+
+	"dismem/internal/workload"
+)
+
+// Content-addressed, single-flight memoization of Run. Figure pipelines,
+// replication seeds, and user scenarios all request traces through Cached;
+// concurrent requests for the same canonical Params block on one
+// generation and then share the same immutable *Output. Callers must
+// treat a cached Output (Jobs included) as read-only — anything that needs
+// to mutate a job must clone it first.
+
+// cacheEntry is one single-flight slot: the first requester generates and
+// closes done; everyone else blocks on done and reads out/err.
+type cacheEntry struct {
+	done chan struct{}
+	out  *Output
+	err  error
+}
+
+var cache = struct {
+	mu     sync.Mutex
+	m      map[string]*cacheEntry
+	hits   int64
+	misses int64
+}{m: map[string]*cacheEntry{}}
+
+// Key returns the canonical content hash of p. Params that produce the
+// same generation — default model spelled "" or "cirne", a nil Cirne
+// versus a pointer holding the defaults, distinct pointers with equal
+// values, zero versus explicit default knobs — map to the same key, and
+// the model's unused parameter block (Lublin under "cirne" and vice versa)
+// is excluded so it cannot split entries.
+func Key(p Params) string {
+	p.normalize()
+	model := p.Model
+	if model == "" {
+		model = "cirne"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "tracegen/v1|model=%s|nodes=%d|", model, p.SystemNodes)
+	fbits(&b, "load", p.Load)
+	fbits(&b, "days", p.Days)
+	fbits(&b, "large", p.LargeFrac)
+	fbits(&b, "over", p.Overestimation)
+	fmt.Fprintf(&b, "normmb=%d|gcoll=%d|", p.NormalNodeMB, p.GoogleCollections)
+	fbits(&b, "rdp", p.RDPEpsilonFrac)
+	fmt.Fprintf(&b, "cores=%d|seed=%d|", p.CoresPerNode, p.Seed)
+	switch model {
+	case "cirne":
+		// Mirror Run: the pointer only overrides the default
+		// parameterisation, and its SystemNodes/Load/Days are always
+		// taken from Params.
+		cp := workload.NewCirneParams(p.SystemNodes, p.Load, p.Days)
+		if p.Cirne != nil {
+			cp = *p.Cirne
+			cp.SystemNodes = p.SystemNodes
+			cp.Load = p.Load
+			cp.Days = p.Days
+		}
+		hashFlatStruct(&b, cp)
+	case "lublin":
+		lp := workload.NewLublinParams(p.SystemNodes, p.Load, p.Days)
+		if p.Lublin != nil {
+			lp = *p.Lublin
+			lp.SystemNodes = p.SystemNodes
+			lp.Load = p.Load
+			lp.Days = p.Days
+		}
+		hashFlatStruct(&b, lp)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+func fbits(b *strings.Builder, name string, f float64) {
+	fmt.Fprintf(b, "%s=%016x|", name, math.Float64bits(f))
+}
+
+// hashFlatStruct folds every field of a flat numeric struct (the workload
+// parameterisations) into the key, by field name so the key survives field
+// reordering and new fields cannot be forgotten. Floats are folded as
+// exact bit patterns.
+func hashFlatStruct(b *strings.Builder, s any) {
+	v := reflect.ValueOf(s)
+	t := v.Type()
+	fmt.Fprintf(b, "%s{", t.Name())
+	for i := 0; i < t.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Float64:
+			fbits(b, t.Field(i).Name, f.Float())
+		case reflect.Int, reflect.Int64:
+			fmt.Fprintf(b, "%s=%d|", t.Field(i).Name, f.Int())
+		default:
+			panic(fmt.Sprintf("tracegen: unhashable field %s.%s (%s)",
+				t.Name(), t.Field(i).Name, f.Kind()))
+		}
+	}
+	b.WriteString("}")
+}
+
+// Cached returns the memoized pipeline output for p, generating it at most
+// once per canonical key no matter how many goroutines ask concurrently.
+// Generation is deterministic, so errors are cached alongside outputs.
+func Cached(p Params) (*Output, error) {
+	k := Key(p)
+	cache.mu.Lock()
+	if e, ok := cache.m[k]; ok {
+		cache.hits++
+		cache.mu.Unlock()
+		<-e.done
+		return e.out, e.err
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	cache.m[k] = e
+	cache.misses++
+	cache.mu.Unlock()
+
+	e.out, e.err = Run(p)
+	close(e.done)
+	return e.out, e.err
+}
+
+// ResetCache drops every cached trace and zeroes the hit/miss counters.
+// Benchmarks use it to measure cold regenerations; long-lived processes
+// can use it to release trace memory between campaigns.
+func ResetCache() {
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	cache.m = map[string]*cacheEntry{}
+	cache.hits, cache.misses = 0, 0
+}
+
+// CacheStats reports the number of cache entries and the hit/miss counts
+// since the last ResetCache. Misses count actual generator invocations:
+// single-flight waiters are hits.
+func CacheStats() (entries int, hits, misses int64) {
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	return len(cache.m), cache.hits, cache.misses
+}

@@ -5,16 +5,18 @@
 # Usage:  scripts/bench.sh [output.json]
 #
 # The default output name is BENCH_<n>.json in the repo root, where <n> is
-# taken from the BENCH_SEQ environment variable (default 1, the PR that
-# introduced the incremental indexes). Benchmarks covered: the end-to-end
-# BenchmarkScenario suite plus the micro-benchmarks for each indexed
+# taken from the BENCH_SEQ environment variable (default 2, the PR that
+# introduced the barrier-free experiment pipeline). Benchmarks covered: the
+# whole-figure pipeline benchmarks (Fig. 5 pooled and serial, the replicated
+# headlines, trace generation vs cache hit), the end-to-end
+# BenchmarkScenario suite, and the micro-benchmarks for each indexed
 # structure (lender ranking, dynamic placement, engine schedule/cancel,
 # trace cursor).
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_${BENCH_SEQ:-1}.json}"
+out="${1:-BENCH_${BENCH_SEQ:-2}.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -24,6 +26,11 @@ run() {
         | grep -E '^Benchmark' >>"$tmp" || true
 }
 
+run .                    'BenchmarkFig5$'               5x
+run .                    'BenchmarkFig5Serial$'         5x
+run .                    'BenchmarkHeadlines$'          3x
+run .                    'BenchmarkTraceGeneration$'    1s
+run .                    'BenchmarkTraceCacheHit$'      1s
 run .                    'BenchmarkScenario'            100x
 run ./internal/cluster   'BenchmarkLenderRank'          1s
 run ./internal/policy    'BenchmarkPlaceDynamic'        1s
