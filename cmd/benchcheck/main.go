@@ -1,11 +1,17 @@
 // Command benchcheck compares a `go test -bench` run against a recorded
 // BENCH_<n>.json baseline and fails when any benchmark regressed beyond the
-// tolerance. It is the CI bench-smoke gate: run the benchmarks once and
-// pipe the output through benchcheck.
+// tolerance. It is the CI bench-smoke gate: run the benchmarks and pipe the
+// output through benchcheck.
+//
+// Run the benchmarks with -count=5 (or any N): benchcheck collects every
+// sample per benchmark and compares the MEDIAN against the baseline, so one
+// noisy scheduler hiccup on a shared runner cannot fake a regression — the
+// failure mode that made BENCH_1→BENCH_2 report a phantom slowdown from
+// single-shot timings.
 //
 // Usage:
 //
-//	go test -run '^$' -bench 'BenchmarkFig5$|BenchmarkHeadlines$' -benchtime 1x . \
+//	go test -run '^$' -bench 'BenchmarkFig5$|BenchmarkHeadlines$' -benchtime 1x -count=5 . \
 //	    | go run ./cmd/benchcheck -baseline BENCH_2.json
 //
 // Flags:
@@ -23,8 +29,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 )
 
@@ -69,24 +77,20 @@ func realMain() int {
 		}
 	}
 
+	samples, order, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: reading stdin: %v\n", err)
+		return 2
+	}
+
 	compared, regressed := 0, 0
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
-		if m == nil {
-			continue
-		}
-		name := m[1]
-		got, err := strconv.ParseFloat(m[2], 64)
-		if err != nil {
-			continue
-		}
+	for _, name := range order {
 		ref, ok := want[name]
 		if !ok {
 			fmt.Printf("skip  %-40s not in baseline %s\n", name, *baselinePath)
 			continue
 		}
+		got := median(samples[name])
 		compared++
 		ratio := got / ref
 		status := "ok   "
@@ -94,12 +98,8 @@ func realMain() int {
 			status = "FAIL "
 			regressed++
 		}
-		fmt.Printf("%s %-40s %14.0f ns/op vs %14.0f baseline (%+.1f%%)\n",
-			status, name, got, ref, (ratio-1)*100)
-	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchcheck: reading stdin: %v\n", err)
-		return 2
+		fmt.Printf("%s %-40s %14.0f ns/op (median of %d) vs %14.0f baseline (%+.1f%%)\n",
+			status, name, got, len(samples[name]), ref, (ratio-1)*100)
 	}
 	if compared == 0 {
 		fmt.Fprintln(os.Stderr, "benchcheck: no benchmark lines matched the baseline — nothing compared")
@@ -113,4 +113,44 @@ func realMain() int {
 	fmt.Printf("benchcheck: %d benchmarks within %.0f%% of %s (commit %s)\n",
 		compared, *tolerance*100, *baselinePath, base.Commit)
 	return 0
+}
+
+// parseBench collects every ns/op sample per benchmark name (repeated lines
+// from -count=N accumulate) and the order names first appeared, so the
+// report is stable.
+func parseBench(r io.Reader) (map[string][]float64, []string, error) {
+	samples := make(map[string][]float64)
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if _, seen := samples[m[1]]; !seen {
+			order = append(order, m[1])
+		}
+		samples[m[1]] = append(samples[m[1]], v)
+	}
+	return samples, order, sc.Err()
+}
+
+// median returns the middle sample (mean of the two middles for even n).
+// The input is copied, not reordered.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
 }

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchCollectsRepeatedRuns(t *testing.T) {
+	in := `goos: linux
+BenchmarkFig5-4            1    500000000 ns/op    1234 B/op   56 allocs/op
+BenchmarkScenario/dynamic-4  100   2000000 ns/op
+BenchmarkFig5-4            1    480000000 ns/op
+BenchmarkScenario/dynamic-4  100   2100000 ns/op
+BenchmarkFig5-4            1    900000000 ns/op
+PASS
+`
+	samples, order, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"BenchmarkFig5", "BenchmarkScenario/dynamic"}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	if got := samples["BenchmarkFig5"]; !reflect.DeepEqual(got, []float64{5e8, 4.8e8, 9e8}) {
+		t.Fatalf("Fig5 samples = %v", got)
+	}
+	if got := samples["BenchmarkScenario/dynamic"]; len(got) != 2 {
+		t.Fatalf("dynamic samples = %v", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	for _, tc := range []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{7}, 7},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		// One wild outlier in five runs — the phantom-regression shape —
+		// must not move the median.
+		{[]float64{100, 101, 99, 100, 1000}, 100},
+	} {
+		if got := median(tc.in); got != tc.want {
+			t.Errorf("median(%v) = %g, want %g", tc.in, got, tc.want)
+		}
+	}
+	// The input slice is left unsorted.
+	xs := []float64{3, 1, 2}
+	median(xs)
+	if !reflect.DeepEqual(xs, []float64{3, 1, 2}) {
+		t.Fatalf("median reordered its input: %v", xs)
+	}
+}
+
+func TestBenchLineRegexp(t *testing.T) {
+	m := benchLine.FindStringSubmatch("BenchmarkScenario/dynamic-8   	     100	   2110313 ns/op	  233236 B/op")
+	if m == nil || m[1] != "BenchmarkScenario/dynamic" || m[2] != "2110313" {
+		t.Fatalf("submatch = %v", m)
+	}
+	if benchLine.MatchString("ok  	dismem	1.2s") {
+		t.Fatal("matched a non-benchmark line")
+	}
+}

@@ -25,9 +25,11 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"dismem/internal/experiments"
+	"dismem/internal/telemetry"
 )
 
 func main() {
@@ -45,6 +47,8 @@ func realMain() int {
 	seed := flag.Int64("seed", 1, "random seed")
 	seeds := flag.Int("seeds", 1, "replications for the headlines experiment (mean ± stdev)")
 	scenario := flag.String("scenario", "", "run a JSON scenario spec instead of a named experiment")
+	telDir := flag.String("telemetry", "", "with -scenario: write one JSONL event log per (memory, policy) cell into this directory")
+	telEvery := flag.Float64("telemetry-interval", 300, "telemetry pool-sampling period in simulated seconds (0 = events only)")
 	report := flag.String("report", "", "write a full markdown evaluation report to this path and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -125,12 +129,19 @@ func realMain() int {
 		return 0
 	}
 
+	if *telDir != "" && *scenario == "" {
+		fmt.Fprintln(os.Stderr, "dmpexp: -telemetry requires -scenario")
+		return 2
+	}
 	if *scenario != "" {
 		start := time.Now()
-		out, cw, err := runScenarioFile(*scenario, p)
+		out, cw, err := runScenarioFile(*scenario, p, *telDir, *telEvery)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dmpexp: scenario: %v\n", err)
 			return 1
+		}
+		if *telDir != "" {
+			fmt.Printf("telemetry logs:         %s%c<scenario>_mem<pct>_<policy>.jsonl\n", *telDir, os.PathSeparator)
 		}
 		fmt.Printf("=== scenario %s (preset %s, %.1fs) ===\n%s\n", *scenario, p.Name, time.Since(start).Seconds(), out)
 		if *csvDir != "" && cw != nil {
@@ -297,8 +308,10 @@ func headlines(p experiments.Preset) (string, error) {
 	return b.String(), nil
 }
 
-// runScenarioFile loads a JSON scenario spec and executes it.
-func runScenarioFile(path string, p experiments.Preset) (string, csvWriter, error) {
+// runScenarioFile loads a JSON scenario spec and executes it. When telDir
+// is non-empty, every (memory, policy) cell of the sweep streams its own
+// JSONL event log into that directory.
+func runScenarioFile(path string, p experiments.Preset, telDir string, telEvery float64) (string, csvWriter, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return "", nil, err
@@ -308,9 +321,39 @@ func runScenarioFile(path string, p experiments.Preset) (string, csvWriter, erro
 	if err != nil {
 		return "", nil, err
 	}
+	// Cells run on parallel sweep workers; the factory hands each cell a
+	// private recorder so the per-cell logs stay byte-deterministic. File
+	// creation errors are collected here (the factory cannot return one)
+	// and surfaced after the sweep.
+	var mu sync.Mutex
+	var telErr error
+	if telDir != "" {
+		if err := os.MkdirAll(telDir, 0o755); err != nil {
+			return "", nil, err
+		}
+		spec.Telemetry = func(memPct int, pol string) *telemetry.Recorder {
+			name := fmt.Sprintf("%s_mem%03d_%s.jsonl", spec.Name, memPct, pol)
+			out, err := os.Create(filepath.Join(telDir, name))
+			if err != nil {
+				mu.Lock()
+				if telErr == nil {
+					telErr = err
+				}
+				mu.Unlock()
+				return nil
+			}
+			return telemetry.New(telemetry.Options{
+				Sink:           telemetry.NewJSONL(out),
+				SampleInterval: telEvery,
+			})
+		}
+	}
 	res, err := p.RunScenarioSpec(spec)
 	if err != nil {
 		return "", nil, err
+	}
+	if telErr != nil {
+		return "", nil, fmt.Errorf("telemetry: %v", telErr)
 	}
 	return res.String(), res, nil
 }

@@ -1,0 +1,241 @@
+// Command dmpobs summarizes a telemetry event log written by dmpsim or
+// dmpexp (-telemetry): event counts, job outcomes, lease flow, watermark
+// crossings, pool statistics, and terminal timelines for pool occupancy,
+// queue depth, and per-node borrow/lend volume.
+//
+// Usage:
+//
+//	dmpobs run.jsonl
+//	dmpobs -prom aggregates.txt run.jsonl
+//	dmpobs -          # read the log from stdin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"dismem/internal/telemetry"
+	"dismem/internal/textplot"
+)
+
+func main() {
+	var (
+		promPath = flag.String("prom", "", "also write Prometheus text-format aggregates of the log here")
+		width    = flag.Int("width", 72, "timeline width in characters")
+		top      = flag.Int("top", 8, "rows in the per-node borrow/lend charts")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dmpobs [-prom out.txt] [-width N] [-top N] <run.jsonl | ->")
+		os.Exit(2)
+	}
+
+	var in io.Reader = os.Stdin
+	name := flag.Arg(0)
+	if name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		in = f
+	} else {
+		name = "(stdin)"
+	}
+
+	log, err := telemetry.ReadLog(in)
+	if err != nil {
+		fail("%v", err)
+	}
+	if err := summarize(os.Stdout, name, log, *width, *top); err != nil {
+		fail("%v", err)
+	}
+
+	if *promPath != "" {
+		f, err := os.Create(*promPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := telemetry.AggregateFromLog(log).WriteText(f); err != nil {
+			f.Close()
+			fail("prom: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("prom: %v", err)
+		}
+		fmt.Printf("\nwrote Prometheus aggregates to %s\n", *promPath)
+	}
+}
+
+// summarize renders the whole observability report for one decoded log.
+func summarize(w io.Writer, name string, log *telemetry.Log, width, top int) error {
+	counts := log.Counts()
+	span := 0.0
+	if n := len(log.Events); n > 0 {
+		span = log.Events[n-1].T
+	}
+	if n := log.Series.Len(); n > 0 && log.Series.T[n-1] > span {
+		span = log.Series.T[n-1]
+	}
+	fmt.Fprintf(w, "%s: %d events, %d samples, %.0f simulated seconds\n\n",
+		name, len(log.Events), log.Series.Len(), span)
+
+	fmt.Fprintln(w, "events by kind")
+	for k := telemetry.Kind(0); k < telemetry.KindCount; k++ {
+		fmt.Fprintf(w, "  %-15s %8d\n", k.String(), counts[k])
+	}
+
+	// Job outcomes come from the JobEnd detail strings; resubmissions are
+	// JobSubmit events flagged in Aux.
+	outcomes := map[string]int{}
+	resubmits := 0
+	var grantMB, revokeMB, growMB, shrinkMB int64
+	var grows, shrinks int
+	lentBy := map[int]int64{}     // lender node -> MB granted from it
+	borrowedBy := map[int]int64{} // compute node -> MB borrowed for it
+	for i := range log.Events {
+		e := &log.Events[i]
+		switch e.Kind {
+		case telemetry.KindJobSubmit:
+			if e.Aux == 1 {
+				resubmits++
+			}
+		case telemetry.KindJobEnd:
+			outcomes[e.Detail]++
+		case telemetry.KindLeaseGrant:
+			grantMB += e.MB
+			lentBy[e.Lender] += e.MB
+			borrowedBy[e.Node] += e.MB
+		case telemetry.KindLeaseRevoke:
+			revokeMB += e.MB
+		case telemetry.KindLeaseAdjust:
+			if e.MB >= 0 {
+				grows++
+				growMB += e.MB
+			} else {
+				shrinks++
+				shrinkMB += -e.MB
+			}
+		}
+	}
+
+	fmt.Fprintln(w, "\njobs")
+	fmt.Fprintf(w, "  submitted        %8d (plus %d restarts)\n",
+		int(counts[telemetry.KindJobSubmit])-resubmits, resubmits)
+	for _, oc := range []string{"completed", "oom-killed", "timed-out", "abandoned"} {
+		if n, ok := outcomes[oc]; ok {
+			fmt.Fprintf(w, "  %-15s  %8d\n", oc, n)
+		}
+	}
+	if counts[telemetry.KindBackfillPlace] > 0 || counts[telemetry.KindBackfillHole] > 0 {
+		fmt.Fprintf(w, "  backfilled       %8d (%d reservation holes)\n",
+			counts[telemetry.KindBackfillPlace], counts[telemetry.KindBackfillHole])
+	}
+
+	fmt.Fprintln(w, "\nlease flow")
+	fmt.Fprintf(w, "  granted   %10.1f GB in %d leases from %d lender nodes\n",
+		gb(grantMB), counts[telemetry.KindLeaseGrant], len(lentBy))
+	fmt.Fprintf(w, "  revoked   %10.1f GB at teardown\n", gb(revokeMB))
+	fmt.Fprintf(w, "  resizes   %10d grows (+%.1f GB), %d shrinks (-%.1f GB)\n",
+		grows, gb(growMB), shrinks, gb(shrinkMB))
+
+	if counts[telemetry.KindPoolWatermark] > 0 {
+		fmt.Fprintln(w, "\npool watermark crossings")
+		const maxMarks = 12
+		shown := 0
+		for i := range log.Events {
+			e := &log.Events[i]
+			if e.Kind != telemetry.KindPoolWatermark {
+				continue
+			}
+			if shown == maxMarks {
+				fmt.Fprintf(w, "  … and %d more\n", counts[telemetry.KindPoolWatermark]-maxMarks)
+				break
+			}
+			shown++
+			fmt.Fprintf(w, "  t=%-10.0f free pool fell to ≤%d%% (%.1f GB free)\n", e.T, e.Aux, gb(e.MB))
+		}
+	}
+
+	if s := &log.Series; s.Len() > 0 {
+		last := s.At(s.Len() - 1)
+		fmt.Fprintln(w, "\npool samples")
+		fmt.Fprintf(w, "  min free  %10.1f GB   peak lent %10.1f GB   peak queue %d\n",
+			gb(s.MinFreeMB()), gb(s.PeakLentMB()), s.PeakQueue())
+		fmt.Fprintf(w, "  final     %10.1f GB free, %.1f GB lent, %d queued, %d running\n",
+			gb(last.FreeMB), gb(last.LentMB), last.Queue, last.Running)
+
+		fmt.Fprintln(w)
+		fmt.Fprint(w, textplot.TimeSeries("pool occupancy (GB)", s.T, []textplot.Series{
+			{Name: "free", Values: toF64(s.FreeMB, 1.0/1024)},
+			{Name: "lent", Values: toF64(s.LentMB, 1.0/1024)},
+		}, width, 12))
+		fmt.Fprintln(w)
+		fmt.Fprint(w, textplot.TimeSeries("scheduler load", s.T, []textplot.Series{
+			{Name: "queue depth", Values: toF64i32(s.Queue)},
+			{Name: "running jobs", Values: toF64i32(s.Running)},
+			{Name: "busy nodes", Values: toF64i32(s.Busy)},
+		}, width, 12))
+	}
+
+	if len(lentBy) > 0 {
+		fmt.Fprintln(w)
+		fmt.Fprint(w, textplot.BarChart("top lenders (GB lent out)", topBars(lentBy, top), width/2, "%.1f"))
+		fmt.Fprintln(w)
+		fmt.Fprint(w, textplot.BarChart("top borrowers (GB borrowed)", topBars(borrowedBy, top), width/2, "%.1f"))
+	}
+	return nil
+}
+
+// topBars converts a node→MB tally into the n largest bars in GB, ties
+// broken by node id so the report is deterministic.
+func topBars(m map[int]int64, n int) []textplot.Bar {
+	type kv struct {
+		node int
+		mb   int64
+	}
+	all := make([]kv, 0, len(m))
+	for node, mb := range m {
+		all = append(all, kv{node, mb})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].mb != all[j].mb {
+			return all[i].mb > all[j].mb
+		}
+		return all[i].node < all[j].node
+	})
+	if n > 0 && len(all) > n {
+		all = all[:n]
+	}
+	bars := make([]textplot.Bar, len(all))
+	for i, e := range all {
+		bars[i] = textplot.Bar{Label: fmt.Sprintf("node %d", e.node), Value: gb(e.mb)}
+	}
+	return bars
+}
+
+func gb(mb int64) float64 { return float64(mb) / 1024 }
+
+func toF64(v []int64, scale float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(x) * scale
+	}
+	return out
+}
+
+func toF64i32(v []int32) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dmpobs: "+format+"\n", args...)
+	os.Exit(1)
+}

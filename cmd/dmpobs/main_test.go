@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"dismem/internal/telemetry"
+)
+
+// fixtureLog drives a Recorder through a tiny run and decodes its JSONL
+// output, so the summary is tested against the same wire format dmpsim
+// writes.
+func fixtureLog(t *testing.T) *telemetry.Log {
+	t.Helper()
+	var buf bytes.Buffer
+	rec := telemetry.New(telemetry.Options{Sink: telemetry.NewJSONL(&buf)})
+	rec.SetNow(0)
+	rec.JobSubmit(1, false)
+	rec.JobSubmit(2, false)
+	rec.Sample(0, 4096, 0, 2, 0, 0)
+	rec.SetNow(10)
+	rec.JobStart(1, 2, 1024, 512)
+	rec.LeaseGrant(1, 3, 7, 512)
+	rec.BackfillHole(2, math.Inf(1))
+	rec.Sample(300, 2048, 512, 1, 2, 1)
+	rec.SetNow(400)
+	rec.LeaseAdjust(1, 3, 256, 128)
+	rec.LeaseGrant(1, 3, 9, 128)
+	rec.PoolCheck(0, 4096) // drains the pool: crosses every default watermark
+	rec.SetNow(500)
+	rec.LeaseAdjust(1, 3, -64, -64)
+	rec.JobEnd(2, "oom-killed", 0)
+	rec.JobSubmit(2, true)
+	rec.SetNow(900)
+	rec.LeaseRevoke(1, 3, 7, 512)
+	rec.LeaseRevoke(1, 3, 9, 64)
+	rec.JobEnd(1, "completed", 0)
+	rec.BackfillPlace(2)
+	rec.Sample(900, 4096, 0, 0, 0, 0)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	log, err := telemetry.ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+func TestSummarize(t *testing.T) {
+	var out strings.Builder
+	if err := summarize(&out, "fixture", fixtureLog(t), 60, 4); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"fixture: ",
+		"3 samples",
+		"events by kind",
+		"lease_grant            2",
+		"submitted               2 (plus 1 restarts)",
+		"completed               1",
+		"oom-killed              1",
+		"backfilled              1 (1 reservation holes)",
+		"lease flow",
+		"granted          0.6 GB in 2 leases from 2 lender nodes",
+		"pool watermark crossings",
+		"≤50%",
+		"≤0%",
+		"pool occupancy (GB)",
+		"scheduler load",
+		"queue depth",
+		"top lenders (GB lent out)",
+		"node 7",
+		"top borrowers (GB borrowed)",
+		"node 3",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSummarizeEmptyLog(t *testing.T) {
+	var out strings.Builder
+	if err := summarize(&out, "empty", &telemetry.Log{}, 60, 4); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "0 events, 0 samples") {
+		t.Fatalf("empty log header wrong:\n%s", s)
+	}
+	// No samples, no grants: the timeline and bar sections are skipped
+	// rather than rendered empty.
+	if strings.Contains(s, "pool occupancy") || strings.Contains(s, "top lenders") {
+		t.Fatalf("empty log rendered data sections:\n%s", s)
+	}
+}
+
+func TestTopBarsOrderAndCap(t *testing.T) {
+	bars := topBars(map[int]int64{4: 1024, 2: 2048, 9: 2048, 1: 512}, 3)
+	if len(bars) != 3 {
+		t.Fatalf("got %d bars, want 3", len(bars))
+	}
+	// Sorted by volume, ties by node id; the smallest entry dropped.
+	if bars[0].Label != "node 2" || bars[1].Label != "node 9" || bars[2].Label != "node 4" {
+		t.Fatalf("bar order wrong: %v", bars)
+	}
+	if bars[0].Value != 2.0 {
+		t.Fatalf("GB conversion wrong: %v", bars[0].Value)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"dismem/internal/metrics"
 	"dismem/internal/policy"
 	"dismem/internal/slurmconf"
+	"dismem/internal/telemetry"
 )
 
 func main() {
@@ -35,6 +36,9 @@ func main() {
 		timeline  = flag.String("timeline", "", "write an occupancy timeline CSV (t, alloc_mb, busy_nodes, queued, running) here")
 		jobsCSV   = flag.String("jobs", "", "write per-job results (schedule, response, stretch, outcome) as CSV here")
 		dumpConf  = flag.String("dump-conf", "", "write the resolved configuration as a slurm.conf file here")
+		telPath   = flag.String("telemetry", "", "write a JSONL telemetry event log here (inspect with dmpobs)")
+		telEvery  = flag.Float64("telemetry-interval", 300, "telemetry pool-sampling period in simulated seconds (0 = events only)")
+		promPath  = flag.String("prom", "", "write Prometheus text-format run aggregates here")
 		seed      = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -42,6 +46,30 @@ func main() {
 	var tl *core.Timeline
 	if *timeline != "" {
 		tl = core.NewTimeline()
+	}
+
+	// Telemetry: a nil recorder keeps the simulation's emit path at one
+	// pointer compare, so it is only built when an output was requested.
+	var rec *telemetry.Recorder
+	var prom *telemetry.PromSink
+	if *telPath != "" || *promPath != "" {
+		var sinks telemetry.MultiSink
+		if *telPath != "" {
+			f, err := os.Create(*telPath)
+			if err != nil {
+				fail("telemetry: %v", err)
+			}
+			sinks = append(sinks, telemetry.NewJSONL(f))
+		}
+		if *promPath != "" {
+			prom = telemetry.NewPromSink()
+			sinks = append(sinks, prom)
+		}
+		var sink telemetry.Sink = sinks
+		if len(sinks) == 1 {
+			sink = sinks[0]
+		}
+		rec = telemetry.New(telemetry.Options{Sink: sink, SampleInterval: *telEvery})
 	}
 
 	var kind policy.Kind
@@ -123,6 +151,7 @@ func main() {
 		if tl != nil {
 			cfg.Observer = tl
 		}
+		cfg.Telemetry = rec
 		sysNodes = cfg.Cluster.Nodes
 		kind = cfg.Policy
 		mc = experiments.MemConfig{LabelPct: *memPct, NormalMB: cfg.Cluster.NormalMB, LargeFrac: cfg.Cluster.LargeFrac}
@@ -139,9 +168,36 @@ func main() {
 			if tl != nil {
 				cfg.Observer = tl
 			}
+			cfg.Telemetry = rec
 		})
 		if err != nil {
 			fail("simulation: %v", err)
+		}
+	}
+
+	if rec != nil {
+		// Close before reporting: it flushes the JSONL stream and surfaces
+		// the first write error of the whole run.
+		events, samples := rec.TotalEvents(), rec.Series().Len()
+		if err := rec.Close(); err != nil {
+			fail("telemetry: %v", err)
+		}
+		if *telPath != "" {
+			fmt.Printf("telemetry log:          %s (%d events, %d samples)\n", *telPath, events, samples)
+		}
+		if prom != nil {
+			f, err := os.Create(*promPath)
+			if err != nil {
+				fail("prom: %v", err)
+			}
+			if err := prom.WriteText(f); err != nil {
+				f.Close()
+				fail("prom: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				fail("prom: %v", err)
+			}
+			fmt.Printf("prometheus aggregates:  %s\n", *promPath)
 		}
 	}
 
@@ -204,6 +260,7 @@ func main() {
 	fmt.Printf("jobs:                   %d submitted, %d completed, %d timed out, %d abandoned\n",
 		len(res.Records), res.Completed, res.TimedOut, res.Abandoned)
 	fmt.Printf("OOM kills:              %d\n", res.OOMKills)
+	fmt.Printf("peak queue depth:       %d\n", res.PeakQueue)
 	fmt.Printf("makespan:               %.0f s\n", res.Makespan)
 	fmt.Printf("throughput:             %.6f jobs/s\n", res.Throughput())
 	fmt.Printf("throughput per dollar:  %.3e jobs/s/$\n",

@@ -75,6 +75,7 @@ type Cluster struct {
 
 	capTotal  int64
 	freeTotal int64
+	lentTotal int64
 	busy      int
 
 	lendersBuf []NodeID // scratch returned by LendersByFreeDesc
@@ -179,6 +180,11 @@ func (c *Cluster) TotalFreeMB() int64 { return c.freeTotal }
 // the free total.
 func (c *Cluster) TotalAllocatedMB() int64 { return c.capTotal - c.freeTotal }
 
+// TotalLentMB returns the total memory currently lent to remote jobs across
+// all nodes (O(1), maintained incrementally by Lend/ReturnLend). The
+// telemetry sampler reads it every tick, so it must not rescan the ledger.
+func (c *Cluster) TotalLentMB() int64 { return c.lentTotal }
+
 // IdleComputeNodes returns the IDs of nodes able to start a new job, in
 // ascending ID order. The returned slice is a scratch buffer owned by the
 // cluster: it is valid until the next IdleComputeNodes call and must not be
@@ -276,6 +282,7 @@ func (c *Cluster) Lend(id NodeID, mb int64) error {
 		return fmt.Errorf("%w: node %d free %d MB, lend %d MB", ErrInsufficientMemory, id, n.FreeMB(), mb)
 	}
 	n.LentMB += mb
+	c.lentTotal += mb
 	c.reindexMem(n, mb)
 	c.reindexIdle(n) // lending past half capacity flips compute availability
 	return nil
@@ -291,6 +298,7 @@ func (c *Cluster) ReturnLend(id NodeID, mb int64) error {
 		return fmt.Errorf("%w: node %d lent %d MB, return %d MB", ErrOverRelease, id, n.LentMB, mb)
 	}
 	n.LentMB -= mb
+	c.lentTotal -= mb
 	c.reindexMem(n, -mb)
 	c.reindexIdle(n)
 	return nil
@@ -371,7 +379,7 @@ func (c *Cluster) AscendFree(yield func(id NodeID, free int64) bool) {
 // indexes agree with it; it returns the first violation found, or nil.
 // Tests and the simulator's debug mode call this.
 func (c *Cluster) CheckInvariants() error {
-	var freeSum int64
+	var freeSum, lentSum int64
 	busy := 0
 	for i := range c.nodes {
 		n := &c.nodes[i]
@@ -386,6 +394,7 @@ func (c *Cluster) CheckInvariants() error {
 			return fmt.Errorf("node %d: idle but has %d MB local allocation", i, n.LocalMB)
 		}
 		freeSum += n.FreeMB()
+		lentSum += n.LentMB
 		if n.RunningJob != NoJob {
 			busy++
 		}
@@ -393,6 +402,9 @@ func (c *Cluster) CheckInvariants() error {
 	// Index consistency: every derived structure must mirror the ledger.
 	if freeSum != c.freeTotal {
 		return fmt.Errorf("index: free total %d, ledger sum %d", c.freeTotal, freeSum)
+	}
+	if lentSum != c.lentTotal {
+		return fmt.Errorf("index: lent total %d, ledger sum %d", c.lentTotal, lentSum)
 	}
 	if busy != c.busy {
 		return fmt.Errorf("index: busy count %d, ledger count %d", c.busy, busy)

@@ -474,3 +474,37 @@ func BenchmarkLedgerOps(b *testing.B) {
 		}
 	}
 }
+
+func TestTotalLentMBTracksLedger(t *testing.T) {
+	c := New(4, 32, 1000)
+	if c.TotalLentMB() != 0 {
+		t.Fatalf("fresh cluster lent %d MB", c.TotalLentMB())
+	}
+	if err := c.Lend(0, 300); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Lend(1, 500); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TotalLentMB(); got != 800 {
+		t.Fatalf("lent total = %d, want 800", got)
+	}
+	if err := c.ReturnLend(0, 200); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TotalLentMB(); got != 600 {
+		t.Fatalf("lent total = %d, want 600", got)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReturnLend(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReturnLend(1, 500); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TotalLentMB(); got != 0 {
+		t.Fatalf("lent total = %d after full return, want 0", got)
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"dismem/internal/cluster"
 	"dismem/internal/policy"
+	"dismem/internal/telemetry"
 	"dismem/internal/topology"
 )
 
@@ -118,6 +119,12 @@ type Config struct {
 	Backfill BackfillMode
 	// Observer, when non-nil, receives lifecycle events.
 	Observer Observer
+	// Telemetry, when non-nil, receives the typed event stream and (when its
+	// sampling interval is set) periodic pool samples. A nil recorder is the
+	// disabled fast path: every emission is a single pointer compare.
+	// Telemetry never perturbs the simulation — results are identical with
+	// it on or off. The caller owns the recorder and closes it after Run.
+	Telemetry *telemetry.Recorder
 
 	PerNodeRemoteBW float64 // remote-memory fabric bandwidth per node, GB/s (default 10)
 

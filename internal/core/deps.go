@@ -98,6 +98,7 @@ func (s *Simulator) cancelDependents(failed int) {
 		if s.cfg.Observer != nil {
 			s.cfg.Observer.JobFinished(s.eng.Now(), j, Abandoned)
 		}
+		s.tel.JobEnd(j.ID, Abandoned.String(), rec.Restarts)
 		s.cancelDependents(j.ID)
 	}
 }

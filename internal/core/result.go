@@ -139,6 +139,7 @@ type Result struct {
 	TimedOut  int
 	Abandoned int
 	OOMKills  int // total OOM kill events (≥ restarts of abandoned jobs)
+	PeakQueue int // deepest the pending queue ever was
 
 	// Time-weighted utilisation integrals (MB·s and node·s) over the
 	// makespan, for the utilisation and cost analyses.

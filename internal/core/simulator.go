@@ -13,6 +13,7 @@ import (
 	"dismem/internal/sched"
 	"dismem/internal/sim"
 	"dismem/internal/slowdown"
+	"dismem/internal/telemetry"
 )
 
 // Simulator runs one scenario: a job trace against a cluster under one
@@ -28,6 +29,7 @@ type Simulator struct {
 	eng    *sim.Engine
 	model  *slowdown.Model
 	rng    *rand.Rand
+	tel    *telemetry.Recorder // nil when telemetry is disabled
 
 	queue   sched.Queue
 	running map[int]*runningJob
@@ -51,11 +53,11 @@ type runningJob struct {
 	j        *job.Job
 	rec      *JobRecord
 	alloc    *cluster.JobAllocation
-	start    float64 // dispatch time of this attempt
-	lastT    float64 // last progress-banking time
-	progress float64 // completed base-seconds of work
-	slow     float64 // current slowdown factor (≥1)
-	period   float64 // this job's jittered memory-update period
+	start    float64         // dispatch time of this attempt
+	lastT    float64         // last progress-banking time
+	progress float64         // completed base-seconds of work
+	slow     float64         // current slowdown factor (≥1)
+	period   float64         // this job's jittered memory-update period
 	use      memtrace.Cursor // usage-trace reader at this attempt's progress
 
 	finishEv sim.Handle
@@ -96,6 +98,7 @@ func New(cfg Config, jobs []*job.Job) (*Simulator, error) {
 		ranker:  ranker,
 		adj:     policy.NewAdjuster(ranker),
 		eng:     sim.New(),
+		tel:     cfg.Telemetry,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		running: make(map[int]*runningJob),
 		records: make(map[int]*JobRecord, len(jobs)),
@@ -103,6 +106,7 @@ func New(cfg Config, jobs []*job.Job) (*Simulator, error) {
 		prio:    make(map[int]int),
 	}
 	s.model = slowdown.NewModel(cfg.Cluster.Nodes, cfg.PerNodeRemoteBW)
+	s.adj.Tel = cfg.Telemetry
 	return s, nil
 }
 
@@ -131,6 +135,13 @@ func (s *Simulator) Run() (*Result, error) {
 		id := j.ID
 		s.eng.Schedule(j.SubmitTime, func(*sim.Engine) { s.onSubmit(id) })
 	}
+	if iv := s.tel.SampleInterval(); iv > 0 {
+		// The sampler reads state and emits; it mutates nothing, so results
+		// are identical with it on or off. Engine.Every stops rescheduling
+		// once the tick is the only queued event, so it cannot keep the run
+		// alive on its own.
+		s.eng.Every(0, iv, func(*sim.Engine) { s.sample() })
+	}
 	if s.cfg.Horizon > 0 {
 		s.eng.SetHorizon(s.cfg.Horizon)
 	}
@@ -142,8 +153,13 @@ func (s *Simulator) Run() (*Result, error) {
 		return nil, fmt.Errorf("core: event budget (%d) exhausted at t=%.0f — runaway simulation",
 			s.cfg.MaxEvents, s.eng.Now())
 	}
-	s.accrue()
-	s.res.Makespan = s.eng.Now()
+	// The clock may sit on a trailing sampler tick; the makespan is the time
+	// of the last *simulation* event, which every handler recorded in
+	// lastAcc. The sampler deliberately never accrues, so it can move
+	// neither this nor the utilisation integrals — results are identical
+	// with telemetry on or off.
+	s.res.Makespan = s.lastAcc
+	s.res.PeakQueue = s.queue.PeakLen()
 
 	for _, j := range s.jobs {
 		s.res.Records = append(s.res.Records, *s.records[j.ID])
@@ -157,7 +173,9 @@ func (s *Simulator) Run() (*Result, error) {
 }
 
 // accrue integrates the utilisation counters up to the current time. Every
-// event handler calls it before mutating state.
+// event handler calls it before mutating state; it also advances the
+// telemetry clock, so emitters deeper in the stack (policies, the ledger)
+// need not thread the simulated time through their signatures.
 func (s *Simulator) accrue() {
 	now := s.eng.Now()
 	dt := now - s.lastAcc
@@ -166,6 +184,24 @@ func (s *Simulator) accrue() {
 		s.res.BusyNodeSeconds += dt * float64(s.curBusyNodes)
 	}
 	s.lastAcc = now
+	s.tel.SetNow(now)
+}
+
+// sample records one fixed-interval telemetry snapshot. It reads O(1)
+// aggregates only and mutates no simulation state — a run with sampling on
+// produces the same Result as one with telemetry off.
+func (s *Simulator) sample() {
+	s.tel.Sample(s.eng.Now(), s.cl.TotalFreeMB(), s.cl.TotalLentMB(),
+		s.queue.Len(), s.cl.BusyNodes(), len(s.running))
+}
+
+// poolCheck feeds the free-pool watermark detector after any change to the
+// memory ledger.
+func (s *Simulator) poolCheck() {
+	if s.tel == nil {
+		return
+	}
+	s.tel.PoolCheck(s.cl.TotalFreeMB(), s.cl.TotalCapacityMB())
 }
 
 // ---------------------------------------------------------------- events
@@ -176,6 +212,7 @@ func (s *Simulator) onSubmit(id int) {
 	if s.cfg.Observer != nil {
 		s.cfg.Observer.JobSubmitted(s.eng.Now(), j, false)
 	}
+	s.tel.JobSubmit(id, false)
 	if s.dependencyState(j) == depFailed {
 		// The predecessor already failed: the job can never run.
 		rec := s.records[id]
@@ -185,6 +222,7 @@ func (s *Simulator) onSubmit(id int) {
 		if s.cfg.Observer != nil {
 			s.cfg.Observer.JobFinished(s.eng.Now(), j, Abandoned)
 		}
+		s.tel.JobEnd(id, Abandoned.String(), rec.Restarts)
 		s.cancelDependents(id)
 		return
 	}
@@ -271,6 +309,7 @@ func (s *Simulator) easyPass() {
 		return
 	}
 	shadow := s.shadowTimeFor(head)
+	s.tel.BackfillHole(head.ID, shadow)
 	for _, e := range s.queue.Items(s.cfg.QueueDepth) {
 		if e.JobID == head.ID {
 			continue
@@ -284,6 +323,7 @@ func (s *Simulator) easyPass() {
 		}
 		if ja, placed := s.pol.Place(s.cl, j); placed {
 			s.queue.Remove(e.JobID)
+			s.tel.BackfillPlace(j.ID)
 			s.start(j, ja)
 		}
 	}
@@ -305,6 +345,7 @@ func (s *Simulator) conservativePass() {
 		if fit == now {
 			if ja, placed := s.pol.Place(s.cl, j); placed {
 				s.queue.Remove(e.JobID)
+				s.tel.BackfillPlace(j.ID)
 				s.start(j, ja)
 				profile.Reserve(d, now, j.LimitSec)
 				continue
@@ -314,6 +355,7 @@ func (s *Simulator) conservativePass() {
 			// the next breakpoint to stay conservative.
 			fit = profile.EarliestFit(d, math.Nextafter(now, math.Inf(1)), j.LimitSec)
 		}
+		s.tel.BackfillHole(j.ID, fit)
 		if !math.IsInf(fit, 1) {
 			profile.Reserve(d, fit, j.LimitSec)
 		}
@@ -414,6 +456,16 @@ func (s *Simulator) start(j *job.Job, ja *cluster.JobAllocation) {
 	if s.cfg.Observer != nil {
 		s.cfg.Observer.JobStarted(now, j, ja.TotalMB()-ja.RemoteMB(), ja.RemoteMB())
 	}
+	if s.tel != nil {
+		s.tel.JobStart(j.ID, len(ja.PerNode), ja.TotalMB()-ja.RemoteMB(), ja.RemoteMB())
+		for i := range ja.PerNode {
+			na := &ja.PerNode[i]
+			for _, l := range na.Leases {
+				s.tel.LeaseGrant(j.ID, int(na.Node), int(l.Lender), l.MB)
+			}
+		}
+		s.poolCheck()
+	}
 	s.refreshAll()
 }
 
@@ -432,6 +484,7 @@ func (s *Simulator) onFinish(id int) {
 	if s.cfg.Observer != nil {
 		s.cfg.Observer.JobFinished(s.eng.Now(), rj.j, Completed)
 	}
+	s.tel.JobEnd(id, Completed.String(), rj.rec.Restarts)
 	s.refreshAll()
 	s.ensureTick(true)
 }
@@ -451,6 +504,7 @@ func (s *Simulator) onTimeLimit(id int) {
 	if s.cfg.Observer != nil {
 		s.cfg.Observer.JobFinished(s.eng.Now(), rj.j, TimedOut)
 	}
+	s.tel.JobEnd(id, TimedOut.String(), rj.rec.Restarts)
 	s.cancelDependents(rj.j.ID)
 	s.refreshAll()
 	s.ensureTick(true)
@@ -472,10 +526,20 @@ func (s *Simulator) teardown(rj *runningJob) {
 	s.eng.Cancel(rj.updateEv)
 	s.curAllocMB -= rj.alloc.TotalMB()
 	s.curBusyNodes -= len(rj.alloc.PerNode)
+	if s.tel != nil {
+		// Emit before Release truncates the lease records.
+		for i := range rj.alloc.PerNode {
+			na := &rj.alloc.PerNode[i]
+			for _, l := range na.Leases {
+				s.tel.LeaseRevoke(rj.j.ID, int(na.Node), int(l.Lender), l.MB)
+			}
+		}
+	}
 	if err := rj.alloc.Release(s.cl); err != nil {
 		panic(err) // ledger corruption: fail loudly
 	}
 	delete(s.running, rj.j.ID)
+	s.poolCheck() // rising free re-arms the watermark detector
 }
 
 // onMemoryUpdate is the Monitor→Decider→Actuator→Executor cycle for one job
@@ -497,7 +561,15 @@ func (s *Simulator) onMemoryUpdate(id int) {
 	before := rj.alloc.TotalMB()
 	oom := false
 	for i := range rj.alloc.PerNode {
-		if err := s.adj.Adjust(s.cl, rj.alloc, i, target); err != nil {
+		na := &rj.alloc.PerNode[i]
+		nodeBefore, remoteBefore := na.TotalMB(), na.RemoteMB()
+		err := s.adj.Adjust(s.cl, rj.alloc, i, target)
+		if s.tel != nil {
+			if d := na.TotalMB() - nodeBefore; d != 0 {
+				s.tel.LeaseAdjust(id, int(na.Node), d, na.RemoteMB()-remoteBefore)
+			}
+		}
+		if err != nil {
 			if err == policy.ErrOutOfMemory {
 				oom = true
 				break
@@ -507,6 +579,7 @@ func (s *Simulator) onMemoryUpdate(id int) {
 	}
 	after := rj.alloc.TotalMB()
 	s.curAllocMB += after - before
+	s.poolCheck()
 
 	if oom {
 		s.oomKill(rj)
@@ -533,6 +606,7 @@ func (s *Simulator) oomKill(rj *runningJob) {
 	}
 
 	id := rj.j.ID
+	s.tel.JobEnd(id, AttemptOOMKilled.String(), rj.rec.Restarts)
 	if rj.rec.Restarts >= s.cfg.MaxRestarts {
 		rj.rec.Outcome = Abandoned
 		rj.rec.Finish = s.eng.Now()
@@ -540,6 +614,7 @@ func (s *Simulator) oomKill(rj *runningJob) {
 		if s.cfg.Observer != nil {
 			s.cfg.Observer.JobFinished(s.eng.Now(), rj.j, Abandoned)
 		}
+		s.tel.JobEnd(id, Abandoned.String(), rj.rec.Restarts)
 		s.cancelDependents(id)
 	} else {
 		if s.cfg.OOM == CheckpointRestart {
@@ -558,6 +633,7 @@ func (s *Simulator) oomKill(rj *runningJob) {
 		if s.cfg.Observer != nil {
 			s.cfg.Observer.JobSubmitted(s.eng.Now(), rj.j, true)
 		}
+		s.tel.JobSubmit(id, true)
 	}
 	s.refreshAll()
 	s.ensureTick(true)

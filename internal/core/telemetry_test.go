@@ -1,0 +1,229 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"dismem/internal/job"
+	"dismem/internal/memtrace"
+	"dismem/internal/policy"
+	"dismem/internal/telemetry"
+)
+
+// telemetryWorkload is a small mixed scenario that exercises every emission
+// path: queueing, backfill, dynamic growth and shrink, OOM restart, and
+// teardown.
+func telemetryWorkload() []*job.Job {
+	ramp := memtrace.MustNew([]memtrace.Point{{T: 0, MB: 200}, {T: 200, MB: 900}, {T: 400, MB: 1400}})
+	return []*job.Job{
+		mkJob(1, 0, 2, 900, 800, memtrace.Constant(850)),
+		mkJob(2, 5, 1, 900, 600, ramp), // grows past its node: borrows remotely
+		mkJob(3, 10, 3, 800, 400, memtrace.Constant(700)),
+		mkJob(4, 15, 1, 300, 50, memtrace.Constant(250)), // short: backfill candidate
+		mkJob(5, 20, 1, 500, 300, memtrace.Constant(450)),
+	}
+}
+
+func telemetryConfig(pol policy.Kind) Config {
+	cfg := baseConfig(4, 1000, pol)
+	cfg.EnforceTimeLimit = true
+	return cfg
+}
+
+// TestTelemetryDoesNotPerturbResults locks the core guarantee: attaching a
+// recorder (with sampling on) must leave the simulation Result bit-identical
+// to a telemetry-off run.
+func TestTelemetryDoesNotPerturbResults(t *testing.T) {
+	for _, pol := range []policy.Kind{policy.Baseline, policy.Static, policy.Dynamic} {
+		off := runSim(t, telemetryConfig(pol), telemetryWorkload())
+
+		cfg := telemetryConfig(pol)
+		cfg.Telemetry = telemetry.New(telemetry.Options{SampleInterval: 30})
+		on := runSim(t, cfg, telemetryWorkload())
+
+		if !reflect.DeepEqual(off, on) {
+			t.Fatalf("%v: telemetry changed the result:\noff: %+v\non:  %+v", pol, off, on)
+		}
+	}
+}
+
+// TestTelemetryEventStreamConsistency cross-checks the event stream against
+// the Result and the ledger laws: submit/end pairing, grant/revoke balance,
+// and sample sanity.
+func TestTelemetryEventStreamConsistency(t *testing.T) {
+	mem := &telemetry.MemorySink{}
+	cfg := telemetryConfig(policy.Dynamic)
+	cfg.Telemetry = telemetry.New(telemetry.Options{Sink: mem, SampleInterval: 30})
+	res := runSim(t, cfg, telemetryWorkload())
+
+	rec := cfg.Telemetry
+	if got := rec.Count(telemetry.KindJobEnd); got < uint64(res.Completed) {
+		t.Fatalf("job_end events %d < completed jobs %d", got, res.Completed)
+	}
+	starts := rec.Count(telemetry.KindJobStart)
+	if starts == 0 {
+		t.Fatal("no job_start events")
+	}
+
+	var completedEnds, oomEnds int
+	var grantMB, revokeMB, shrunkMB int64
+	for _, e := range mem.Events {
+		switch e.Kind {
+		case telemetry.KindJobEnd:
+			switch e.Detail {
+			case "completed":
+				completedEnds++
+			case "oom-killed":
+				oomEnds++
+			}
+		case telemetry.KindLeaseGrant:
+			grantMB += e.MB
+		case telemetry.KindLeaseRevoke:
+			revokeMB += e.MB
+		case telemetry.KindLeaseAdjust:
+			// Aux is the remote share of the resize; a negative share is
+			// remote memory returned by the shrink path. (Positive shares
+			// duplicate the per-lender grant events, which carry the flow.)
+			if e.Aux < 0 {
+				shrunkMB += -e.Aux
+			}
+		}
+	}
+	if completedEnds != res.Completed {
+		t.Fatalf("completed job_end events %d, Result.Completed %d", completedEnds, res.Completed)
+	}
+	if oomEnds != res.OOMKills {
+		t.Fatalf("oom job_end events %d, Result.OOMKills %d", oomEnds, res.OOMKills)
+	}
+	// Everything borrowed is eventually returned: every granted megabyte
+	// comes back either through a shrink or a teardown revoke.
+	if grantMB != revokeMB+shrunkMB {
+		t.Fatalf("lease flow unbalanced: granted %d != revoked %d + shrunk %d",
+			grantMB, revokeMB, shrunkMB)
+	}
+
+	s := rec.Series()
+	if s.Len() == 0 {
+		t.Fatal("sampler recorded nothing")
+	}
+	for i := 0; i < s.Len(); i++ {
+		sm := s.At(i)
+		if sm.FreeMB < 0 || sm.LentMB < 0 || sm.Queue < 0 || sm.Busy < 0 || sm.Running < 0 {
+			t.Fatalf("negative sample at t=%g: %+v", sm.T, sm)
+		}
+		if i > 0 && sm.T <= s.At(i-1).T {
+			t.Fatalf("samples out of order at %d: %g after %g", i, sm.T, s.At(i-1).T)
+		}
+	}
+	// Events and samples carry monotonically non-decreasing timestamps.
+	for i := 1; i < len(mem.Events); i++ {
+		if mem.Events[i].T < mem.Events[i-1].T {
+			t.Fatalf("event timestamps regress at %d: %+v after %+v",
+				i, mem.Events[i], mem.Events[i-1])
+		}
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTelemetrySamplerDoesNotExtendRun asserts the trailing sampler tick
+// neither keeps the run alive nor moves the makespan.
+func TestTelemetrySamplerDoesNotExtendRun(t *testing.T) {
+	cfg := baseConfig(2, 1000, policy.Static)
+	cfg.Telemetry = telemetry.New(telemetry.Options{SampleInterval: 7})
+	j := mkJob(1, 10, 1, 500, 1000, memtrace.Constant(400))
+	res := runSim(t, cfg, []*job.Job{j})
+	if math.Abs(res.Makespan-1010) > 1e-6 {
+		t.Fatalf("makespan = %g, want 1010 (sampler must not extend it)", res.Makespan)
+	}
+	s := cfg.Telemetry.Series()
+	if s.Len() == 0 {
+		t.Fatal("no samples")
+	}
+	if last := s.T[s.Len()-1]; last > 1010+7 {
+		t.Fatalf("sampler ran to %g, long past the last event at 1010", last)
+	}
+}
+
+// TestTelemetryByteIdenticalLogs is the determinism guarantee at the core
+// level: two runs with the same seed and parameters must produce
+// byte-identical JSONL event logs.
+func TestTelemetryByteIdenticalLogs(t *testing.T) {
+	runLog := func() []byte {
+		var buf bytes.Buffer
+		cfg := telemetryConfig(policy.Dynamic)
+		cfg.Telemetry = telemetry.New(telemetry.Options{
+			Sink:           telemetry.NewJSONL(&buf),
+			SampleInterval: 30,
+		})
+		runSim(t, cfg, telemetryWorkload())
+		if err := cfg.Telemetry.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := runLog(), runLog()
+	if len(a) == 0 {
+		t.Fatal("empty event log")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed and parameters produced different event logs")
+	}
+	// And the log round-trips through the reader.
+	log, err := telemetry.ReadLog(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Events) == 0 || log.Series.Len() == 0 {
+		t.Fatalf("decoded log empty: %d events, %d samples", len(log.Events), log.Series.Len())
+	}
+}
+
+// TestTelemetryBackfillEvents checks holes and placements reach the stream.
+func TestTelemetryBackfillEvents(t *testing.T) {
+	mk := func(id int, submit float64, nodes int, runtime, limit float64) *job.Job {
+		j := mkJob(id, submit, nodes, 100, runtime, memtrace.Constant(100))
+		j.LimitSec = limit
+		return j
+	}
+	jobs := []*job.Job{
+		mk(1, 0, 1, 900, 1000),
+		mk(2, 10, 2, 100, 200), // head: blocked until job 1 ends
+		mk(3, 20, 1, 40, 50),   // short: must backfill
+	}
+	cfg := baseConfig(2, 1000, policy.Static)
+	cfg.EnforceTimeLimit = true
+	mem := &telemetry.MemorySink{}
+	cfg.Telemetry = telemetry.New(telemetry.Options{Sink: mem})
+	runSim(t, cfg, jobs)
+	if cfg.Telemetry.Count(telemetry.KindBackfillHole) == 0 {
+		t.Fatal("no backfill_hole events for a blocked head")
+	}
+	placed := false
+	for _, e := range mem.Events {
+		if e.Kind == telemetry.KindBackfillPlace && e.Job == 3 {
+			placed = true
+		}
+	}
+	if !placed {
+		t.Fatal("job 3 backfilled without a backfill_place event")
+	}
+}
+
+// TestTelemetryWatermarksFire drives the pool low and expects crossings.
+func TestTelemetryWatermarksFire(t *testing.T) {
+	mem := &telemetry.MemorySink{}
+	cfg := baseConfig(2, 1000, policy.Static)
+	cfg.Telemetry = telemetry.New(telemetry.Options{Sink: mem})
+	jobs := []*job.Job{
+		mkJob(1, 0, 1, 950, 200, memtrace.Constant(900)),
+		mkJob(2, 0, 1, 950, 200, memtrace.Constant(900)),
+	}
+	runSim(t, cfg, jobs)
+	if cfg.Telemetry.Count(telemetry.KindPoolWatermark) == 0 {
+		t.Fatal("pool dropped to 5% free without a watermark event")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"dismem/internal/metrics"
 	"dismem/internal/policy"
 	"dismem/internal/sweep"
+	"dismem/internal/telemetry"
 	"dismem/internal/tracegen"
 )
 
@@ -49,6 +50,16 @@ type ScenarioSpec struct {
 	UpdateInterval   float64  `json:"update_interval_s"` // 0 = preset default
 	OOM              string   `json:"oom"`               // fail_restart (default) | checkpoint_restart
 	EnforceTimeLimit bool     `json:"enforce_time_limit"`
+
+	// Telemetry, when non-nil, builds one private recorder per
+	// (memory, policy) cell. Cells run on parallel sweep workers, so a
+	// shared recorder would interleave nondeterministically; a
+	// recorder-per-cell keeps each cell's event log byte-deterministic.
+	// The factory is called from the cell's worker; the recorder is closed
+	// when that cell's simulation finishes. Returning nil disables
+	// telemetry for the cell. Set programmatically (dmpexp -telemetry);
+	// not part of the JSON schema.
+	Telemetry func(memPct int, pol string) *telemetry.Recorder `json:"-"`
 }
 
 // LoadScenario parses and validates a spec.
@@ -224,6 +235,10 @@ func (p Preset) RunScenarioSpec(s *ScenarioSpec) (*ScenarioResult, error) {
 			tasks = append(tasks, func() (ScenarioRow, error) {
 				row := ScenarioRow{MemPct: mc.LabelPct, Policy: pol.String(),
 					Throughput: Infeasible, MedianResponse: Infeasible, MeanStretch: Infeasible}
+				var rec *telemetry.Recorder
+				if s.Telemetry != nil {
+					rec = s.Telemetry(mc.LabelPct, pol.String())
+				}
 				res, err := p.RunScenarioWith(jobs, nodes, mc, pol, func(cfg *core.Config) {
 					cfg.Backfill = bf
 					cfg.OOM = oom
@@ -231,7 +246,11 @@ func (p Preset) RunScenarioSpec(s *ScenarioSpec) (*ScenarioResult, error) {
 					if s.UpdateInterval > 0 {
 						cfg.UpdateInterval = s.UpdateInterval
 					}
+					cfg.Telemetry = rec
 				})
+				if cerr := rec.Close(); cerr != nil && err == nil {
+					err = cerr
+				}
 				if err != nil {
 					return row, err
 				}

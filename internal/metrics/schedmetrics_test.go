@@ -148,3 +148,49 @@ func TestQuickBoundedSlowdownMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSingleElementEdgeCases pins the degenerate single-sample behaviour of
+// every fairness/quantile metric: one job is trivially fair and is its own
+// every percentile.
+func TestSingleElementEdgeCases(t *testing.T) {
+	if got := Gini([]float64{42}); got != 0 {
+		t.Fatalf("single-element Gini = %g, want 0", got)
+	}
+	if got := JainFairness([]float64{42}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("single-element Jain = %g, want 1", got)
+	}
+	for _, p := range []float64{0, 50, 100} {
+		if got := Percentile([]float64{7}, p); got != 7 {
+			t.Fatalf("single-element p%g = %g, want 7", p, got)
+		}
+	}
+	// All-negative input clamps to all-zero → the defined 0 results.
+	if Gini([]float64{-1, -2}) != 0 || JainFairness([]float64{-1, -2}) != 0 {
+		t.Fatal("all-negative inputs must clamp to the all-zero result")
+	}
+}
+
+// TestBoundedSlowdownTauClamping pins the denominator rule: max(runtime, tau),
+// with non-positive tau replaced by the customary 10 s.
+func TestBoundedSlowdownTauClamping(t *testing.T) {
+	// runtime > tau: the denominator is the runtime, tau is irrelevant.
+	if got := BoundedSlowdown(100, 50, 10); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("long job: %g, want 3", got)
+	}
+	// runtime < tau: the denominator is clamped up to tau.
+	if got := BoundedSlowdown(100, 1, 50); math.Abs(got-101.0/50) > 1e-12 {
+		t.Fatalf("short job under tau=50: %g, want %g", got, 101.0/50)
+	}
+	// tau larger than wait+runtime clamps the whole ratio below 1 → 1.
+	if got := BoundedSlowdown(3, 1, 100); got != 1 {
+		t.Fatalf("tau above response time: %g, want 1", got)
+	}
+	// Zero and negative tau both fall back to 10 s.
+	if a, b := BoundedSlowdown(90, 1, 0), BoundedSlowdown(90, 1, -5); a != b || math.Abs(a-9.1) > 1e-12 {
+		t.Fatalf("tau fallback: %g vs %g, want both 9.1", a, b)
+	}
+	// Zero runtime with defaulted tau: (wait+0)/10.
+	if got := BoundedSlowdown(25, 0, 0); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("zero-runtime: %g, want 2.5", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"dismem/internal/cluster"
+	"dismem/internal/telemetry"
 )
 
 // ErrOutOfMemory is returned by Adjust when a job's usage grows and the
@@ -16,6 +17,12 @@ var ErrOutOfMemory = errors.New("policy: out of disaggregated memory")
 // every adjustment tick allocation-free. It is not safe for concurrent use.
 type Adjuster struct {
 	ranker LenderRanker // nil = most-free via the cluster index
+
+	// Tel, when non-nil, receives a LeaseGrant event for every remote
+	// borrow the grow path performs. The Actuator is the only place that
+	// knows which lender satisfied which deficit, so the emission lives
+	// here rather than in the simulator.
+	Tel *telemetry.Recorder
 
 	own   []cluster.NodeID // the adjusted job's compute nodes
 	takes []cluster.Lease  // planned borrows for one grow
@@ -118,6 +125,7 @@ func (a *Adjuster) growBy(cl *cluster.Cluster, ja *cluster.JobAllocation, i int,
 		if err := ja.GrowRemote(cl, i, t.Lender, t.MB); err != nil {
 			return err
 		}
+		a.Tel.LeaseGrant(ja.Job, int(na.Node), int(t.Lender), t.MB)
 	}
 	if rem > 0 {
 		// Partial growth is retained, exactly as the pre-index grow loop
@@ -148,6 +156,7 @@ func (a *Adjuster) growRanked(cl *cluster.Cluster, ja *cluster.JobAllocation, i 
 		if err := ja.GrowRemote(cl, i, lender, take); err != nil {
 			return err
 		}
+		a.Tel.LeaseGrant(ja.Job, int(na.Node), int(lender), take)
 		need -= take
 		if need == 0 {
 			return nil

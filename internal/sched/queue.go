@@ -23,16 +23,24 @@ type Entry struct {
 type Queue struct {
 	items []Entry
 	seq   int
+	peak  int
 }
 
 // Len returns the number of pending entries.
 func (q *Queue) Len() int { return len(q.items) }
+
+// PeakLen returns the deepest the queue has ever been — an O(1)
+// high-watermark that is available even when telemetry sampling is off.
+func (q *Queue) PeakLen() int { return q.peak }
 
 // Push adds a job to the queue.
 func (q *Queue) Push(e Entry) {
 	e.seq = q.seq
 	q.seq++
 	q.items = append(q.items, e)
+	if len(q.items) > q.peak {
+		q.peak = len(q.items)
+	}
 	q.sort()
 }
 

@@ -235,3 +235,26 @@ func TestQuickShadowSufficient(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestQueuePeakLen(t *testing.T) {
+	var q Queue
+	if q.PeakLen() != 0 {
+		t.Fatalf("empty queue peak = %d", q.PeakLen())
+	}
+	q.Push(Entry{JobID: 1})
+	q.Push(Entry{JobID: 2})
+	q.Push(Entry{JobID: 3})
+	q.Remove(2)
+	q.Remove(1)
+	// The high-watermark survives drains and is not raised by a push that
+	// stays below it.
+	q.Push(Entry{JobID: 4})
+	if q.Len() != 2 || q.PeakLen() != 3 {
+		t.Fatalf("len = %d peak = %d, want 2 and 3", q.Len(), q.PeakLen())
+	}
+	q.Push(Entry{JobID: 5})
+	q.Push(Entry{JobID: 6})
+	if q.PeakLen() != 4 {
+		t.Fatalf("peak = %d after growing past the old mark, want 4", q.PeakLen())
+	}
+}

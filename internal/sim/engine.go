@@ -162,6 +162,27 @@ func (e *Engine) After(d float64, fn Action) Handle {
 	return e.Schedule(e.now+d, fn)
 }
 
+// Every schedules fn at absolute time start and then every interval seconds
+// for as long as other events remain queued. The self-rescheduling stops as
+// soon as the tick is the only thing left, so a periodic task (telemetry
+// sampling, progress reporting) never keeps the queue from draining or the
+// run from terminating. A non-positive interval panics.
+func (e *Engine) Every(start, interval float64, fn Action) {
+	if interval <= 0 || math.IsNaN(interval) {
+		panic(fmt.Sprintf("sim: Every with interval %g", interval))
+	}
+	var tick Action
+	tick = func(e *Engine) {
+		fn(e)
+		// The firing tick has already been popped, so Pending counts only
+		// other work; reschedule only while there is some.
+		if e.Pending() > 0 {
+			e.Schedule(e.now+interval, tick)
+		}
+	}
+	e.Schedule(start, tick)
+}
+
 // recycle marks ev spent (invalidating every Handle stamped with the old
 // generation) and returns its storage to the pool.
 func (e *Engine) recycle(ev *Event) {

@@ -3,6 +3,7 @@ package sim
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -297,4 +298,49 @@ func BenchmarkEngineScheduleCancel(b *testing.B) {
 	for _, h := range hs {
 		e.Cancel(h)
 	}
+}
+
+func TestEveryStopsWhenQueueDrains(t *testing.T) {
+	e := New()
+	var work, ticks []float64
+	for _, at := range []float64{5, 12, 29} {
+		at := at
+		e.Schedule(at, func(*Engine) { work = append(work, at) })
+	}
+	e.Every(0, 10, func(e *Engine) { ticks = append(ticks, e.Now()) })
+	e.Run()
+
+	if want := []float64{5, 12, 29}; !reflect.DeepEqual(work, want) {
+		t.Fatalf("work fired at %v, want %v", work, want)
+	}
+	// Ticks at 0, 10, 20, 30; the tick at 30 finds the queue empty and does
+	// not reschedule, so the run terminates.
+	if want := []float64{0, 10, 20, 30}; !reflect.DeepEqual(ticks, want) {
+		t.Fatalf("ticks fired at %v, want %v", ticks, want)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("%d events still queued after Run", e.Pending())
+	}
+}
+
+func TestEveryAloneFiresOnce(t *testing.T) {
+	e := New()
+	n := 0
+	e.Every(3, 10, func(*Engine) { n++ })
+	e.Run()
+	if n != 1 {
+		t.Fatalf("lone periodic fired %d times, want 1", n)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("clock at %g, want 3", e.Now())
+	}
+}
+
+func TestEveryBadIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(_, 0, _) did not panic")
+		}
+	}()
+	New().Every(0, 0, func(*Engine) {})
 }

@@ -1,0 +1,75 @@
+package telemetry
+
+// Series is the columnar time-series store behind the fixed-interval
+// sampler: one flat slice per column, appended in lockstep. Columnar layout
+// keeps a long run's samples in a handful of contiguous allocations and
+// makes per-column scans (peaks, plots) cache-friendly.
+type Series struct {
+	T       []float64
+	FreeMB  []int64
+	LentMB  []int64
+	Queue   []int32
+	Busy    []int32
+	Running []int32
+}
+
+// Len returns the number of samples recorded.
+func (s *Series) Len() int { return len(s.T) }
+
+// append adds one sample to every column.
+func (s *Series) append(sm Sample) {
+	s.T = append(s.T, sm.T)
+	s.FreeMB = append(s.FreeMB, sm.FreeMB)
+	s.LentMB = append(s.LentMB, sm.LentMB)
+	s.Queue = append(s.Queue, int32(sm.Queue))
+	s.Busy = append(s.Busy, int32(sm.Busy))
+	s.Running = append(s.Running, int32(sm.Running))
+}
+
+// At returns sample i reassembled from the columns.
+func (s *Series) At(i int) Sample {
+	return Sample{
+		T:       s.T[i],
+		FreeMB:  s.FreeMB[i],
+		LentMB:  s.LentMB[i],
+		Queue:   int(s.Queue[i]),
+		Busy:    int(s.Busy[i]),
+		Running: int(s.Running[i]),
+	}
+}
+
+// MinFreeMB returns the lowest free-pool sample, or 0 for an empty series.
+func (s *Series) MinFreeMB() int64 {
+	if len(s.FreeMB) == 0 {
+		return 0
+	}
+	m := s.FreeMB[0]
+	for _, v := range s.FreeMB[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// PeakLentMB returns the highest lent-memory sample.
+func (s *Series) PeakLentMB() int64 {
+	var m int64
+	for _, v := range s.LentMB {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// PeakQueue returns the deepest queue sampled.
+func (s *Series) PeakQueue() int {
+	var m int32
+	for _, v := range s.Queue {
+		if v > m {
+			m = v
+		}
+	}
+	return int(m)
+}

@@ -1,0 +1,264 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Options configures a Recorder.
+type Options struct {
+	// Sink receives every event and sample as it is emitted; nil keeps
+	// the run in memory only (counters + series + MemorySink-less).
+	Sink Sink
+	// SampleInterval is the time-series sampling period in simulated
+	// seconds; 0 disables the sampler (the event stream still flows).
+	SampleInterval float64
+	// Watermarks are free-pool thresholds in percent of total capacity; a
+	// KindPoolWatermark event fires when the free pool drops to or below
+	// each threshold (re-armed when it rises back above). Nil selects the
+	// default {50, 25, 10, 0}; an explicit empty slice disables them.
+	Watermarks []int
+}
+
+// DefaultWatermarks are the free-pool thresholds used when Options leaves
+// Watermarks nil.
+var DefaultWatermarks = []int{50, 25, 10, 0}
+
+// Recorder is the front end of the telemetry subsystem. The simulator holds
+// a *Recorder that is nil when telemetry is disabled; every method is safe
+// to call on a nil receiver and returns immediately, so the disabled emit
+// path costs one pointer compare and zero allocations.
+//
+// A Recorder is bound to one simulation run and, like the simulator itself,
+// is not safe for concurrent use.
+type Recorder struct {
+	sink     Sink
+	interval float64
+	marks    []int // descending thresholds, pct of capacity
+	level    int   // how many marks are currently crossed
+
+	now    float64
+	counts [KindCount]uint64
+	series Series
+	err    error // first sink error; surfaced by Err/Close
+}
+
+// New builds a Recorder from opts.
+func New(opts Options) *Recorder {
+	marks := opts.Watermarks
+	if marks == nil {
+		marks = DefaultWatermarks
+	}
+	sorted := append([]int(nil), marks...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	return &Recorder{
+		sink:     opts.Sink,
+		interval: opts.SampleInterval,
+		marks:    sorted,
+	}
+}
+
+// SampleInterval returns the configured sampling period (0 when the sampler
+// or the whole recorder is disabled).
+func (r *Recorder) SampleInterval() float64 {
+	if r == nil {
+		return 0
+	}
+	return r.interval
+}
+
+// SetNow advances the recorder's clock; the simulator calls it at the top
+// of every event handler so emitters deeper in the stack (policies, ledger)
+// need not thread the simulated time through their signatures.
+func (r *Recorder) SetNow(t float64) {
+	if r == nil {
+		return
+	}
+	r.now = t
+}
+
+// Now returns the recorder's clock.
+func (r *Recorder) Now() float64 {
+	if r == nil {
+		return 0
+	}
+	return r.now
+}
+
+// emit stamps, counts, and forwards one event.
+func (r *Recorder) emit(e Event) {
+	e.T = r.now
+	r.counts[e.Kind]++
+	if r.sink != nil {
+		if err := r.sink.Event(&e); err != nil && r.err == nil {
+			r.err = err
+		}
+	}
+}
+
+// JobSubmit records a job entering the pending queue.
+func (r *Recorder) JobSubmit(job int, resubmit bool) {
+	if r == nil {
+		return
+	}
+	var aux int64
+	if resubmit {
+		aux = 1
+	}
+	r.emit(Event{Kind: KindJobSubmit, Job: job, Node: -1, Lender: -1, Aux: aux})
+}
+
+// JobStart records a dispatch: nodes compute nodes, localMB local memory,
+// remoteMB borrowed memory.
+func (r *Recorder) JobStart(job, nodes int, localMB, remoteMB int64) {
+	if r == nil {
+		return
+	}
+	r.emit(Event{Kind: KindJobStart, Job: job, Node: nodes, Lender: -1, MB: localMB, Aux: remoteMB})
+}
+
+// JobEnd records a terminal job event with its outcome name and the restart
+// count accumulated so far.
+func (r *Recorder) JobEnd(job int, outcome string, restarts int) {
+	if r == nil {
+		return
+	}
+	r.emit(Event{Kind: KindJobEnd, Job: job, Node: -1, Lender: -1, Aux: int64(restarts), Detail: outcome})
+}
+
+// LeaseGrant records node borrowing mb from lender on behalf of job.
+func (r *Recorder) LeaseGrant(job, node, lender int, mb int64) {
+	if r == nil {
+		return
+	}
+	r.emit(Event{Kind: KindLeaseGrant, Job: job, Node: node, Lender: lender, MB: mb})
+}
+
+// LeaseAdjust records a dynamic resize of one compute node's allocation:
+// deltaMB total change (negative = shrink), deltaRemoteMB its remote share.
+func (r *Recorder) LeaseAdjust(job, node int, deltaMB, deltaRemoteMB int64) {
+	if r == nil {
+		return
+	}
+	r.emit(Event{Kind: KindLeaseAdjust, Job: job, Node: node, Lender: -1, MB: deltaMB, Aux: deltaRemoteMB})
+}
+
+// LeaseRevoke records a lease returned at teardown.
+func (r *Recorder) LeaseRevoke(job, node, lender int, mb int64) {
+	if r == nil {
+		return
+	}
+	r.emit(Event{Kind: KindLeaseRevoke, Job: job, Node: node, Lender: lender, MB: mb})
+}
+
+// BackfillHole records a reservation: job cannot start now and is promised
+// the resources at time at (+Inf when it can never start under the current
+// releases).
+func (r *Recorder) BackfillHole(job int, at float64) {
+	if r == nil {
+		return
+	}
+	r.emit(Event{Kind: KindBackfillHole, Job: job, Node: -1, Lender: -1, V: at})
+}
+
+// BackfillPlace records a job started by the backfill pass ahead of the
+// queue head.
+func (r *Recorder) BackfillPlace(job int) {
+	if r == nil {
+		return
+	}
+	r.emit(Event{Kind: KindBackfillPlace, Job: job, Node: -1, Lender: -1})
+}
+
+// PoolCheck tests the free pool against the configured watermarks and emits
+// a KindPoolWatermark event for each threshold newly crossed on the way
+// down. Rising back above a threshold re-arms it silently. The comparison
+// is integer-exact (free·100 ≤ capacity·pct) so runs are reproducible.
+func (r *Recorder) PoolCheck(freeMB, capacityMB int64) {
+	if r == nil || capacityMB <= 0 {
+		return
+	}
+	level := 0
+	for _, pct := range r.marks {
+		if freeMB*100 <= capacityMB*int64(pct) {
+			level++
+		} else {
+			break
+		}
+	}
+	if level > r.level {
+		for i := r.level; i < level; i++ {
+			r.emit(Event{
+				Kind: KindPoolWatermark, Job: -1, Node: -1, Lender: -1,
+				MB: freeMB, Aux: int64(r.marks[i]),
+				V: float64(freeMB) / float64(capacityMB),
+			})
+		}
+	}
+	r.level = level
+}
+
+// Sample records one fixed-interval snapshot into the columnar series and
+// forwards it to the sink.
+func (r *Recorder) Sample(t float64, freeMB, lentMB int64, queue, busy, running int) {
+	if r == nil {
+		return
+	}
+	sm := Sample{T: t, FreeMB: freeMB, LentMB: lentMB, Queue: queue, Busy: busy, Running: running}
+	r.series.append(sm)
+	if r.sink != nil {
+		if err := r.sink.Sample(&sm); err != nil && r.err == nil {
+			r.err = err
+		}
+	}
+}
+
+// Series returns the sampled time series (empty when sampling is off).
+func (r *Recorder) Series() *Series {
+	if r == nil {
+		return &Series{}
+	}
+	return &r.series
+}
+
+// Count returns the number of events of kind k emitted so far.
+func (r *Recorder) Count(k Kind) uint64 {
+	if r == nil || k >= KindCount {
+		return 0
+	}
+	return r.counts[k]
+}
+
+// TotalEvents returns the total number of events emitted.
+func (r *Recorder) TotalEvents() uint64 {
+	if r == nil {
+		return 0
+	}
+	var t uint64
+	for _, c := range r.counts {
+		t += c
+	}
+	return t
+}
+
+// Err returns the first sink error encountered, if any.
+func (r *Recorder) Err() error {
+	if r == nil {
+		return nil
+	}
+	return r.err
+}
+
+// Close flushes and closes the sink and returns the first error of the
+// run (emit-time or close-time). Closing a nil recorder is a no-op.
+func (r *Recorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	if r.sink != nil {
+		if err := r.sink.Close(); err != nil && r.err == nil {
+			r.err = fmt.Errorf("telemetry: close: %w", err)
+		}
+	}
+	return r.err
+}

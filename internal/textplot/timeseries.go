@@ -1,0 +1,85 @@
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// seriesMarkers are assigned to series in order; more series than markers
+// cycle back to the start.
+var seriesMarkers = []rune("*o+x#@%·")
+
+// TimeSeries renders one or more named series over a shared time axis on a
+// cols×rows character grid — the timeline view dmpobs uses for pool
+// occupancy and queue depth. The y-range spans all series together so the
+// curves are comparable; NaN values are skipped. Each series draws with its
+// own marker (later series win cell conflicts) and the legend below the axis
+// maps markers to names.
+func TimeSeries(title string, t []float64, series []Series, cols, rows int) string {
+	if cols <= 0 {
+		cols = 60
+	}
+	if rows <= 0 {
+		rows = 12
+	}
+	if len(t) == 0 || len(series) == 0 {
+		return title + "\n(no data)\n"
+	}
+	minT, maxT := math.Inf(1), math.Inf(-1)
+	for _, x := range t {
+		minT, maxT = math.Min(minT, x), math.Max(maxT, x)
+	}
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i, v := range s.Values {
+			if i >= len(t) || math.IsNaN(v) {
+				continue
+			}
+			minY, maxY = math.Min(minY, v), math.Max(maxY, v)
+		}
+	}
+	if math.IsInf(minY, 1) { // every value was NaN or misaligned
+		return title + "\n(no data)\n"
+	}
+	if maxT == minT {
+		maxT = minT + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, rows)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", cols))
+	}
+	for si, s := range series {
+		mark := seriesMarkers[si%len(seriesMarkers)]
+		for i, v := range s.Values {
+			if i >= len(t) || math.IsNaN(v) {
+				continue
+			}
+			c := clampIndex((t[i]-minT)/(maxT-minT)*float64(cols-1), cols)
+			r := rows - 1 - clampIndex((v-minY)/(maxY-minY)*float64(rows-1), rows)
+			grid[r][c] = mark
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "%.4g\n", maxY)
+	for _, row := range grid {
+		sb.WriteString("|")
+		sb.WriteString(string(row))
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("+")
+	sb.WriteString(strings.Repeat("-", cols))
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "t: %.4g .. %.4g   y: %.4g .. %.4g\n", minT, maxT, minY, maxY)
+	for si, s := range series {
+		fmt.Fprintf(&sb, "  %c %s\n", seriesMarkers[si%len(seriesMarkers)], s.Name)
+	}
+	return sb.String()
+}

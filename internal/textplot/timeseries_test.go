@@ -1,0 +1,57 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTimeSeries(t *testing.T) {
+	out := TimeSeries("pool",
+		[]float64{0, 10, 20, 30},
+		[]Series{
+			{Name: "free", Values: []float64{100, 80, 60, 90}},
+			{Name: "lent", Values: []float64{0, 20, 40, math.NaN()}},
+		}, 40, 8)
+	if !strings.HasPrefix(out, "pool\n") {
+		t.Fatalf("title missing:\n%s", out)
+	}
+	if got := strings.Count(out, "|"); got != 8 {
+		t.Fatalf("grid rows = %d, want 8", got)
+	}
+	// Both series' markers on the grid and in the legend.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("series markers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "* free") || !strings.Contains(out, "o lent") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	// Axis summary carries the data ranges.
+	if !strings.Contains(out, "t: 0 .. 30") {
+		t.Fatalf("time range missing:\n%s", out)
+	}
+	if !strings.Contains(out, "y: 0 .. 100") {
+		t.Fatalf("y range missing:\n%s", out)
+	}
+}
+
+func TestTimeSeriesEmptyAndDegenerate(t *testing.T) {
+	if got := TimeSeries("x", nil, nil, 10, 4); got != "x\n(no data)\n" {
+		t.Fatalf("empty input rendered %q", got)
+	}
+	// All values NaN collapses to no data rather than a NaN axis.
+	nan := TimeSeries("x", []float64{1, 2}, []Series{{Name: "s", Values: []float64{math.NaN(), math.NaN()}}}, 10, 4)
+	if nan != "x\n(no data)\n" {
+		t.Fatalf("all-NaN input rendered %q", nan)
+	}
+	// A single constant point must not divide by zero.
+	one := TimeSeries("", []float64{5}, []Series{{Name: "s", Values: []float64{7}}}, 10, 4)
+	if !strings.Contains(one, "*") {
+		t.Fatalf("single point lost:\n%s", one)
+	}
+	// Values beyond len(t) are ignored, not out-of-range.
+	long := TimeSeries("", []float64{0, 1}, []Series{{Name: "s", Values: []float64{1, 2, 3, 4}}}, 10, 4)
+	if !strings.Contains(long, "y: 1 .. 2") {
+		t.Fatalf("misaligned series leaked values:\n%s", long)
+	}
+}
