@@ -165,6 +165,30 @@ func BenchmarkScenario(b *testing.B) {
 			}
 		})
 	}
+
+	// grizzly-scale: one sampled week of the synthetic Grizzly system at the
+	// paper's full 1490 nodes under the dynamic policy — the high
+	// concurrent-running regime where per-event refresh cost dominates. Run
+	// it with a low -benchtime (it is orders of magnitude heavier than the
+	// sub-benchmarks above, which is the point).
+	b.Run("grizzly-scale", func(b *testing.B) {
+		gp := benchPreset()
+		gp.GrizzlyNodes = 1490
+		jobs, err := gp.GrizzlyTrace(0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gmc, err := experiments.MemConfigByPct(62)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := gp.RunScenario(jobs, gp.GrizzlyNodes, gmc, policy.Dynamic); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // Ablation benches: the design-choice studies DESIGN.md calls out.

@@ -12,11 +12,17 @@
 // Usage:
 //
 //	go test -run '^$' -bench 'BenchmarkFig5$|BenchmarkHeadlines$' -benchtime 1x -count=5 . \
-//	    | go run ./cmd/benchcheck -baseline BENCH_2.json
+//	    | go run ./cmd/benchcheck -baseline BENCH_3.json
+//
+// With -compare, benchcheck diffs two recorded baselines instead of reading
+// stdin — the cross-PR trajectory check (e.g. BENCH_3 vs BENCH_2):
+//
+//	go run ./cmd/benchcheck -baseline BENCH_2.json -compare BENCH_3.json
 //
 // Flags:
 //
 //	-baseline path   recorded JSON baseline (required)
+//	-compare path    second baseline to diff against -baseline (skips stdin)
 //	-tolerance f     allowed fractional slowdown before failing (default 0.20)
 //
 // Benchmarks present in the input but absent from the baseline (or vice
@@ -53,6 +59,7 @@ func main() {
 
 func realMain() int {
 	baselinePath := flag.String("baseline", "", "recorded BENCH_<n>.json to compare against")
+	comparePath := flag.String("compare", "", "second BENCH_<n>.json to diff against -baseline instead of stdin")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional slowdown before failing")
 	flag.Parse()
 	if *baselinePath == "" {
@@ -60,27 +67,29 @@ func realMain() int {
 		return 2
 	}
 
-	raw, err := os.ReadFile(*baselinePath)
+	base, want, err := loadBaseline(*baselinePath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
 		return 2
 	}
-	var base baselineFile
-	if err := json.Unmarshal(raw, &base); err != nil {
-		fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", *baselinePath, err)
-		return 2
-	}
-	want := make(map[string]float64)
-	for _, b := range base.Benchmarks {
-		if b.NsPerOp != nil {
-			want[b.Name] = *b.NsPerOp
-		}
-	}
 
-	samples, order, err := parseBench(os.Stdin)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchcheck: reading stdin: %v\n", err)
-		return 2
+	var samples map[string][]float64
+	var order []string
+	if *comparePath != "" {
+		// Baseline-vs-baseline mode: the second file's recorded medians stand
+		// in for the stdin samples, in the file's own benchmark order.
+		cmp, _, err := loadBaseline(*comparePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			return 2
+		}
+		samples, order = baselineSamples(cmp)
+	} else {
+		samples, order, err = parseBench(os.Stdin)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: reading stdin: %v\n", err)
+			return 2
+		}
 	}
 
 	compared, regressed := 0, 0
@@ -113,6 +122,44 @@ func realMain() int {
 	fmt.Printf("benchcheck: %d benchmarks within %.0f%% of %s (commit %s)\n",
 		compared, *tolerance*100, *baselinePath, base.Commit)
 	return 0
+}
+
+// loadBaseline reads a recorded BENCH_<n>.json and returns it plus a
+// name → ns/op map of the benchmarks that carry a timing.
+func loadBaseline(path string) (baselineFile, map[string]float64, error) {
+	var base baselineFile
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return base, nil, err
+	}
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return base, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	want := make(map[string]float64)
+	for _, b := range base.Benchmarks {
+		if b.NsPerOp != nil {
+			want[b.Name] = *b.NsPerOp
+		}
+	}
+	return base, want, nil
+}
+
+// baselineSamples converts a recorded baseline into the same (samples, order)
+// shape parseBench yields, so -compare reuses the whole reporting path: each
+// recorded ns/op becomes a single-sample series whose median is itself.
+func baselineSamples(base baselineFile) (map[string][]float64, []string) {
+	samples := make(map[string][]float64, len(base.Benchmarks))
+	var order []string
+	for _, b := range base.Benchmarks {
+		if b.NsPerOp == nil {
+			continue
+		}
+		if _, seen := samples[b.Name]; !seen {
+			order = append(order, b.Name)
+		}
+		samples[b.Name] = append(samples[b.Name], *b.NsPerOp)
+	}
+	return samples, order
 }
 
 // parseBench collects every ns/op sample per benchmark name (repeated lines

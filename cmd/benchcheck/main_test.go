@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -52,6 +54,49 @@ func TestMedian(t *testing.T) {
 	median(xs)
 	if !reflect.DeepEqual(xs, []float64{3, 1, 2}) {
 		t.Fatalf("median reordered its input: %v", xs)
+	}
+}
+
+func TestLoadBaselineAndCompareSamples(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_X.json")
+	data := `{
+  "commit": "abc1234",
+  "benchmarks": [
+    {"name": "BenchmarkFig5", "iterations": 5, "ns_per_op": 500000000, "bytes_per_op": 10, "allocs_per_op": 2},
+    {"name": "BenchmarkScenario/dynamic", "iterations": 100, "ns_per_op": 2000000, "bytes_per_op": null, "allocs_per_op": null},
+    {"name": "BenchmarkNoTiming", "iterations": 1, "ns_per_op": null, "bytes_per_op": null, "allocs_per_op": null}
+  ]
+}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, want, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Commit != "abc1234" {
+		t.Fatalf("commit = %q", base.Commit)
+	}
+	if want["BenchmarkFig5"] != 5e8 || want["BenchmarkScenario/dynamic"] != 2e6 {
+		t.Fatalf("want map = %v", want)
+	}
+	if _, ok := want["BenchmarkNoTiming"]; ok {
+		t.Fatal("null ns_per_op entry leaked into the comparison map")
+	}
+
+	samples, order := baselineSamples(base)
+	if wantOrder := []string{"BenchmarkFig5", "BenchmarkScenario/dynamic"}; !reflect.DeepEqual(order, wantOrder) {
+		t.Fatalf("order = %v, want %v", order, wantOrder)
+	}
+	// Each recorded timing is a one-sample series: its median is itself, so
+	// the -compare path reports exactly the recorded number.
+	if got := median(samples["BenchmarkFig5"]); got != 5e8 {
+		t.Fatalf("median of recorded sample = %g", got)
+	}
+
+	if _, _, err := loadBaseline(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("loadBaseline on a missing file did not error")
 	}
 }
 

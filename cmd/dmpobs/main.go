@@ -88,9 +88,13 @@ func summarize(w io.Writer, name string, log *telemetry.Log, width, top int) err
 		fmt.Fprintf(w, "  %-15s %8d\n", k.String(), counts[k])
 	}
 
-	// Job outcomes come from the JobEnd detail strings; resubmissions are
-	// JobSubmit events flagged in Aux.
+	// Final job outcomes come from the JobEnd detail strings — one per job,
+	// now that OOM kills are job_attempt_end events. Pre-split logs carried
+	// kills as job_end "oom-killed"; those are folded into the kill tally,
+	// never the outcomes, so a killed-then-abandoned job counts once either
+	// way. Resubmissions are JobSubmit events flagged in Aux.
 	outcomes := map[string]int{}
+	oomKills := 0
 	resubmits := 0
 	var grantMB, revokeMB, growMB, shrinkMB int64
 	var grows, shrinks int
@@ -104,7 +108,15 @@ func summarize(w io.Writer, name string, log *telemetry.Log, width, top int) err
 				resubmits++
 			}
 		case telemetry.KindJobEnd:
-			outcomes[e.Detail]++
+			if e.Detail == "oom-killed" {
+				oomKills++ // legacy log: kills were job_end before the split
+			} else {
+				outcomes[e.Detail]++
+			}
+		case telemetry.KindJobAttemptEnd:
+			if e.Detail == "oom-killed" {
+				oomKills++
+			}
 		case telemetry.KindLeaseGrant:
 			grantMB += e.MB
 			lentBy[e.Lender] += e.MB
@@ -125,10 +137,13 @@ func summarize(w io.Writer, name string, log *telemetry.Log, width, top int) err
 	fmt.Fprintln(w, "\njobs")
 	fmt.Fprintf(w, "  submitted        %8d (plus %d restarts)\n",
 		int(counts[telemetry.KindJobSubmit])-resubmits, resubmits)
-	for _, oc := range []string{"completed", "oom-killed", "timed-out", "abandoned"} {
+	for _, oc := range []string{"completed", "timed-out", "abandoned"} {
 		if n, ok := outcomes[oc]; ok {
 			fmt.Fprintf(w, "  %-15s  %8d\n", oc, n)
 		}
+	}
+	if oomKills > 0 {
+		fmt.Fprintf(w, "  oom kills        %8d (attempts, not terminal outcomes)\n", oomKills)
 	}
 	if counts[telemetry.KindBackfillPlace] > 0 || counts[telemetry.KindBackfillHole] > 0 {
 		fmt.Fprintf(w, "  backfilled       %8d (%d reservation holes)\n",

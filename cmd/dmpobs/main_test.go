@@ -19,6 +19,7 @@ func fixtureLog(t *testing.T) *telemetry.Log {
 	rec.SetNow(0)
 	rec.JobSubmit(1, false)
 	rec.JobSubmit(2, false)
+	rec.JobSubmit(3, false)
 	rec.Sample(0, 4096, 0, 2, 0, 0)
 	rec.SetNow(10)
 	rec.JobStart(1, 2, 1024, 512)
@@ -31,8 +32,14 @@ func fixtureLog(t *testing.T) *telemetry.Log {
 	rec.PoolCheck(0, 4096) // drains the pool: crosses every default watermark
 	rec.SetNow(500)
 	rec.LeaseAdjust(1, 3, -64, -64)
+	// Legacy pre-split log line: kills used to be job_end. The summary must
+	// fold it into the kill tally, not the terminal outcomes.
 	rec.JobEnd(2, "oom-killed", 0)
 	rec.JobSubmit(2, true)
+	// Current schema: the kill is an attempt end, the abandonment the single
+	// final job_end — the pair the old double-emit produced as two job_ends.
+	rec.JobAttemptEnd(3, "oom-killed", 1)
+	rec.JobEnd(3, "abandoned", 1)
 	rec.SetNow(900)
 	rec.LeaseRevoke(1, 3, 7, 512)
 	rec.LeaseRevoke(1, 3, 9, 64)
@@ -60,9 +67,11 @@ func TestSummarize(t *testing.T) {
 		"3 samples",
 		"events by kind",
 		"lease_grant            2",
-		"submitted               2 (plus 1 restarts)",
+		"job_attempt_end        1",
+		"submitted               3 (plus 1 restarts)",
 		"completed               1",
-		"oom-killed              1",
+		"abandoned               1",
+		"oom kills               2 (attempts, not terminal outcomes)",
 		"backfilled              1 (1 reservation holes)",
 		"lease flow",
 		"granted          0.6 GB in 2 leases from 2 lender nodes",

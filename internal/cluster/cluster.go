@@ -78,6 +78,14 @@ type Cluster struct {
 	lentTotal int64
 	busy      int
 
+	// Capacity-class split of the idle set: a node with CapacityMB > largeMB
+	// is "large". Maintained alongside the bitset so the backfill reservation
+	// arithmetic reads its resource summary in O(1) instead of rescanning all
+	// nodes per scheduling pass.
+	largeMB    int64
+	idleNormal int
+	idleLarge  int
+
 	lendersBuf []NodeID // scratch returned by LendersByFreeDesc
 	idleBuf    []NodeID // scratch returned by IdleComputeNodes
 }
@@ -96,7 +104,9 @@ func (c *Cluster) initIndexes() {
 	c.free.init(frees)
 	c.idle.init(len(c.nodes))
 	for i := range c.nodes {
-		c.idle.setTo(i, c.nodes[i].IsComputeAvailable())
+		if d := c.idle.setTo(i, c.nodes[i].IsComputeAvailable()); d != 0 {
+			c.bumpIdleSplit(i, d)
+		}
 	}
 	sort.Slice(c.capOrder, func(a, b int) bool {
 		ca, cb := c.nodes[c.capOrder[a]].CapacityMB, c.nodes[c.capOrder[b]].CapacityMB
@@ -115,9 +125,21 @@ func (c *Cluster) reindexMem(n *Node, delta int64) {
 	c.free.update(n.ID, n.FreeMB())
 }
 
-// reindexIdle refreshes node n's compute-availability bit.
+// reindexIdle refreshes node n's compute-availability bit and the
+// capacity-class split counts.
 func (c *Cluster) reindexIdle(n *Node) {
-	c.idle.setTo(int(n.ID), n.IsComputeAvailable())
+	if d := c.idle.setTo(int(n.ID), n.IsComputeAvailable()); d != 0 {
+		c.bumpIdleSplit(int(n.ID), d)
+	}
+}
+
+// bumpIdleSplit folds an idle-set membership delta into the per-class counts.
+func (c *Cluster) bumpIdleSplit(i, delta int) {
+	if c.nodes[i].CapacityMB > c.largeMB {
+		c.idleLarge += delta
+	} else {
+		c.idleNormal += delta
+	}
 }
 
 // Config describes a cluster to build: Normal-capacity and Large-capacity
@@ -129,9 +151,11 @@ type Config struct {
 	LargeFrac float64
 }
 
-// New builds a cluster of n homogeneous nodes.
+// New builds a cluster of n homogeneous nodes. All nodes count as "normal"
+// in the idle-split summary: the large class is defined as capacity above the
+// normal size, and a homogeneous cluster has none.
 func New(n, cores int, capacityMB int64) *Cluster {
-	c := &Cluster{nodes: make([]Node, n)}
+	c := &Cluster{nodes: make([]Node, n), largeMB: capacityMB}
 	for i := range c.nodes {
 		c.nodes[i] = Node{ID: NodeID(i), Cores: cores, CapacityMB: capacityMB, RunningJob: NoJob}
 	}
@@ -143,7 +167,7 @@ func New(n, cores int, capacityMB int64) *Cluster {
 // nodes are large (2× NormalMB), the rest normal. The paper sweeps LargeFrac
 // over {0, 0.15, 0.25, 0.50, 0.75, 1.0}.
 func NewMixed(cfg Config) *Cluster {
-	c := &Cluster{nodes: make([]Node, cfg.Nodes)}
+	c := &Cluster{nodes: make([]Node, cfg.Nodes), largeMB: cfg.NormalMB}
 	nLarge := int(float64(cfg.Nodes)*cfg.LargeFrac + 0.5)
 	for i := range c.nodes {
 		cap := cfg.NormalMB
@@ -209,6 +233,30 @@ func (c *Cluster) idleComputeNodesRef() []NodeID {
 
 // IdleComputeCount returns the number of compute-available nodes in O(1).
 func (c *Cluster) IdleComputeCount() int { return c.idle.count }
+
+// IdleComputeSplit returns the compute-available node counts by capacity
+// class (normal vs large, the paper's double-capacity nodes) in O(1). The
+// backfill reservation arithmetic reads it every scheduling pass.
+func (c *Cluster) IdleComputeSplit() (normal, large int) {
+	return c.idleNormal, c.idleLarge
+}
+
+// idleComputeSplitRef is the retained full-rescan reference for
+// IdleComputeSplit; the differential tests compare against it after every
+// ledger operation.
+func (c *Cluster) idleComputeSplitRef() (normal, large int) {
+	for i := range c.nodes {
+		if !c.nodes[i].IsComputeAvailable() {
+			continue
+		}
+		if c.nodes[i].CapacityMB > c.largeMB {
+			large++
+		} else {
+			normal++
+		}
+	}
+	return normal, large
+}
 
 // BusyNodes returns the number of nodes currently running a job (O(1)).
 func (c *Cluster) BusyNodes() int { return c.busy }
@@ -425,6 +473,10 @@ func (c *Cluster) CheckInvariants() error {
 	}
 	if idle != c.idle.count {
 		return fmt.Errorf("index: idle count %d, ledger count %d", c.idle.count, idle)
+	}
+	if n, l := c.idleComputeSplitRef(); n != c.idleNormal || l != c.idleLarge {
+		return fmt.Errorf("index: idle split (normal=%d large=%d), ledger (normal=%d large=%d)",
+			c.idleNormal, c.idleLarge, n, l)
 	}
 	return nil
 }

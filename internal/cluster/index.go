@@ -171,19 +171,24 @@ func (s *idleSet) init(n int) {
 	s.count = 0
 }
 
-func (s *idleSet) setTo(i int, avail bool) {
+// setTo files node i's availability bit and returns the membership delta
+// (+1 joined, −1 left, 0 unchanged) so callers can maintain derived counts —
+// the per-capacity-class split feeding the O(1) resource summary — without a
+// second bit probe.
+func (s *idleSet) setTo(i int, avail bool) int {
 	w, mask := i>>6, uint64(1)<<uint(i&63)
 	has := s.bits[w]&mask != 0
 	if avail == has {
-		return
+		return 0
 	}
 	if avail {
 		s.bits[w] |= mask
 		s.count++
-	} else {
-		s.bits[w] &^= mask
-		s.count--
+		return 1
 	}
+	s.bits[w] &^= mask
+	s.count--
+	return -1
 }
 
 // appendIDs appends the set members to dst in ascending ID order.

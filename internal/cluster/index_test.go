@@ -132,6 +132,15 @@ func TestDifferentialIndexes(t *testing.T) {
 				t.Logf("op %d: idle count %d != len %d", op, c.IdleComputeCount(), len(gotIdle))
 				return false
 			}
+			gotN, gotL := c.IdleComputeSplit()
+			if wantN, wantL := c.idleComputeSplitRef(); gotN != wantN || gotL != wantL {
+				t.Logf("op %d: idle split (%d,%d) != ref (%d,%d)", op, gotN, gotL, wantN, wantL)
+				return false
+			}
+			if gotN+gotL != len(gotIdle) {
+				t.Logf("op %d: idle split sum %d != idle count %d", op, gotN+gotL, len(gotIdle))
+				return false
+			}
 			var freeSum, allocSum int64
 			busy := 0
 			for _, node := range c.Nodes() {

@@ -43,9 +43,22 @@ type Simulator struct {
 	curBusyNodes  int
 	tickScheduled bool
 
+	// runIDs mirrors the keys of running, kept sorted ascending. The refresh
+	// and backfill hot paths iterate it instead of collecting and sorting the
+	// map keys on every event.
+	runIDs []int
+
+	// refRescan routes refreshAll/currentResources/releases through the
+	// retained full-rescan reference implementations. The differential tests
+	// run every scenario both ways and assert identical Results and
+	// byte-identical telemetry.
+	refRescan bool
+
 	// Scratch reused across refreshAll calls (the per-event hot path).
 	idsBuf   []int
 	fracsBuf []float64
+	relBuf   []sched.Release
+	prof     *sched.Profile // pooled conservative-backfill profile
 }
 
 // runningJob is the live state of one dispatched job.
@@ -63,6 +76,16 @@ type runningJob struct {
 	finishEv sim.Handle
 	limitEv  sim.Handle
 	updateEv sim.Handle
+
+	// Contention cache, valid while dirty is false. A job's per-node remote
+	// fractions depend only on its own allocation, which changes only at
+	// dispatch and in its own memory-update handler — never when other jobs
+	// borrow from or return memory to the same lenders — so the cache is
+	// invalidated exactly there and refreshAll does no per-node work for
+	// untouched jobs.
+	nodeTraffic []float64 // per alloc.PerNode entry: slowdown.NodeTraffic value
+	maxFrac     float64   // max distance-weighted remote fraction over nodes
+	dirty       bool      // allocation changed since recontend last ran
 }
 
 // New validates the configuration and trace and builds a simulator.
@@ -334,7 +357,11 @@ func (s *Simulator) easyPass() {
 // earlier job's reservation back.
 func (s *Simulator) conservativePass() {
 	now := s.eng.Now()
-	profile := sched.NewProfile(now, s.currentResources(), s.releases())
+	if s.prof == nil {
+		s.prof = &sched.Profile{}
+	}
+	profile := s.prof
+	profile.Reset(now, s.currentResources(), s.releases())
 	for _, e := range s.queue.Items(s.cfg.QueueDepth) {
 		j := s.byID[e.JobID]
 		if s.dependencyState(j) != depSatisfied {
@@ -363,8 +390,22 @@ func (s *Simulator) conservativePass() {
 }
 
 // currentResources summarises present availability for the reservation
-// arithmetic.
+// arithmetic. The node-class counts come straight from the cluster's idle
+// split (O(1)); the class threshold there is NormalMB, the same comparison
+// the retained rescan applies per node.
 func (s *Simulator) currentResources() sched.Resources {
+	if s.refRescan {
+		return s.currentResourcesRescan()
+	}
+	var r sched.Resources
+	r.NormalNodes, r.LargeNodes = s.cl.IdleComputeSplit()
+	r.FreeMB = s.cl.TotalFreeMB()
+	return r
+}
+
+// currentResourcesRescan is the retained full-rescan reference for
+// currentResources.
+func (s *Simulator) currentResourcesRescan() sched.Resources {
 	normalMB := s.cfg.Cluster.NormalMB
 	var r sched.Resources
 	for _, n := range s.cl.Nodes() {
@@ -380,23 +421,47 @@ func (s *Simulator) currentResources() sched.Resources {
 	return r
 }
 
-// releases lists running jobs' conservative completions (start + limit).
+// releases lists running jobs' conservative completions (start + limit) into
+// a scratch slice reused across scheduling passes. Jobs are visited in
+// ascending ID order; the consumers (Profile, ShadowTime) sort by release
+// time and combine resources with commutative integer arithmetic, so the
+// iteration order cannot affect results — the retained reference walks the
+// map instead and the differential tests confirm the equivalence.
 func (s *Simulator) releases() []sched.Release {
-	normalMB := s.cfg.Cluster.NormalMB
+	if s.refRescan {
+		return s.releasesRescan()
+	}
+	out := s.relBuf[:0]
+	for _, id := range s.runIDs {
+		out = append(out, s.releaseOf(s.running[id]))
+	}
+	s.relBuf = out
+	return out
+}
+
+// releasesRescan is the retained reference implementation of releases: a
+// fresh allocation per call, map iteration order.
+func (s *Simulator) releasesRescan() []sched.Release {
 	out := make([]sched.Release, 0, len(s.running))
 	for _, rj := range s.running {
-		var res sched.Resources
-		for i := range rj.alloc.PerNode {
-			if s.cl.Node(rj.alloc.PerNode[i].Node).CapacityMB > normalMB {
-				res.LargeNodes++
-			} else {
-				res.NormalNodes++
-			}
-		}
-		res.FreeMB = rj.alloc.TotalMB()
-		out = append(out, sched.Release{At: rj.start + rj.j.LimitSec, Res: res})
+		out = append(out, s.releaseOf(rj))
 	}
 	return out
+}
+
+// releaseOf summarises one running job's conservative release.
+func (s *Simulator) releaseOf(rj *runningJob) sched.Release {
+	normalMB := s.cfg.Cluster.NormalMB
+	var res sched.Resources
+	for i := range rj.alloc.PerNode {
+		if s.cl.Node(rj.alloc.PerNode[i].Node).CapacityMB > normalMB {
+			res.LargeNodes++
+		} else {
+			res.NormalNodes++
+		}
+	}
+	res.FreeMB = rj.alloc.TotalMB()
+	return sched.Release{At: rj.start + rj.j.LimitSec, Res: res}
 }
 
 // demandFor maps a job to the aggregate demand vector under the active
@@ -439,9 +504,14 @@ func (s *Simulator) start(j *job.Job, ja *cluster.JobAllocation) {
 		slow:     1,
 		period:   s.cfg.UpdateInterval * (1 + s.cfg.UpdateJitter*(2*s.rng.Float64()-1)),
 		use:      j.Usage.Cursor(),
+		dirty:    true,
 	}
 	delete(s.banked, j.ID)
 	s.running[j.ID] = rj
+	i := sort.SearchInts(s.runIDs, j.ID)
+	s.runIDs = append(s.runIDs, 0)
+	copy(s.runIDs[i+1:], s.runIDs[i:])
+	s.runIDs[i] = j.ID
 	s.curAllocMB += ja.TotalMB()
 	s.curBusyNodes += len(ja.PerNode)
 
@@ -539,6 +609,9 @@ func (s *Simulator) teardown(rj *runningJob) {
 		panic(err) // ledger corruption: fail loudly
 	}
 	delete(s.running, rj.j.ID)
+	if i := sort.SearchInts(s.runIDs, rj.j.ID); i < len(s.runIDs) && s.runIDs[i] == rj.j.ID {
+		s.runIDs = append(s.runIDs[:i], s.runIDs[i+1:]...)
+	}
 	s.poolCheck() // rising free re-arms the watermark detector
 }
 
@@ -579,6 +652,7 @@ func (s *Simulator) onMemoryUpdate(id int) {
 	}
 	after := rj.alloc.TotalMB()
 	s.curAllocMB += after - before
+	rj.dirty = true // the Adjust loop may have reshaped this job's placement
 	s.poolCheck()
 
 	if oom {
@@ -606,7 +680,7 @@ func (s *Simulator) oomKill(rj *runningJob) {
 	}
 
 	id := rj.j.ID
-	s.tel.JobEnd(id, AttemptOOMKilled.String(), rj.rec.Restarts)
+	s.tel.JobAttemptEnd(id, AttemptOOMKilled.String(), rj.rec.Restarts)
 	if rj.rec.Restarts >= s.cfg.MaxRestarts {
 		rj.rec.Outcome = Abandoned
 		rj.rec.Finish = s.eng.Now()
@@ -695,14 +769,98 @@ func (s *Simulator) remoteFraction(na *cluster.NodeAllocation) float64 {
 	return weighted / float64(total)
 }
 
+// recontend rebuilds rj's contention cache from its current allocation: the
+// per-node traffic contributions (in PerNode order, so the global flat sum
+// visits them exactly as the full rescan did) and the maximum
+// distance-weighted remote fraction its slowdown depends on. Each cached
+// value is a deterministic function of the allocation alone, so reusing it
+// across refreshes is bit-exact.
+func (s *Simulator) recontend(rj *runningJob) {
+	rj.nodeTraffic = rj.nodeTraffic[:0]
+	fracs := s.fracsBuf[:0]
+	for i := range rj.alloc.PerNode {
+		na := &rj.alloc.PerNode[i]
+		rj.nodeTraffic = append(rj.nodeTraffic, slowdown.NodeTraffic(rj.j.Profile, 1-na.LocalFraction()))
+		fracs = append(fracs, s.remoteFraction(na))
+	}
+	s.fracsBuf = fracs
+	rj.maxFrac = slowdown.MaxWeightedFrac(fracs)
+	rj.dirty = false
+}
+
 // refreshAll recomputes the global contention pressure and every running
 // job's slowdown, rescheduling completion events accordingly. It must be
 // called after any change to memory placements.
 //
+// The incremental path does per-node work only for jobs whose allocation
+// changed since the last refresh (flagged dirty at dispatch and in their own
+// memory-update handler): untouched jobs contribute their cached traffic
+// values and cached max fraction. Bit-identity with the full rescan —
+// asserted by golden digests and the differential tests — follows from three
+// facts: the traffic sum is flat over the same (job asc-ID, node) order, so
+// the float additions associate identically; the cached inputs are exact
+// (see recontend); and JobSlowdownFromMax over the cached max equals
+// JobSlowdownWeighted over the full fraction vector bit-for-bit.
+//
+// Banking stays eager for every job each refresh: progress accrual divides
+// by the prevailing slowdown step by step, and collapsing steps would change
+// the float rounding and with it the golden digests.
+func (s *Simulator) refreshAll() {
+	if s.refRescan {
+		s.refreshAllRescan()
+		return
+	}
+	now := s.eng.Now()
+	for _, id := range s.runIDs {
+		s.bank(s.running[id])
+	}
+	var traffic float64
+	for _, id := range s.runIDs {
+		rj := s.running[id]
+		if rj.dirty {
+			s.recontend(rj)
+		}
+		for _, t := range rj.nodeTraffic {
+			traffic += t
+		}
+	}
+	rho := s.model.Pressure(traffic)
+	for _, id := range s.runIDs {
+		rj := s.running[id]
+		rj.slow = slowdown.JobSlowdownFromMax(rj.j.Profile, rj.maxFrac, rho)
+		s.refinish(rj, now)
+	}
+}
+
+// refinish recomputes rj's completion time at the current slowdown and
+// reschedules the finish event only if it moved.
+func (s *Simulator) refinish(rj *runningJob, now float64) {
+	remaining := rj.j.BaseRuntime - rj.progress
+	if remaining < 0 {
+		remaining = 0
+	}
+	at := now + remaining*rj.slow
+	if math.IsInf(at, 0) || math.IsNaN(at) {
+		panic(fmt.Sprintf("core: bad finish time for job %d", rj.j.ID))
+	}
+	if !rj.finishEv.Pending() {
+		id := rj.j.ID
+		rj.finishEv = s.eng.Schedule(at, func(*sim.Engine) { s.onFinish(id) })
+	} else if rj.finishEv.At() != at {
+		rj.finishEv = s.eng.Reschedule(rj.finishEv, at)
+	}
+}
+
+// refreshAllRescan is the retained full-rescan reference implementation of
+// refreshAll: collect and sort the running set, then re-derive every job's
+// per-node fractions, traffic and slowdown from the ledger with no caching.
+// The differential tests run whole scenarios through it and assert Results
+// and telemetry stay byte-identical to the incremental path.
+//
 // Jobs are visited in ascending ID order: map iteration order varies
 // between runs, and floating-point summation of the traffic is not
 // associative, so unordered iteration would make results irreproducible.
-func (s *Simulator) refreshAll() {
+func (s *Simulator) refreshAllRescan() {
 	now := s.eng.Now()
 	ids := s.idsBuf[:0]
 	for id := range s.running {
@@ -730,19 +888,6 @@ func (s *Simulator) refreshAll() {
 		}
 		s.fracsBuf = fracs
 		rj.slow = slowdown.JobSlowdownWeighted(rj.j.Profile, fracs, rho)
-		remaining := rj.j.BaseRuntime - rj.progress
-		if remaining < 0 {
-			remaining = 0
-		}
-		at := now + remaining*rj.slow
-		if math.IsInf(at, 0) || math.IsNaN(at) {
-			panic(fmt.Sprintf("core: bad finish time for job %d", rj.j.ID))
-		}
-		if !rj.finishEv.Pending() {
-			id := rj.j.ID
-			rj.finishEv = s.eng.Schedule(at, func(*sim.Engine) { s.onFinish(id) })
-		} else if rj.finishEv.At() != at {
-			rj.finishEv = s.eng.Reschedule(rj.finishEv, at)
-		}
+		s.refinish(rj, now)
 	}
 }

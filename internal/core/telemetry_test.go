@@ -72,10 +72,11 @@ func TestTelemetryEventStreamConsistency(t *testing.T) {
 	for _, e := range mem.Events {
 		switch e.Kind {
 		case telemetry.KindJobEnd:
-			switch e.Detail {
-			case "completed":
+			if e.Detail == "completed" {
 				completedEnds++
-			case "oom-killed":
+			}
+		case telemetry.KindJobAttemptEnd:
+			if e.Detail == "oom-killed" {
 				oomEnds++
 			}
 		case telemetry.KindLeaseGrant:
@@ -95,7 +96,7 @@ func TestTelemetryEventStreamConsistency(t *testing.T) {
 		t.Fatalf("completed job_end events %d, Result.Completed %d", completedEnds, res.Completed)
 	}
 	if oomEnds != res.OOMKills {
-		t.Fatalf("oom job_end events %d, Result.OOMKills %d", oomEnds, res.OOMKills)
+		t.Fatalf("oom job_attempt_end events %d, Result.OOMKills %d", oomEnds, res.OOMKills)
 	}
 	// Everything borrowed is eventually returned: every granted megabyte
 	// comes back either through a shrink or a teardown revoke.
@@ -126,6 +127,54 @@ func TestTelemetryEventStreamConsistency(t *testing.T) {
 	}
 	if err := rec.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTelemetryOneFinalEndPerJob is the regression test for the OOM-abandon
+// double-emit: a job killed by OOM and then abandoned used to produce two
+// job_end events (the kill and the abandonment), so aggregating terminal
+// events over-counted. With the attempt/final split, every job that reaches
+// a terminal outcome emits exactly one job_end, and each OOM kill emits one
+// job_attempt_end.
+func TestTelemetryOneFinalEndPerJob(t *testing.T) {
+	mem := &telemetry.MemorySink{}
+	cfg := telemetryConfig(policy.Dynamic)
+	cfg.MaxRestarts = 2 // the second OOM kill abandons: the old double-emit case
+	cfg.Telemetry = telemetry.New(telemetry.Options{Sink: mem})
+	// Job 6 grows past the whole pool, so every attempt OOMs until the
+	// restart cap abandons it; the rest of the workload completes normally.
+	jobs := telemetryWorkload()
+	hog := memtrace.MustNew([]memtrace.Point{{T: 0, MB: 100}, {T: 300, MB: 9000}})
+	jobs = append(jobs, mkJob(6, 25, 1, 200, 1000, hog))
+	res := runSim(t, cfg, jobs)
+	if res.OOMKills == 0 || res.Abandoned == 0 {
+		t.Fatalf("workload did not exercise the OOM-abandon path: %+v", res)
+	}
+
+	ends := map[int]int{}
+	attemptEnds := 0
+	for _, e := range mem.Events {
+		switch e.Kind {
+		case telemetry.KindJobEnd:
+			if e.Detail == "oom-killed" {
+				t.Fatalf("OOM kill emitted as a final job_end: %+v", e)
+			}
+			ends[e.Job]++
+		case telemetry.KindJobAttemptEnd:
+			attemptEnds++
+		}
+	}
+	for id, n := range ends {
+		if n != 1 {
+			t.Fatalf("job %d emitted %d job_end events, want exactly 1", id, n)
+		}
+	}
+	terminal := res.Completed + res.TimedOut + res.Abandoned
+	if len(ends) != terminal {
+		t.Fatalf("%d jobs emitted job_end, Result has %d terminal outcomes", len(ends), terminal)
+	}
+	if attemptEnds != res.OOMKills {
+		t.Fatalf("job_attempt_end events %d, Result.OOMKills %d", attemptEnds, res.OOMKills)
 	}
 }
 

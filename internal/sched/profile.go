@@ -2,6 +2,7 @@ package sched
 
 import (
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -15,28 +16,51 @@ import (
 type Profile struct {
 	times []float64   // breakpoints, ascending; times[0] is "now"
 	avail []Resources // availability in [times[i], times[i+1])
+	rel   []Release   // sort scratch, reused across Reset calls
 }
 
 // NewProfile builds a profile from current availability and future
 // releases (running jobs' conservative ends).
 func NewProfile(now float64, current Resources, releases []Release) *Profile {
-	p := &Profile{times: []float64{now}, avail: []Resources{current}}
-	rel := make([]Release, len(releases))
-	copy(rel, releases)
-	sort.Slice(rel, func(i, j int) bool { return rel[i].At < rel[j].At })
+	p := &Profile{}
+	p.Reset(now, current, releases)
+	return p
+}
+
+// Reset rebuilds the profile in place from current availability and future
+// releases, reusing the breakpoint and sort buffers from previous builds.
+// Conservative backfill constructs a profile every scheduling pass; pooling
+// one Profile makes that pass allocation-free at steady state. Results are
+// identical to NewProfile: the arithmetic is all integer Resources math, so
+// buffer reuse cannot perturb anything.
+func (p *Profile) Reset(now float64, current Resources, releases []Release) {
+	p.times = append(p.times[:0], now)
+	p.avail = append(p.avail[:0], current)
+	rel := append(p.rel[:0], releases...)
+	// slices.SortFunc rather than sort.Slice: no interface boxing, so the
+	// rebuild stays allocation-free. Both sorts are unstable; ties in At are
+	// combined with commutative integer adds, so tie order is immaterial.
+	slices.SortFunc(rel, func(a, b Release) int {
+		switch {
+		case a.At < b.At:
+			return -1
+		case a.At > b.At:
+			return 1
+		}
+		return 0
+	})
+	p.rel = rel
 	for _, r := range rel {
 		at := r.At
 		if at < now {
 			at = now // overdue release: counts as available now
 		}
-		i := p.indexFor(at)
 		p.splitAt(at)
-		i = p.indexFor(at)
+		i := p.indexFor(at)
 		for k := i; k < len(p.avail); k++ {
 			p.avail[k] = p.avail[k].Add(r.Res)
 		}
 	}
-	return p
 }
 
 // indexFor returns the segment index covering time t (t >= times[0]).

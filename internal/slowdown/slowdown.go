@@ -164,6 +164,42 @@ func JobSlowdownWeighted(p *Profile, weightedFracs []float64, rho float64) float
 	return s
 }
 
+// MaxWeightedFrac reduces a job's per-node weighted remote fractions to the
+// single number its slowdown depends on: the largest contention-relevant
+// fraction. NaN and non-positive entries contribute nothing (their node
+// slowdown is exactly 1), so they reduce to zero.
+//
+// The simulator caches this per running job and re-derives it only when that
+// job's allocation changes; JobSlowdownFromMax then recomputes the slowdown
+// for a new pressure without revisiting the nodes.
+func MaxWeightedFrac(weightedFracs []float64) float64 {
+	m := 0.0
+	for _, wf := range weightedFracs {
+		if wf > m { // NaN and negatives fail the comparison
+			m = wf
+		}
+	}
+	return m
+}
+
+// JobSlowdownFromMax returns the job slowdown given only the maximum weighted
+// remote fraction (as produced by MaxWeightedFrac). It is bit-identical to
+// JobSlowdownWeighted over the full fraction vector: for a non-negative
+// penalty, 1 + wf·penalty is monotone in wf under IEEE-754 round-to-nearest,
+// so the per-node maximum is attained at the maximum fraction; the final
+// max-with-1 guards the degenerate negative-penalty case the same way
+// JobSlowdownWeighted's running maximum (seeded at 1) does. A property test
+// asserts the bit equality over randomized curves and fraction vectors.
+func JobSlowdownFromMax(p *Profile, maxFrac, rho float64) float64 {
+	if maxFrac <= 0 || math.IsNaN(maxFrac) {
+		return 1
+	}
+	if v := 1 + maxFrac*p.Sens.Penalty(rho); v > 1 {
+		return v
+	}
+	return 1
+}
+
 func clamp01(x float64) float64 {
 	if x < 0 {
 		return 0

@@ -164,6 +164,54 @@ func TestQuickBuiltinCurvesMonotone(t *testing.T) {
 	}
 }
 
+// Property: JobSlowdownFromMax(MaxWeightedFrac(fracs)) is bit-identical to
+// JobSlowdownWeighted(fracs) — not just approximately equal. The simulator's
+// incremental refresh caches only the max weighted fraction per job, so the
+// golden-digest determinism guarantees rest on exact float64 equality here,
+// including NaN, negative, zero and >1 entries.
+func TestQuickJobSlowdownFromMaxBitIdentical(t *testing.T) {
+	curves := []Curve{CurveStream, CurveBalanced, CurveCompute, {{0, 0}}, {{0, 0}, {2, 3.7}}}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := &Profile{BandwidthGBs: 1 + rng.Float64()*20, Sens: curves[rng.Intn(len(curves))]}
+		n := rng.Intn(6)
+		fracs := make([]float64, n)
+		for i := range fracs {
+			switch rng.Intn(5) {
+			case 0:
+				fracs[i] = 0
+			case 1:
+				fracs[i] = -rng.Float64()
+			case 2:
+				fracs[i] = math.NaN()
+			case 3:
+				fracs[i] = 1 + rng.Float64()*3 // hop-weighted fractions exceed 1
+			default:
+				fracs[i] = rng.Float64()
+			}
+		}
+		rho := rng.Float64() * 2
+		want := JobSlowdownWeighted(p, fracs, rho)
+		got := JobSlowdownFromMax(p, MaxWeightedFrac(fracs), rho)
+		return math.Float64bits(got) == math.Float64bits(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxWeightedFracEdgeCases(t *testing.T) {
+	if got := MaxWeightedFrac(nil); got != 0 {
+		t.Fatalf("MaxWeightedFrac(nil) = %g, want 0", got)
+	}
+	if got := MaxWeightedFrac([]float64{math.NaN(), -3, 0}); got != 0 {
+		t.Fatalf("MaxWeightedFrac(NaN,-3,0) = %g, want 0", got)
+	}
+	if got := MaxWeightedFrac([]float64{0.25, 1.5, 0.9}); got != 1.5 {
+		t.Fatalf("MaxWeightedFrac = %g, want 1.5", got)
+	}
+}
+
 // Property: slowdown is monotone in remote fraction and in pressure.
 func TestQuickSlowdownMonotone(t *testing.T) {
 	p := &Profile{BandwidthGBs: 10, Sens: CurveBalanced}

@@ -29,9 +29,11 @@ const (
 	// KindJobStart fires at dispatch. Node carries the node count, MB the
 	// local memory, Aux the remote (borrowed) memory.
 	KindJobStart
-	// KindJobEnd fires at any terminal event of a job attempt. Detail is
-	// the outcome ("completed", "timed-out", "abandoned", "oom-killed");
-	// Aux is the restart count so far.
+	// KindJobEnd fires once at a job's FINAL outcome. Detail is the outcome
+	// ("completed", "timed-out", "abandoned"); Aux is the restart count.
+	// Non-final attempt terminations (an OOM kill followed by a restart or
+	// by abandonment) are KindJobAttemptEnd, so summing job_end events
+	// counts each job exactly once.
 	KindJobEnd
 	// KindLeaseGrant fires when remote memory is borrowed: Node is the
 	// borrowing compute node, Lender the node lending MB megabytes. Emitted
@@ -55,6 +57,14 @@ const (
 	// below a configured threshold: Aux is the threshold percentage, MB
 	// the free pool at the crossing, V the exact free fraction.
 	KindPoolWatermark
+	// KindJobAttemptEnd fires when one attempt of a job terminates without
+	// being the job's final outcome — today that is an OOM kill (Detail
+	// "oom-killed", Aux the restart count). A job killed and abandoned used
+	// to emit job_end twice (kill + abandon), which double-counted terminal
+	// events in aggregation; the attempt/final split fixes that. Declared
+	// after the original kinds so their numeric values — and with them the
+	// golden digests of logs containing no OOM events — are unchanged.
+	KindJobAttemptEnd
 
 	// KindCount is the number of event kinds (for counter arrays).
 	KindCount
@@ -72,6 +82,7 @@ var kindNames = [KindCount]string{
 	"backfill_hole",
 	"backfill_place",
 	"pool_watermark",
+	"job_attempt_end",
 }
 
 // String returns the event kind's wire name.

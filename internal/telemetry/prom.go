@@ -100,6 +100,12 @@ func (p *PromSink) Event(e *Event) error {
 		case "completed":
 			p.completed++
 		case "oom-killed":
+			// Logs written before the attempt/final split carried OOM kills
+			// as job_end; keep counting them so old logs still aggregate.
+			p.oomEnds++
+		}
+	case KindJobAttemptEnd:
+		if e.Detail == "oom-killed" {
 			p.oomEnds++
 		}
 	}

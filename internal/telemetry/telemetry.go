@@ -117,13 +117,24 @@ func (r *Recorder) JobStart(job, nodes int, localMB, remoteMB int64) {
 	r.emit(Event{Kind: KindJobStart, Job: job, Node: nodes, Lender: -1, MB: localMB, Aux: remoteMB})
 }
 
-// JobEnd records a terminal job event with its outcome name and the restart
-// count accumulated so far.
+// JobEnd records a job's final outcome and the restart count accumulated so
+// far. Each job emits this at most once; non-final attempt terminations go
+// through JobAttemptEnd.
 func (r *Recorder) JobEnd(job int, outcome string, restarts int) {
 	if r == nil {
 		return
 	}
 	r.emit(Event{Kind: KindJobEnd, Job: job, Node: -1, Lender: -1, Aux: int64(restarts), Detail: outcome})
+}
+
+// JobAttemptEnd records a non-final attempt termination (an OOM kill that
+// leads to a restart or abandonment) with the attempt's outcome name and the
+// restart count including this kill.
+func (r *Recorder) JobAttemptEnd(job int, outcome string, restarts int) {
+	if r == nil {
+		return
+	}
+	r.emit(Event{Kind: KindJobAttemptEnd, Job: job, Node: -1, Lender: -1, Aux: int64(restarts), Detail: outcome})
 }
 
 // LeaseGrant records node borrowing mb from lender on behalf of job.
