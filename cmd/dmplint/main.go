@@ -1,0 +1,247 @@
+// Command dmplint runs dismem's static-analysis suite (internal/analysis)
+// over the module: detclock, maporder, nilsafe-emit, and hotpath-alloc
+// enforce the determinism and hot-path invariants the runtime differential
+// and golden-digest tests can only detect after the fact.
+//
+// Usage:
+//
+//	dmplint ./...             lint packages (human-readable, exit 1 on findings)
+//	dmplint -json -out f.json ./...   also write findings as JSON (CI artifact)
+//	dmplint -selftest         run every analyzer over its bundled fixtures and
+//	                          fail unless each produces diagnostics — guards
+//	                          against the linter silently skipping testdata
+//
+// Suppress a finding with a trailing or preceding comment:
+//
+//	//dmplint:ignore <analyzer> <reason>
+//
+// The reason is mandatory and a directive that suppresses nothing is itself
+// reported, so the allowlist cannot rot silently.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"dismem/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code:
+// 0 clean, 1 findings, 2 operational error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dmplint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut  = fs.Bool("json", false, "emit findings as a JSON array")
+		outPath  = fs.String("out", "", "write JSON findings to this file instead of stdout (implies -json)")
+		chdir    = fs.String("C", "", "resolve the module and patterns in this directory")
+		selftest = fs.Bool("selftest", false, "run analyzers over their bundled fixtures; fail if any analyzer finds nothing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	modPath, modDir, err := goListModule(*chdir)
+	if err != nil {
+		fmt.Fprintf(stderr, "dmplint: %v\n", err)
+		return 2
+	}
+
+	if *selftest {
+		return runSelfTest(modDir, stderr)
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := goListPackages(*chdir, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "dmplint: %v\n", err)
+		return 2
+	}
+
+	loader := analysis.NewLoader(modPath, modDir)
+	analyzers := analysis.All()
+	var diags []analysis.Diagnostic
+	for _, tgt := range targets {
+		pkg, err := loader.LoadDir(tgt.importPath, tgt.dir)
+		if err != nil {
+			fmt.Fprintf(stderr, "dmplint: %v\n", err)
+			return 2
+		}
+		diags = append(diags, analysis.RunAnalyzers(pkg, analyzers)...)
+	}
+	analysis.SortDiagnostics(diags)
+
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s\n", humanize(d, modDir))
+	}
+	if *jsonOut || *outPath != "" {
+		if err := writeJSON(diags, *outPath, stdout); err != nil {
+			fmt.Fprintf(stderr, "dmplint: %v\n", err)
+			return 2
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "dmplint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// humanize renders one diagnostic with a module-relative path.
+func humanize(d analysis.Diagnostic, modDir string) string {
+	file := d.File
+	if rel, err := filepath.Rel(modDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = rel
+	}
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", file, d.Line, d.Col, d.Message, d.Analyzer)
+}
+
+// writeJSON marshals the findings (never null: an empty run is "[]") to the
+// given file or, with no file, to stdout.
+func writeJSON(diags []analysis.Diagnostic, path string, stdout io.Writer) error {
+	if diags == nil {
+		diags = []analysis.Diagnostic{}
+	}
+	data, err := json.MarshalIndent(diags, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// selfTestFixtures maps each analyzer to its bundled analysistest fixture
+// package (under internal/analysis/testdata/src).
+var selfTestFixtures = map[string]string{
+	"detclock":      "detclock",
+	"maporder":      "maporder",
+	"nilsafe-emit":  "nilsafe",
+	"hotpath-alloc": "hotpath",
+}
+
+// runSelfTest loads every analyzer's fixture package and fails unless the
+// analyzer produces at least one diagnostic there. A zero-finding analyzer
+// on a fixture full of seeded violations means the suite went blind — the
+// exact failure mode this guard exists for. Loading also type-checks the
+// fixtures, so a fixture that stopped compiling fails too.
+func runSelfTest(modDir string, stderr io.Writer) int {
+	fixtureDir := filepath.Join(modDir, "internal", "analysis", "testdata", "src")
+	failed := false
+	for _, a := range analysis.All() {
+		fixture, ok := selfTestFixtures[a.Name]
+		if !ok {
+			fmt.Fprintf(stderr, "dmplint: selftest: analyzer %s has no fixture registered\n", a.Name)
+			failed = true
+			continue
+		}
+		unfiltered := *a
+		unfiltered.PathFilter = nil
+		loader := analysis.NewLoader("fixture", fixtureDir)
+		pkg, err := loader.Load("fixture/" + fixture)
+		if err != nil {
+			fmt.Fprintf(stderr, "dmplint: selftest: %v\n", err)
+			failed = true
+			continue
+		}
+		diags := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{&unfiltered})
+		real := 0
+		for _, d := range diags {
+			if d.Analyzer == a.Name {
+				real++
+			}
+		}
+		if real == 0 {
+			fmt.Fprintf(stderr, "dmplint: selftest: analyzer %s found nothing in its fixture %s — the check went blind\n",
+				a.Name, fixture)
+			failed = true
+			continue
+		}
+		fmt.Fprintf(stderr, "dmplint: selftest: %s ok (%d diagnostics in fixture)\n", a.Name, real)
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// target is one package to lint.
+type target struct {
+	importPath string
+	dir        string
+}
+
+// goListModule resolves the main module's path and directory.
+func goListModule(dir string) (path, moduleDir string, err error) {
+	out, err := goList(dir, "-m", "-f", "{{.Path}}\t{{.Dir}}")
+	if err != nil {
+		return "", "", err
+	}
+	lines := nonEmptyLines(out)
+	if len(lines) != 1 {
+		return "", "", fmt.Errorf("go list -m: expected one module, got %d", len(lines))
+	}
+	parts := strings.SplitN(lines[0], "\t", 2)
+	if len(parts) != 2 {
+		return "", "", fmt.Errorf("go list -m: unparseable output %q", lines[0])
+	}
+	return parts[0], parts[1], nil
+}
+
+// goListPackages expands the patterns into lintable packages.
+func goListPackages(dir string, patterns []string) ([]target, error) {
+	args := append([]string{"-f", "{{.ImportPath}}\t{{.Dir}}"}, patterns...)
+	out, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	var targets []target
+	for _, line := range nonEmptyLines(out) {
+		parts := strings.SplitN(line, "\t", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("go list: unparseable output %q", line)
+		}
+		targets = append(targets, target{importPath: parts[0], dir: parts[1]})
+	}
+	return targets, nil
+}
+
+// goList invokes the go tool's list subcommand in dir.
+func goList(dir string, args ...string) (string, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, errBuf.String())
+	}
+	return out.String(), nil
+}
+
+func nonEmptyLines(s string) []string {
+	var lines []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.TrimSpace(l) != "" {
+			lines = append(lines, l)
+		}
+	}
+	return lines
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dismem/internal/analysis"
+)
+
+// TestEndToEndFixtureModule runs the full dmplint pipeline — go list, module
+// resolution, loading, all four analyzers, JSON output — over a nested
+// fixture module carrying exactly one seeded violation per analyzer, and
+// asserts each diagnostic lands on the seeded line.
+func TestEndToEndFixtureModule(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", "testdata/fixturemod", "-json", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run exited %d, want 1 (findings)\nstderr:\n%s", code, stderr.String())
+	}
+
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("JSON output unparseable: %v\n%s", err, stdout.String())
+	}
+
+	expected := []struct {
+		analyzer   string
+		fileSuffix string
+		line       int
+	}{
+		{"detclock", "internal/core/clock.go", 9},
+		{"hotpath-alloc", "hot/hot.go", 11},
+		{"maporder", "agg/agg.go", 9},
+		{"nilsafe-emit", "internal/telemetry/recorder.go", 9},
+	}
+	if len(diags) != len(expected) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(diags), len(expected), stderr.String())
+	}
+	for _, want := range expected {
+		found := false
+		for _, d := range diags {
+			if d.Analyzer == want.analyzer && strings.HasSuffix(d.File, want.fileSuffix) && d.Line == want.line {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no %s diagnostic at %s:%d; got:\n%s",
+				want.analyzer, want.fileSuffix, want.line, stderr.String())
+		}
+	}
+
+	// The human-readable report must carry every finding too (CI log view).
+	for _, want := range expected {
+		if !strings.Contains(stderr.String(), "("+want.analyzer+")") {
+			t.Errorf("stderr report missing a %s finding:\n%s", want.analyzer, stderr.String())
+		}
+	}
+}
+
+// TestSelfTest pins the -selftest mode: every analyzer must find its seeded
+// fixture violations, proving the suite has not gone blind.
+func TestSelfTest(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", "../..", "-selftest"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("selftest exited %d:\n%s", code, stderr.String())
+	}
+	for _, a := range analysis.All() {
+		if !strings.Contains(stderr.String(), a.Name+" ok") {
+			t.Errorf("selftest output missing %q:\n%s", a.Name+" ok", stderr.String())
+		}
+	}
+}
+
+// TestRepoClean lints the repository itself: the tree must stay free of
+// findings, so a violation introduced anywhere fails `go test ./...` as well
+// as the dedicated CI step.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module lint in -short mode")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", "../..", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("dmplint over the repo exited %d:\n%s", code, stderr.String())
+	}
+}

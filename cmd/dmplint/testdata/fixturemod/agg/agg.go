@@ -1,0 +1,12 @@
+// Package agg seeds one maporder violation: a float accumulated in map
+// iteration order.
+package agg
+
+// Sum is bit-level irreproducible across runs.
+func Sum(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // seeded maporder violation (line 9)
+	}
+	return s
+}

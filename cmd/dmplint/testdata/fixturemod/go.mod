@@ -1,0 +1,3 @@
+module dmplintfix
+
+go 1.22

@@ -1,0 +1,12 @@
+// Package hot seeds one hotpath-alloc violation: fmt.Sprintf inside an
+// annotated function.
+package hot
+
+import "fmt"
+
+// Label allocates on every call despite the hot-path contract.
+//
+//dmp:hotpath
+func Label(id int) string {
+	return fmt.Sprintf("job-%d", id) // seeded hotpath-alloc violation (line 11)
+}

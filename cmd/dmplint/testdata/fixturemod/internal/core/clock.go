@@ -1,0 +1,10 @@
+// Package core seeds one detclock violation: internal/core is a guarded
+// path segment, so the wall-clock read below must be diagnosed.
+package core
+
+import "time"
+
+// Stamp leaks wall-clock time into what poses as simulator state.
+func Stamp() int64 {
+	return time.Now().UnixNano() // seeded detclock violation (line 9)
+}

@@ -1,0 +1,11 @@
+// Package telemetry seeds one nilsafe-emit violation: an exported Recorder
+// method without the nil-receiver guard.
+package telemetry
+
+// Recorder mimics the real telemetry recorder's shape.
+type Recorder struct{ n int }
+
+// Emit is missing the `if r == nil { return }` guard. (line 10)
+func (r *Recorder) Emit(k string) {
+	r.n++
+}

@@ -65,22 +65,33 @@ func main() {
 	}
 
 	w := os.Stdout
+	var f *os.File
 	if *out != "-" {
-		f, err := os.Create(*out)
+		var err error
+		f, err = os.Create(*out)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dmptrace: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		w = f
 	}
 	if err := res.WriteSWF(w); err != nil {
 		fmt.Fprintf(os.Stderr, "dmptrace: write: %v\n", err)
 		os.Exit(1)
 	}
+	// Close errors surface writes the kernel deferred (full disk, quota):
+	// without this check a truncated trace could exit 0.
+	if f != nil {
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "dmptrace: write %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "dmptrace: %d jobs, %.1f%% large-memory, span %.1f days\n",
 		len(res.Jobs), res.LargeJobFraction()*100, *days)
-	if c, err := workload.Characterize(res.Jobs, 64*1024); err == nil {
+	if c, err := workload.Characterize(res.Jobs, 64*1024); err != nil {
+		fmt.Fprintf(os.Stderr, "dmptrace: characterize: %v\n", err)
+	} else {
 		fmt.Fprint(os.Stderr, c)
 	}
 }

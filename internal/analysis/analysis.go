@@ -1,0 +1,262 @@
+// Package analysis is dismem's static-analysis layer: a small, dependency-free
+// framework in the shape of golang.org/x/tools/go/analysis, plus the four
+// repo-specific analyzers (detclock, maporder, nilsafe-emit, hotpath-alloc)
+// that turn the simulator's hand-maintained determinism and hot-path
+// invariants into compile-time diagnostics.
+//
+// The runtime differential and golden-digest tests detect a determinism
+// violation but cannot localize it; these analyzers point at the exact line.
+// They run as `go run ./cmd/dmplint ./...` and as a required CI step.
+//
+// The framework mirrors the x/tools Analyzer/Pass/Diagnostic split so the
+// analyzers could be ported to a real multichecker verbatim if the dependency
+// ever becomes available; it is hand-rolled here because the module must stay
+// dependency-free.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //dmplint:ignore directives.
+	Name string
+
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+
+	// PathFilter restricts which package import paths the driver runs this
+	// analyzer on. Nil means every package. Tests bypass the filter by
+	// invoking the analyzer directly.
+	PathFilter func(pkgPath string) bool
+
+	// Run inspects one type-checked package and reports findings via
+	// pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// Pos renders the diagnostic position as file:line:col.
+func (d Diagnostic) Pos() string {
+	return fmt.Sprintf("%s:%d:%d", d.File, d.Line, d.Col)
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos(), d.Message, d.Analyzer)
+}
+
+// Reportf records one diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf is a nil-tolerant shorthand for p.TypesInfo.TypeOf.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.TypesInfo == nil {
+		return nil
+	}
+	return p.TypesInfo.TypeOf(e)
+}
+
+// IgnoreDirective is the allowlist escape hatch: a comment of the form
+//
+//	//dmplint:ignore <analyzer> <reason>
+//
+// suppresses that analyzer's diagnostics on the same source line and on the
+// line immediately below (so the directive can trail the flagged statement or
+// sit on its own line above it). The reason is mandatory: a bare directive is
+// itself reported, keeping every suppression auditable.
+const IgnoreDirective = "dmplint:ignore"
+
+// suppression is one parsed //dmplint:ignore directive.
+type suppression struct {
+	file     string
+	line     int    // line the directive appears on
+	analyzer string // analyzer name, or "*" for all
+	reason   string
+	used     bool
+}
+
+// collectSuppressions scans all comments of the files for ignore directives.
+// Malformed directives (no analyzer, or no reason) are reported as
+// diagnostics of the pseudo-analyzer "dmplint" so they cannot silently
+// disable nothing — or everything.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) (sups []*suppression, malformed []Diagnostic) {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, IgnoreDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, IgnoreDirective))
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					malformed = append(malformed, Diagnostic{
+						Analyzer: "dmplint",
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Message:  "malformed //dmplint:ignore: want \"//dmplint:ignore <analyzer> <reason>\"",
+					})
+					continue
+				}
+				sups = append(sups, &suppression{
+					file:     pos.Filename,
+					line:     pos.Line,
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return sups, malformed
+}
+
+// applySuppressions filters diags through the directives, marking each
+// directive that fired. Directives that suppress nothing are reported: a
+// stale allowlist entry usually means the code it excused has moved.
+func applySuppressions(diags []Diagnostic, sups []*suppression) []Diagnostic {
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, s := range sups {
+			if s.file != d.File {
+				continue
+			}
+			if s.analyzer != "*" && s.analyzer != d.Analyzer {
+				continue
+			}
+			if d.Line == s.line || d.Line == s.line+1 {
+				s.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, s := range sups {
+		if !s.used {
+			kept = append(kept, Diagnostic{
+				Analyzer: "dmplint",
+				File:     s.file,
+				Line:     s.line,
+				Col:      1,
+				Message: fmt.Sprintf("stale //dmplint:ignore %s: no %s diagnostic here to suppress",
+					s.analyzer, s.analyzer),
+			})
+		}
+	}
+	return kept
+}
+
+// RunAnalyzers applies every analyzer whose PathFilter admits the package,
+// then filters the findings through the package's //dmplint:ignore
+// directives. The returned diagnostics are sorted by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.PathFilter != nil && !a.PathFilter(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		a.Run(pass)
+		diags = append(diags, pass.diags...)
+	}
+	sups, malformed := collectSuppressions(pkg.Fset, pkg.Files)
+	diags = applySuppressions(diags, sups)
+	diags = append(diags, malformed...)
+	SortDiagnostics(diags)
+	return diags
+}
+
+// SortDiagnostics orders findings by file, line, column, analyzer.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// All returns the full dmplint analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{DetClock, MapOrder, NilSafeEmit, HotPathAlloc}
+}
+
+// guardedPackages are the deterministic simulator packages: everything that
+// executes between Simulator.Run entering and the Result/telemetry stream
+// leaving must be a pure function of (Config, jobs, Seed). detclock enforces
+// that on these import-path segments; the match is by path segment so the
+// analyzer applies equally to the real module and to test fixture modules.
+var guardedPackages = []string{
+	"internal/core",
+	"internal/sched",
+	"internal/cluster",
+	"internal/policy",
+	"internal/slowdown",
+	"internal/sim",
+	"internal/telemetry",
+}
+
+// GuardedPath reports whether the import path belongs to the deterministic
+// simulator core.
+func GuardedPath(path string) bool {
+	for _, g := range guardedPackages {
+		if path == g || strings.HasSuffix(path, "/"+g) ||
+			strings.Contains(path, "/"+g+"/") || strings.HasPrefix(path, g+"/") {
+			return true
+		}
+	}
+	return false
+}

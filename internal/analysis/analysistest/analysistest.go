@@ -1,0 +1,111 @@
+// Package analysistest runs dmplint analyzers over fixture packages and
+// checks their diagnostics against // want comments, mirroring the
+// golang.org/x/tools/go/analysis/analysistest convention:
+//
+//	time.Now() // want `time\.Now reads the wall clock`
+//
+// A fixture line may carry several quoted expectations. Diagnostics without
+// a matching want, and wants without a matching diagnostic, both fail the
+// test. //dmplint:ignore directives are honoured exactly as in production,
+// so fixtures also pin the allowlist behaviour: a suppressed violation must
+// produce no diagnostic, and a stale directive is itself a diagnostic.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"dismem/internal/analysis"
+)
+
+// Run loads each fixture package below dir/src and applies the analyzer,
+// comparing diagnostics against the fixtures' want comments. The analyzer's
+// PathFilter is bypassed: fixtures choose their own import paths (dir names
+// under src/), and path-filter behaviour has its own unit tests.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	unfiltered := *a
+	unfiltered.PathFilter = nil
+	loader := analysis.NewLoader("fixture", dir+"/src")
+	for _, pkgName := range pkgs {
+		pkg, err := loader.Load("fixture/" + pkgName)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", pkgName, err)
+		}
+		diags := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{&unfiltered})
+		checkWants(t, loader.Fset, pkg, diags)
+	}
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// checkWants matches diagnostics against // want comments in the package.
+func checkWants(t *testing.T, fset *token.FileSet, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(text[len("want "):], -1) {
+					pattern := m[1]
+					if pattern == "" {
+						pattern = m[2]
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pattern, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == d.File && w.line == d.Line && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// Findings loads one fixture package and returns the analyzer's raw
+// diagnostics (PathFilter bypassed, suppressions applied) — for tests that
+// assert on counts or positions directly.
+func Findings(dir string, a *analysis.Analyzer, pkgName string) ([]analysis.Diagnostic, error) {
+	unfiltered := *a
+	unfiltered.PathFilter = nil
+	loader := analysis.NewLoader("fixture", dir+"/src")
+	pkg, err := loader.Load("fixture/" + pkgName)
+	if err != nil {
+		return nil, fmt.Errorf("loading fixture %s: %w", pkgName, err)
+	}
+	return analysis.RunAnalyzers(pkg, []*analysis.Analyzer{&unfiltered}), nil
+}

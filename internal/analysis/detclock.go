@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// DetClock forbids nondeterministic inputs inside the simulator core: the
+// wall clock, the global math/rand state, and the process environment.
+// Everything those provide must instead flow from sim.Engine.Now and the
+// scenario's seeded *rand.Rand, so a Result is a pure function of
+// (Config, jobs, Seed).
+var DetClock = &Analyzer{
+	Name: "detclock",
+	Doc: "forbid wall-clock reads (time.Now/Since/...), global math/rand, and os.Getenv " +
+		"in the deterministic simulator packages; simulated time comes from sim.Engine and " +
+		"randomness from the scenario's seeded *rand.Rand",
+	PathFilter: GuardedPath,
+	Run:        runDetClock,
+}
+
+// detClockBanned maps import path -> banned package-level functions -> the
+// replacement named in the diagnostic. Methods on seeded *rand.Rand values
+// are untouched: only the process-global entry points are banned.
+var detClockBanned = map[string]map[string]string{
+	"time": {
+		"Now":       "sim.Engine.Now",
+		"Since":     "sim.Engine.Now arithmetic",
+		"Until":     "sim.Engine.Now arithmetic",
+		"Sleep":     "sim.Engine.After",
+		"After":     "sim.Engine.After",
+		"AfterFunc": "sim.Engine.After",
+		"Tick":      "sim.Engine.Every",
+		"NewTimer":  "sim.Engine.After",
+		"NewTicker": "sim.Engine.Every",
+	},
+	"math/rand": {
+		"Int": "", "Intn": "", "Int31": "", "Int31n": "", "Int63": "", "Int63n": "",
+		"Uint32": "", "Uint64": "", "Float32": "", "Float64": "",
+		"ExpFloat64": "", "NormFloat64": "", "Perm": "", "Shuffle": "", "Seed": "", "Read": "",
+	},
+	"math/rand/v2": {
+		"Int": "", "IntN": "", "Int32": "", "Int32N": "", "Int64": "", "Int64N": "",
+		"Uint32": "", "Uint64": "", "UintN": "", "Uint64N": "", "Float32": "", "Float64": "",
+		"ExpFloat64": "", "NormFloat64": "", "Perm": "", "Shuffle": "", "N": "",
+	},
+	"os": {
+		"Getenv":    "explicit Config fields",
+		"LookupEnv": "explicit Config fields",
+		"Environ":   "explicit Config fields",
+	},
+}
+
+func runDetClock(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name, ok := pkgFuncCall(pass, call)
+			if !ok {
+				return true
+			}
+			banned, ok := detClockBanned[pkgPath]
+			if !ok {
+				return true
+			}
+			repl, ok := banned[name]
+			if !ok {
+				return true
+			}
+			switch pkgPath {
+			case "time":
+				pass.Reportf(call.Pos(),
+					"time.%s reads the wall clock inside the deterministic simulator; use %s",
+					name, repl)
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(call.Pos(),
+					"rand.%s draws from the process-global generator inside the deterministic simulator; "+
+						"use the scenario's seeded *rand.Rand", name)
+			case "os":
+				pass.Reportf(call.Pos(),
+					"os.%s makes simulator behaviour depend on the process environment; use %s",
+					name, repl)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,48 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"dismem/internal/analysis"
+	"dismem/internal/analysis/analysistest"
+)
+
+func TestDetClock(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.DetClock, "detclock")
+}
+
+// TestGuardedPath pins the package selection: detclock applies to the seven
+// deterministic simulator packages of any module (the match is by path
+// segment, so fixture modules qualify too), and nowhere else.
+func TestGuardedPath(t *testing.T) {
+	guarded := []string{
+		"dismem/internal/core",
+		"dismem/internal/sched",
+		"dismem/internal/cluster",
+		"dismem/internal/policy",
+		"dismem/internal/slowdown",
+		"dismem/internal/sim",
+		"dismem/internal/telemetry",
+		"dmplintfix/internal/core",
+		"internal/core",
+	}
+	for _, p := range guarded {
+		if !analysis.GuardedPath(p) {
+			t.Errorf("GuardedPath(%q) = false, want true", p)
+		}
+	}
+	open := []string{
+		"dismem",
+		"dismem/internal/experiments",
+		"dismem/internal/tracegen",
+		"dismem/internal/workload",
+		"dismem/internal/sweep",
+		"dismem/internal/corelike",
+		"dismem/cmd/dmpsim",
+	}
+	for _, p := range open {
+		if analysis.GuardedPath(p) {
+			t.Errorf("GuardedPath(%q) = true, want false", p)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"dismem/internal/analysis"
+	"dismem/internal/analysis/analysistest"
+)
+
+// TestDirectiveHygiene pins the allowlist's self-policing: a stale
+// //dmplint:ignore (suppressing nothing) and a malformed one (no reason)
+// are themselves diagnostics, attributed to the pseudo-analyzer "dmplint".
+func TestDirectiveHygiene(t *testing.T) {
+	diags, err := analysistest.Findings("testdata", analysis.DetClock, "directives")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (stale + malformed):\n%v", len(diags), diags)
+	}
+	var sawStale, sawMalformed bool
+	for _, d := range diags {
+		if d.Analyzer != "dmplint" {
+			t.Errorf("directive diagnostic attributed to %q, want pseudo-analyzer dmplint", d.Analyzer)
+		}
+		switch {
+		case strings.Contains(d.Message, "stale"):
+			sawStale = true
+			if d.Line != 7 {
+				t.Errorf("stale directive reported at line %d, want 7", d.Line)
+			}
+		case strings.Contains(d.Message, "reason"):
+			sawMalformed = true
+			if d.Line != 12 {
+				t.Errorf("malformed directive reported at line %d, want 12", d.Line)
+			}
+		default:
+			t.Errorf("unrecognised directive diagnostic: %s", d)
+		}
+	}
+	if !sawStale || !sawMalformed {
+		t.Errorf("stale=%v malformed=%v, want both reported", sawStale, sawMalformed)
+	}
+}

@@ -1,0 +1,397 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPathDirective marks a function whose body must not allocate: the
+// annotation turns the repo's AllocsPerRun==0 benchmarks into a localized,
+// per-line diagnostic.
+const HotPathDirective = "dmp:hotpath"
+
+// HotPathAlloc checks functions annotated //dmp:hotpath for the allocation
+// sources the 0-alloc tests keep catching after the fact:
+//
+//   - closures capturing outer variables that escape (stored, returned, or
+//     handed to Engine.Schedule/After/Every); a capturing closure passed
+//     directly to an ordinary call (sort, index walks) stays on the stack
+//     and is allowed
+//   - fmt.Sprintf and friends (always allocate), except feeding panic —
+//     a path that ends the process may format its last words
+//   - implicit interface boxing: passing, assigning, converting, or
+//     returning a non-pointer concrete value where an interface is expected
+//   - unhinted append growth: appending to a slice declared in the function
+//     without capacity (var s []T, s := []T{...}, make([]T, n)); hot-path
+//     slices must reuse scratch (buf[:0]) or make([]T, 0, cap)
+//
+// The checks are lexical — they look at the annotated body only, not at
+// callees — so the diagnostic always points into the function that carries
+// the contract.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpath-alloc",
+	Doc: "functions annotated //dmp:hotpath may not contain escaping capturing closures, " +
+		"fmt.Sprintf, interface-boxing conversions, or unhinted append growth",
+	Run: runHotPathAlloc,
+}
+
+// fmtAllocating lists fmt functions that always allocate their result.
+var fmtAllocating = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true,
+}
+
+// boxExemptPkgs are stdlib packages that take interface{} parameters by
+// design; boxing into them is the documented calling convention, not an
+// accidental allocation.
+var boxExemptPkgs = map[string]bool{
+	"sort": true, "slices": true, "fmt": true, "errors": true,
+}
+
+func runHotPathAlloc(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if funcDocHasDirective(fn, HotPathDirective) {
+				checkHotPath(pass, fn)
+			}
+		}
+	}
+}
+
+type hotPathChecker struct {
+	pass *Pass
+	fn   *ast.FuncDecl
+
+	// callArgLits maps closure literals that appear directly as call
+	// arguments to whether that call retains them (Engine scheduling).
+	callArgLits map[*ast.FuncLit]bool
+	// panicArgs holds the argument expressions of panic calls; everything
+	// inside them is exempt (the path ends the process).
+	panicArgs []ast.Expr
+	// unhinted maps function-local slice variables to their no-capacity
+	// declaration site.
+	unhinted map[*types.Var]bool
+	// lits holds every closure literal in the body; returns inside them
+	// answer the closure's signature, not the annotated function's.
+	lits []*ast.FuncLit
+}
+
+func checkHotPath(pass *Pass, fn *ast.FuncDecl) {
+	c := &hotPathChecker{
+		pass:        pass,
+		fn:          fn,
+		callArgLits: make(map[*ast.FuncLit]bool),
+		unhinted:    make(map[*types.Var]bool),
+	}
+	c.classifyDecls()
+	c.collectCallContext()
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncLit:
+			c.checkClosure(node)
+		case *ast.CallExpr:
+			c.checkCall(node)
+		case *ast.AssignStmt:
+			c.checkAssignBoxing(node)
+		case *ast.ReturnStmt:
+			c.checkReturnBoxing(node)
+		}
+		return true
+	})
+}
+
+// collectCallContext records closure-literal call arguments and panic
+// arguments in one pre-pass, standing in for parent links.
+func (c *hotPathChecker) collectCallContext() {
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		if lit, isLit := n.(*ast.FuncLit); isLit {
+			c.lits = append(c.lits, lit)
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if ident, isIdent := call.Fun.(*ast.Ident); isIdent && ident.Name == "panic" {
+			if _, isBuiltin := c.pass.TypesInfo.Uses[ident].(*types.Builtin); isBuiltin {
+				c.panicArgs = append(c.panicArgs, call.Args...)
+			}
+		}
+		retains := false
+		if _, typeName, method, isMethod := methodCall(c.pass, call); isMethod {
+			retains = typeName == "Engine" && engineScheduling[method]
+		}
+		for _, arg := range call.Args {
+			if lit, isLit := arg.(*ast.FuncLit); isLit {
+				c.callArgLits[lit] = retains
+			}
+		}
+		return true
+	})
+}
+
+// inPanicArg reports whether node lies inside a panic(...) argument.
+func (c *hotPathChecker) inPanicArg(node ast.Node) bool {
+	for _, arg := range c.panicArgs {
+		if arg.Pos() <= node.Pos() && node.End() <= arg.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// classifyDecls records every function-local slice variable declared without
+// a capacity hint.
+func (c *hotPathChecker) classifyDecls() {
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.ValueSpec:
+			for i, name := range node.Names {
+				v, ok := c.pass.TypesInfo.Defs[name].(*types.Var)
+				if !ok || !isSliceVar(v) {
+					continue
+				}
+				if len(node.Values) == 0 {
+					c.unhinted[v] = true // var s []T — nil, every append grows
+				} else if i < len(node.Values) && unhintedSliceExpr(c.pass, node.Values[i]) {
+					c.unhinted[v] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range node.Lhs {
+				ident, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				v, ok := c.pass.TypesInfo.Defs[ident].(*types.Var)
+				if !ok || !isSliceVar(v) {
+					continue
+				}
+				if len(node.Rhs) == len(node.Lhs) && unhintedSliceExpr(c.pass, node.Rhs[i]) {
+					c.unhinted[v] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isSliceVar(v *types.Var) bool {
+	_, ok := v.Type().Underlying().(*types.Slice)
+	return ok
+}
+
+// unhintedSliceExpr reports whether e creates a slice with no spare
+// capacity: a composite literal or a two-argument make. Slicing expressions
+// (buf[:0]), three-argument make, and call results count as hinted.
+func unhintedSliceExpr(pass *Pass, e ast.Expr) bool {
+	switch expr := e.(type) {
+	case *ast.CompositeLit:
+		_, isSlice := pass.TypeOf(expr).Underlying().(*types.Slice)
+		return isSlice
+	case *ast.CallExpr:
+		ident, ok := expr.Fun.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if b, isBuiltin := pass.TypesInfo.Uses[ident].(*types.Builtin); !isBuiltin || b.Name() != "make" {
+			return false
+		}
+		if len(expr.Args) >= 3 {
+			return false // explicit capacity
+		}
+		_, isSlice := pass.TypeOf(expr).Underlying().(*types.Slice)
+		return isSlice
+	}
+	return false
+}
+
+// checkClosure flags closures that capture outer variables unless they are
+// immediate arguments to a non-retaining call.
+func (c *hotPathChecker) checkClosure(lit *ast.FuncLit) {
+	captured := c.capturedVars(lit)
+	if len(captured) == 0 {
+		return
+	}
+	retains, isCallArg := c.callArgLits[lit]
+	if isCallArg && !retains {
+		return // stack-allocated in practice: sort.Slice, index walks, ...
+	}
+	where := "stored or returned"
+	if retains {
+		where = "handed to the event queue"
+	}
+	c.pass.Reportf(lit.Pos(),
+		"//dmp:hotpath %s: closure capturing %s is %s and escapes to the heap; "+
+			"hoist the state or reuse a prebuilt closure",
+		c.fn.Name.Name, quotedList(captured), where)
+}
+
+// capturedVars returns the names of variables declared in the enclosing
+// function but referenced inside lit.
+func (c *hotPathChecker) capturedVars(lit *ast.FuncLit) []string {
+	var names []string
+	seen := make(map[*types.Var]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		ident, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := c.pass.TypesInfo.Uses[ident].(*types.Var)
+		if !ok || seen[v] || v.IsField() {
+			return true
+		}
+		// Captured = declared inside the annotated function but outside the
+		// literal. Package-level variables are shared state, not captures.
+		if v.Pos() < c.fn.Pos() || v.Pos() >= c.fn.End() {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true
+		}
+		seen[v] = true
+		names = append(names, v.Name())
+		return true
+	})
+	return names
+}
+
+// checkCall covers fmt allocation, interface-boxing call arguments,
+// boxing conversions, and unhinted appends.
+func (c *hotPathChecker) checkCall(call *ast.CallExpr) {
+	if pkgPath, name, ok := pkgFuncCall(c.pass, call); ok && pkgPath == "fmt" && fmtAllocating[name] {
+		if !c.inPanicArg(call) {
+			c.pass.Reportf(call.Pos(),
+				"//dmp:hotpath %s: fmt.%s allocates its result on every call; "+
+					"precompute the string or move formatting off the hot path",
+				c.fn.Name.Name, name)
+		}
+		return
+	}
+	if isBuiltinAppend(c.pass, call) && len(call.Args) > 0 {
+		if v, ok := identObj(c.pass, call.Args[0]).(*types.Var); ok && c.unhinted[v] {
+			c.pass.Reportf(call.Pos(),
+				"//dmp:hotpath %s: append to %s, declared without capacity — growth "+
+					"reallocates; reuse a scratch buffer (buf[:0]) or make([]T, 0, cap)",
+				c.fn.Name.Name, v.Name())
+		}
+		return
+	}
+	// Conversion to an interface type: T(x) where T is an interface.
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && types.IsInterface(tv.Type) && boxes(c.pass.TypeOf(call.Args[0])) {
+			if !c.inPanicArg(call) {
+				c.pass.Reportf(call.Pos(),
+					"//dmp:hotpath %s: converting %s to interface %s boxes the value on the heap",
+					c.fn.Name.Name, c.pass.TypeOf(call.Args[0]), tv.Type)
+			}
+		}
+		return
+	}
+	// Ordinary call: arguments passed into interface-typed parameters.
+	// Builtins (panic's argument is a dying path) and stdlib packages whose
+	// API takes interface{} by design (sort.Slice) are not boxing sites worth
+	// policing; the rule exists for the repo's own interfaces.
+	if ident, isIdent := call.Fun.(*ast.Ident); isIdent {
+		if _, isBuiltin := c.pass.TypesInfo.Uses[ident].(*types.Builtin); isBuiltin {
+			return
+		}
+	}
+	if pkgPath, _, isPkgCall := pkgFuncCall(c.pass, call); isPkgCall && boxExemptPkgs[pkgPath] {
+		return
+	}
+	sig, ok := c.pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok || c.inPanicArg(call) {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var paramType types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... forwards the slice, no per-element boxing
+			}
+			paramType = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			paramType = params.At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(paramType) && boxes(c.pass.TypeOf(arg)) {
+			c.pass.Reportf(arg.Pos(),
+				"//dmp:hotpath %s: passing %s as interface %s boxes the value on the heap",
+				c.fn.Name.Name, c.pass.TypeOf(arg), paramType)
+		}
+	}
+}
+
+// checkAssignBoxing flags assignments of concrete non-pointer values into
+// interface-typed variables.
+func (c *hotPathChecker) checkAssignBoxing(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i := range as.Lhs {
+		lt := c.pass.TypeOf(as.Lhs[i])
+		if lt == nil || !types.IsInterface(lt) {
+			continue
+		}
+		if boxes(c.pass.TypeOf(as.Rhs[i])) && !c.inPanicArg(as.Rhs[i]) {
+			c.pass.Reportf(as.Rhs[i].Pos(),
+				"//dmp:hotpath %s: assigning %s to interface %s boxes the value on the heap",
+				c.fn.Name.Name, c.pass.TypeOf(as.Rhs[i]), lt)
+		}
+	}
+}
+
+// checkReturnBoxing flags returning concrete non-pointer values as
+// interface results.
+func (c *hotPathChecker) checkReturnBoxing(ret *ast.ReturnStmt) {
+	for _, lit := range c.lits {
+		if lit.Body != nil && lit.Body.Pos() <= ret.Pos() && ret.End() <= lit.Body.End() {
+			return // returns from the closure, not from the annotated function
+		}
+	}
+	sig, ok := c.pass.TypeOf(funcIdent(c.fn)).(*types.Signature)
+	if !ok {
+		return
+	}
+	results := sig.Results()
+	if len(ret.Results) != results.Len() {
+		return // bare return or comma-ok forms
+	}
+	for i, e := range ret.Results {
+		rt := results.At(i).Type()
+		if types.IsInterface(rt) && boxes(c.pass.TypeOf(e)) {
+			c.pass.Reportf(e.Pos(),
+				"//dmp:hotpath %s: returning %s as interface %s boxes the value on the heap",
+				c.fn.Name.Name, c.pass.TypeOf(e), rt)
+		}
+	}
+}
+
+func funcIdent(fn *ast.FuncDecl) *ast.Ident { return fn.Name }
+
+// boxes reports whether storing a value of type t in an interface requires a
+// heap allocation: concrete non-pointer-shaped types do (structs, strings,
+// slices, large and small scalars alike); pointers, channels, maps,
+// functions, and unsafe pointers are stored directly; nil and existing
+// interfaces do not convert.
+func boxes(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Interface:
+		return false
+	case *types.Basic:
+		// Untyped nil and untyped constants that default to nil-able kinds.
+		return u.Kind() != types.UntypedNil
+	}
+	return true
+}

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path
+	Dir   string // directory the sources were read from
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages of one module without any external
+// dependency: imports inside the module are resolved recursively from the
+// module directory; standard-library imports go through the stdlib source
+// importer. Loaded packages are cached, so a whole-module run type-checks
+// each package (and each stdlib dependency) once.
+//
+// The loader deliberately analyzes non-test sources only: the determinism
+// invariants protect the code that runs inside a simulation, and test files
+// legitimately use wall clocks, t.TempDir, and unsorted iteration.
+type Loader struct {
+	ModulePath string // e.g. "dismem"
+	ModuleDir  string // absolute directory of go.mod
+
+	Fset *token.FileSet
+
+	pkgs    map[string]*Package // by import path
+	loading map[string]bool     // import cycle detection
+	std     types.Importer
+}
+
+// NewLoader builds a loader rooted at moduleDir for the given module path.
+func NewLoader(modulePath, moduleDir string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		ModulePath: modulePath,
+		ModuleDir:  moduleDir,
+		Fset:       fset,
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+		std:        importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// Load parses and type-checks the package at the given import path, which
+// must be the module path itself or below it. Results are cached.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir, ok := l.dirFor(path)
+	if !ok {
+		return nil, fmt.Errorf("dmplint: import path %q is outside module %s", path, l.ModulePath)
+	}
+	return l.LoadDir(path, dir)
+}
+
+// LoadDir parses and type-checks the package in dir under the given import
+// path. It is the primitive Load builds on; tests use it directly to load
+// fixture packages from testdata directories.
+func (l *Loader) LoadDir(path, dir string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("dmplint: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("dmplint: no non-test Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: &loaderImporter{l: l},
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		// A package that does not type-check cannot be trusted to analyze;
+		// surface the first few errors rather than a wall.
+		msgs := make([]string, 0, 3)
+		for i, e := range typeErrs {
+			if i == 3 {
+				msgs = append(msgs, fmt.Sprintf("... and %d more", len(typeErrs)-3))
+				break
+			}
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("dmplint: type-checking %s failed:\n  %s", path, strings.Join(msgs, "\n  "))
+	}
+
+	p := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// dirFor maps a module-local import path to its directory.
+func (l *Loader) dirFor(path string) (string, bool) {
+	if path == l.ModulePath {
+		return l.ModuleDir, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleDir, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// parseDir parses every non-test .go file in dir, with comments (the
+// analyzers read //dmp:hotpath and //dmplint:ignore directives).
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// loaderImporter adapts the Loader to the go/types Importer interface:
+// module-local paths load recursively from source, everything else falls
+// through to the standard-library source importer.
+type loaderImporter struct {
+	l *Loader
+}
+
+func (i *loaderImporter) Import(path string) (*types.Package, error) {
+	if _, ok := i.l.dirFor(path); ok {
+		p, err := i.l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	if from, ok := i.l.std.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, i.l.ModuleDir, 0)
+	}
+	return i.l.std.Import(path)
+}

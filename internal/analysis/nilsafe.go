@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NilSafeEmit enforces both halves of the telemetry Recorder's nil contract.
+//
+// Definition side: every exported method on *Recorder must open with the
+// nil-receiver guard (`if r == nil { return ... }`), so a simulator holding a
+// nil recorder pays exactly one pointer compare per emit. A value receiver is
+// flagged too: it cannot be nil-guarded at all.
+//
+// Caller side: code must not wrap a single emit in its own `if rec != nil`
+// check — the guard already lives inside the method, and a redundant outer
+// check both duplicates the branch and invites the un-guarded call pattern to
+// spread. (Nil checks that guard a *block* of work, e.g. a loop assembling
+// lease events, are deliberately allowed: they skip argument computation,
+// not just the call.)
+var NilSafeEmit = &Analyzer{
+	Name: "nilsafe-emit",
+	Doc: "Recorder methods must start with the nil-receiver guard, and callers must not " +
+		"pre-check != nil around a single emit; the disabled path is one pointer compare",
+	Run: runNilSafeEmit,
+}
+
+func runNilSafeEmit(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkRecorderMethod(pass, fn)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifStmt, ok := n.(*ast.IfStmt)
+			if ok {
+				checkRedundantNilCheck(pass, ifStmt)
+			}
+			return true
+		})
+	}
+}
+
+// recorderReceiver returns the receiver ident (nil when unnamed) when fn is
+// a method on Recorder or *Recorder, with pointer reporting.
+func recorderReceiver(fn *ast.FuncDecl) (recv *ast.Ident, pointer, ok bool) {
+	if fn.Recv == nil || len(fn.Recv.List) != 1 {
+		return nil, false, false
+	}
+	field := fn.Recv.List[0]
+	t := field.Type
+	if star, isStar := t.(*ast.StarExpr); isStar {
+		pointer = true
+		t = star.X
+	}
+	ident, isIdent := t.(*ast.Ident)
+	if !isIdent || ident.Name != "Recorder" {
+		return nil, false, false
+	}
+	if len(field.Names) == 1 {
+		recv = field.Names[0]
+	}
+	return recv, pointer, true
+}
+
+// checkRecorderMethod verifies the nil guard on one exported Recorder method.
+func checkRecorderMethod(pass *Pass, fn *ast.FuncDecl) {
+	recv, pointer, ok := recorderReceiver(fn)
+	if !ok || !fn.Name.IsExported() || fn.Body == nil {
+		return
+	}
+	if !pointer {
+		pass.Reportf(fn.Pos(),
+			"Recorder.%s uses a value receiver: telemetry methods must use *Recorder so a "+
+				"nil (disabled) recorder stays callable", fn.Name.Name)
+		return
+	}
+	if recv == nil {
+		pass.Reportf(fn.Pos(),
+			"Recorder.%s discards its receiver: telemetry methods must start with the "+
+				"`if r == nil { return }` guard", fn.Name.Name)
+		return
+	}
+	if len(fn.Body.List) == 0 || !startsWithNilGuard(fn.Body.List[0], recv.Name) {
+		pass.Reportf(fn.Pos(),
+			"Recorder.%s does not start with the nil-receiver guard: the first statement "+
+				"must be `if %s == nil { return ... }` (disabled telemetry is one pointer compare)",
+			fn.Name.Name, recv.Name)
+	}
+}
+
+// startsWithNilGuard reports whether stmt is an if whose condition contains
+// `recv == nil` (possibly OR-ed with cheap early-out conditions, as in
+// PoolCheck) and whose body returns.
+func startsWithNilGuard(stmt ast.Stmt, recvName string) bool {
+	ifStmt, ok := stmt.(*ast.IfStmt)
+	if !ok || ifStmt.Init != nil {
+		return false
+	}
+	if !condChecksNil(ifStmt.Cond, recvName, token.EQL) {
+		return false
+	}
+	n := len(ifStmt.Body.List)
+	if n == 0 {
+		return false
+	}
+	_, returns := ifStmt.Body.List[n-1].(*ast.ReturnStmt)
+	return returns
+}
+
+// condChecksNil reports whether cond contains the comparison `name <op> nil`
+// at the top level or under || / && chains.
+func condChecksNil(cond ast.Expr, name string, op token.Token) bool {
+	switch e := cond.(type) {
+	case *ast.ParenExpr:
+		return condChecksNil(e.X, name, op)
+	case *ast.BinaryExpr:
+		if e.Op == token.LOR || e.Op == token.LAND {
+			return condChecksNil(e.X, name, op) || condChecksNil(e.Y, name, op)
+		}
+		if e.Op != op {
+			return false
+		}
+		return (exprIsName(e.X, name) && exprIsNil(e.Y)) ||
+			(exprIsName(e.Y, name) && exprIsNil(e.X))
+	}
+	return false
+}
+
+func exprIsName(e ast.Expr, name string) bool {
+	ident, ok := e.(*ast.Ident)
+	return ok && ident.Name == name
+}
+
+func exprIsNil(e ast.Expr) bool {
+	ident, ok := e.(*ast.Ident)
+	return ok && ident.Name == "nil"
+}
+
+// checkRedundantNilCheck flags `if x != nil { x.Emit(...) }` where x is a
+// *Recorder and the body is exactly the one emit call.
+func checkRedundantNilCheck(pass *Pass, ifStmt *ast.IfStmt) {
+	if ifStmt.Init != nil || ifStmt.Else != nil || len(ifStmt.Body.List) != 1 {
+		return
+	}
+	bin, ok := ifStmt.Cond.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.NEQ {
+		return
+	}
+	var checked ast.Expr
+	switch {
+	case exprIsNil(bin.Y):
+		checked = bin.X
+	case exprIsNil(bin.X):
+		checked = bin.Y
+	default:
+		return
+	}
+	if !isRecorderPtr(pass.TypeOf(checked)) {
+		return
+	}
+	exprStmt, ok := ifStmt.Body.List[0].(*ast.ExprStmt)
+	if !ok {
+		return
+	}
+	call, ok := exprStmt.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	recv, typeName, method, ok := methodCall(pass, call)
+	if !ok || typeName != "Recorder" {
+		return
+	}
+	if types.ExprString(recv) != types.ExprString(checked) {
+		return
+	}
+	pass.Reportf(ifStmt.Pos(),
+		"redundant nil check around %s.%s: Recorder methods are nil-safe, call it directly "+
+			"(the guard inside the method is the single pointer compare)",
+		types.ExprString(recv), method)
+}
+
+// isRecorderPtr reports whether t is *Recorder for any type named Recorder.
+func isRecorderPtr(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Recorder"
+}

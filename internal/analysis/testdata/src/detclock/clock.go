@@ -1,0 +1,41 @@
+// Package detclock is the analysistest fixture for the detclock analyzer:
+// wall-clock reads, global math/rand draws, and environment lookups are
+// flagged; seeded *rand.Rand methods and allowlisted lines are not.
+package detclock
+
+import (
+	"math/rand"
+	"os"
+	"time"
+
+	wall "time"
+)
+
+type state struct{ rng *rand.Rand }
+
+func wallClock() time.Duration {
+	start := time.Now()      // want `time\.Now reads the wall clock inside the deterministic simulator`
+	time.Sleep(1)            // want `time\.Sleep reads the wall clock`
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func aliased() time.Time {
+	return wall.Now() // want `time\.Now reads the wall clock`
+}
+
+func globalRand(s *state) float64 {
+	_ = rand.Intn(10)      // want `rand\.Intn draws from the process-global generator`
+	return s.rng.Float64() // methods on a seeded *rand.Rand are the sanctioned source
+}
+
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // constructing a seeded generator is fine
+}
+
+func env() string {
+	return os.Getenv("DMP_MODE") // want `os\.Getenv makes simulator behaviour depend on the process environment`
+}
+
+func allowlisted() int64 {
+	return time.Now().UnixNano() //dmplint:ignore detclock fixture: operator escape hatch under test
+}

@@ -1,0 +1,14 @@
+// Package directives exercises the //dmplint:ignore machinery itself: a
+// directive that suppresses nothing and a directive without a reason must
+// both be reported, so the allowlist cannot rot silently.
+package directives
+
+func stale() int {
+	//dmplint:ignore detclock nothing on this line or the next violates detclock
+	return 1
+}
+
+func missingReason() int {
+	//dmplint:ignore detclock
+	return 2
+}

@@ -1,0 +1,104 @@
+// Package hotpath is the analysistest fixture for the hotpath-alloc
+// analyzer. Engine stands in for sim.Engine; only functions annotated
+// //dmp:hotpath are checked.
+package hotpath
+
+import (
+	"fmt"
+	"sort"
+)
+
+type Engine struct{}
+
+func (e *Engine) Schedule(at float64, fn func()) {}
+
+type item struct{ v int }
+
+func consume(v interface{}) {}
+
+//dmp:hotpath
+func sprintfHot(id int) {
+	_ = fmt.Sprintf("job %d", id) // want `fmt\.Sprintf allocates its result on every call`
+}
+
+//dmp:hotpath
+func sprintfPanic(id int) {
+	if id < 0 {
+		panic(fmt.Sprintf("bad id %d", id)) // a dying path may format its last words
+	}
+}
+
+//dmp:hotpath
+func escapingClosure(e *Engine, id int) {
+	e.Schedule(1.0, func() { _ = id }) // want `closure capturing "id" is handed to the event queue`
+}
+
+//dmp:hotpath
+func stackClosure(xs []int) {
+	lo := 0
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] || i > lo }) // immediate call arg: stack-allocated
+}
+
+//dmp:hotpath
+func storedClosure(id int) func() int {
+	f := func() int { return id } // want `closure capturing "id" is stored or returned`
+	return f
+}
+
+//dmp:hotpath
+func unhintedAppend(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want `append to out, declared without capacity`
+	}
+	return out
+}
+
+//dmp:hotpath
+func hintedAppend(buf []int, n int) []int {
+	out := buf[:0]
+	for i := 0; i < n; i++ {
+		out = append(out, i) // reuses caller capacity: fine
+	}
+	return out
+}
+
+//dmp:hotpath
+func madeWithCap(n int) []int {
+	out := make([]int, 0, 16)
+	out = append(out, n) // capacity hint present: fine
+	return out
+}
+
+//dmp:hotpath
+func boxingAssign(v item) {
+	var x interface{}
+	x = v // want `assigning .*item to interface .* boxes the value on the heap`
+	_ = x
+}
+
+//dmp:hotpath
+func boxingCall(n int) {
+	consume(n) // want `passing int as interface .* boxes the value on the heap`
+}
+
+//dmp:hotpath
+func pointerNoBox(p *item) {
+	consume(p) // pointers store directly in interfaces: no allocation
+}
+
+func walk(fn func(int) bool) {}
+
+//dmp:hotpath
+func closureReturn(xs []int) error {
+	walk(func(v int) bool { return v > 0 }) // bool answers the closure, not the error result
+	return nil
+}
+
+// coldSprintf is unannotated: the analyzer must leave it alone.
+func coldSprintf(id int) string { return fmt.Sprintf("%d", id) }
+
+//dmp:hotpath
+func allowlisted(e *Engine, id int) {
+	e.Schedule(2.0, func() { _ = id }) //dmplint:ignore hotpath-alloc fixture: scheduled once per dispatch, not per refresh
+}

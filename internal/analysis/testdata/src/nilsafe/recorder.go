@@ -1,0 +1,56 @@
+// Package nilsafe is the analysistest fixture for the nilsafe-emit
+// analyzer: Recorder is a stand-in for the telemetry recorder.
+package nilsafe
+
+type Recorder struct {
+	n   int
+	now float64
+}
+
+// Emit is correctly guarded: first statement is the nil check.
+func (r *Recorder) Emit(k string) {
+	if r == nil {
+		return
+	}
+	r.n++
+}
+
+// PoolCheck ORs the guard with a cheap early-out, as the real one does.
+func (r *Recorder) PoolCheck(free, capacity int64) {
+	if r == nil || capacity <= 0 {
+		return
+	}
+	r.n++
+}
+
+func (r *Recorder) Unguarded(k string) { // want `Recorder\.Unguarded does not start with the nil-receiver guard`
+	r.n++
+}
+
+func (r Recorder) ValueRecv() int { // want `Recorder\.ValueRecv uses a value receiver`
+	return r.n
+}
+
+func (*Recorder) Discarded() {} // want `Recorder\.Discarded discards its receiver`
+
+// reset is unexported: internal helpers run after the public guard.
+func (r *Recorder) reset() { r.n = 0 }
+
+//dmplint:ignore nilsafe-emit fixture: guard intentionally elided under test
+func (r *Recorder) Allowlisted() {
+	r.n++
+}
+
+func caller(r *Recorder, work map[string]int) {
+	if r != nil { // want `redundant nil check around r\.Emit`
+		r.Emit("x")
+	}
+	if r != nil {
+		// Guarding a block (skipping argument assembly, not just the call)
+		// is the sanctioned use of an explicit nil check.
+		n := len(work)
+		r.Emit("y")
+		_ = n
+	}
+	r.Emit("z") // the normal path: call straight through the internal guard
+}

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// pkgFuncCall resolves call as pkg.Func(...) where pkg is an imported
+// package name, returning the package's import path and the function name.
+// Resolution goes through types.Info.Uses, so import aliases and shadowed
+// identifiers are handled correctly.
+func pkgFuncCall(pass *Pass, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, ok2 := call.Fun.(*ast.SelectorExpr)
+	if !ok2 {
+		return "", "", false
+	}
+	ident, ok2 := sel.X.(*ast.Ident)
+	if !ok2 {
+		return "", "", false
+	}
+	pkgName, ok2 := pass.TypesInfo.Uses[ident].(*types.PkgName)
+	if !ok2 {
+		return "", "", false
+	}
+	return pkgName.Imported().Path(), sel.Sel.Name, true
+}
+
+// methodCall resolves call as x.M(...) where x is a value (not a package),
+// returning the name of x's named type (pointers dereferenced) and the
+// method name. The type name alone is deliberately the key: dmplint's
+// contracts are about the repo's Recorder and Engine types, and name-based
+// matching lets the analyzer fixtures define lightweight stand-ins.
+func methodCall(pass *Pass, call *ast.CallExpr) (recv ast.Expr, typeName, method string, ok bool) {
+	sel, ok2 := call.Fun.(*ast.SelectorExpr)
+	if !ok2 {
+		return nil, "", "", false
+	}
+	if ident, isIdent := sel.X.(*ast.Ident); isIdent {
+		if _, isPkg := pass.TypesInfo.Uses[ident].(*types.PkgName); isPkg {
+			return nil, "", "", false
+		}
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return nil, "", "", false
+	}
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, ok2 := t.(*types.Named)
+	if !ok2 {
+		return nil, "", "", false
+	}
+	return sel.X, named.Obj().Name(), sel.Sel.Name, true
+}
+
+// isBuiltinAppend reports whether call is the append builtin.
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	ident, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if obj, found := pass.TypesInfo.Uses[ident]; found {
+		b, isBuiltin := obj.(*types.Builtin)
+		return isBuiltin && b.Name() == "append"
+	}
+	return false
+}
+
+// identObj returns the types.Object an identifier expression resolves to,
+// or nil for non-identifiers.
+func identObj(pass *Pass, e ast.Expr) types.Object {
+	ident, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj, found := pass.TypesInfo.Uses[ident]; found {
+		return obj
+	}
+	return pass.TypesInfo.Defs[ident]
+}
+
+// posWithin reports whether pos lies inside node's source range.
+func posWithin(node ast.Node, obj types.Object) bool {
+	return obj != nil && node.Pos() <= obj.Pos() && obj.Pos() < node.End()
+}
+
+// isFloat reports whether t is a floating-point basic type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// quotedList renders names as `"a", "b", "c"` for diagnostics.
+func quotedList(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += `"` + n + `"`
+	}
+	return out
+}
+
+// funcDocHasDirective reports whether the function's doc comment contains
+// the given //-directive (e.g. "dmp:hotpath").
+func funcDocHasDirective(fn *ast.FuncDecl, directive string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		text := c.Text
+		if len(text) >= 2 && text[:2] == "//" {
+			text = text[2:]
+		}
+		for len(text) > 0 && (text[0] == ' ' || text[0] == '\t') {
+			text = text[1:]
+		}
+		if text == directive {
+			return true
+		}
+	}
+	return false
+}

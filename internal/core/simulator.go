@@ -355,6 +355,8 @@ func (s *Simulator) easyPass() {
 // conservativePass gives every examined queued job a reservation on the
 // future resource profile: a job starts now only if that does not push any
 // earlier job's reservation back.
+//
+//dmp:hotpath
 func (s *Simulator) conservativePass() {
 	now := s.eng.Now()
 	if s.prof == nil {
@@ -393,6 +395,8 @@ func (s *Simulator) conservativePass() {
 // arithmetic. The node-class counts come straight from the cluster's idle
 // split (O(1)); the class threshold there is NormalMB, the same comparison
 // the retained rescan applies per node.
+//
+//dmp:hotpath
 func (s *Simulator) currentResources() sched.Resources {
 	if s.refRescan {
 		return s.currentResourcesRescan()
@@ -427,6 +431,8 @@ func (s *Simulator) currentResourcesRescan() sched.Resources {
 // time and combine resources with commutative integer arithmetic, so the
 // iteration order cannot affect results — the retained reference walks the
 // map instead and the differential tests confirm the equivalence.
+//
+//dmp:hotpath
 func (s *Simulator) releases() []sched.Release {
 	if s.refRescan {
 		return s.releasesRescan()
@@ -440,16 +446,25 @@ func (s *Simulator) releases() []sched.Release {
 }
 
 // releasesRescan is the retained reference implementation of releases: a
-// fresh allocation per call, map iteration order.
+// fresh allocation per call, visiting jobs in ascending ID order so the
+// reference path is as reproducible as the incremental one (the release
+// list feeds the backfill planner, where order breaks ties).
 func (s *Simulator) releasesRescan() []sched.Release {
-	out := make([]sched.Release, 0, len(s.running))
-	for _, rj := range s.running {
-		out = append(out, s.releaseOf(rj))
+	ids := make([]int, 0, len(s.running))
+	for id := range s.running {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]sched.Release, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, s.releaseOf(s.running[id]))
 	}
 	return out
 }
 
 // releaseOf summarises one running job's conservative release.
+//
+//dmp:hotpath
 func (s *Simulator) releaseOf(rj *runningJob) sched.Release {
 	normalMB := s.cfg.Cluster.NormalMB
 	var res sched.Resources
@@ -718,6 +733,8 @@ func (s *Simulator) oomKill(rj *runningJob) {
 // bank converts wallclock elapsed since the last banking point into job
 // progress at the prevailing slowdown, and integrates actual memory use
 // into the utilisation counters.
+//
+//dmp:hotpath
 func (s *Simulator) bank(rj *runningJob) {
 	now := s.eng.Now()
 	dt := now - rj.lastT
@@ -775,6 +792,8 @@ func (s *Simulator) remoteFraction(na *cluster.NodeAllocation) float64 {
 // distance-weighted remote fraction its slowdown depends on. Each cached
 // value is a deterministic function of the allocation alone, so reusing it
 // across refreshes is bit-exact.
+//
+//dmp:hotpath
 func (s *Simulator) recontend(rj *runningJob) {
 	rj.nodeTraffic = rj.nodeTraffic[:0]
 	fracs := s.fracsBuf[:0]
@@ -805,6 +824,8 @@ func (s *Simulator) recontend(rj *runningJob) {
 // Banking stays eager for every job each refresh: progress accrual divides
 // by the prevailing slowdown step by step, and collapsing steps would change
 // the float rounding and with it the golden digests.
+//
+//dmp:hotpath
 func (s *Simulator) refreshAll() {
 	if s.refRescan {
 		s.refreshAllRescan()
@@ -834,6 +855,8 @@ func (s *Simulator) refreshAll() {
 
 // refinish recomputes rj's completion time at the current slowdown and
 // reschedules the finish event only if it moved.
+//
+//dmp:hotpath
 func (s *Simulator) refinish(rj *runningJob, now float64) {
 	remaining := rj.j.BaseRuntime - rj.progress
 	if remaining < 0 {
@@ -845,7 +868,7 @@ func (s *Simulator) refinish(rj *runningJob, now float64) {
 	}
 	if !rj.finishEv.Pending() {
 		id := rj.j.ID
-		rj.finishEv = s.eng.Schedule(at, func(*sim.Engine) { s.onFinish(id) })
+		rj.finishEv = s.eng.Schedule(at, func(*sim.Engine) { s.onFinish(id) }) //dmplint:ignore hotpath-alloc scheduled once per finish-time move, not per refresh step; Reschedule reuses the handle below
 	} else if rj.finishEv.At() != at {
 		rj.finishEv = s.eng.Reschedule(rj.finishEv, at)
 	}

@@ -43,6 +43,8 @@ func NewAdjuster(ranker LenderRanker) *Adjuster { return &Adjuster{ranker: ranke
 // On ErrOutOfMemory the allocation retains whatever it held plus any
 // partial growth — the caller is expected to kill and resubmit the job,
 // which releases everything.
+//
+//dmp:hotpath
 func (a *Adjuster) Adjust(cl *cluster.Cluster, ja *cluster.JobAllocation, i int, targetMB int64) error {
 	if targetMB < 0 {
 		return cluster.ErrNegativeAmount
@@ -70,6 +72,8 @@ func AdjustRanked(cl *cluster.Cluster, ja *cluster.JobAllocation, i int, targetM
 	return NewAdjuster(ranker).Adjust(cl, ja, i, targetMB)
 }
 
+//
+//dmp:hotpath
 func shrinkTo(cl *cluster.Cluster, ja *cluster.JobAllocation, i int, excess int64) error {
 	// Remote first: remote accesses are the expensive ones, so freeing
 	// them both returns pool memory and speeds the job up.
@@ -83,6 +87,8 @@ func shrinkTo(cl *cluster.Cluster, ja *cluster.JobAllocation, i int, excess int6
 	return nil
 }
 
+//
+//dmp:hotpath
 func (a *Adjuster) growBy(cl *cluster.Cluster, ja *cluster.JobAllocation, i int, need int64) error {
 	na := &ja.PerNode[i]
 	// Local first.
@@ -137,6 +143,8 @@ func (a *Adjuster) growBy(cl *cluster.Cluster, ja *cluster.JobAllocation, i int,
 
 // growRanked is the custom-ranker grow path, identical to the pre-index
 // implementation apart from the reused exclusion map.
+//
+//dmp:hotpath
 func (a *Adjuster) growRanked(cl *cluster.Cluster, ja *cluster.JobAllocation, i int, need int64) error {
 	na := &ja.PerNode[i]
 	if a.exc == nil {

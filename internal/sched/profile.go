@@ -33,6 +33,8 @@ func NewProfile(now float64, current Resources, releases []Release) *Profile {
 // one Profile makes that pass allocation-free at steady state. Results are
 // identical to NewProfile: the arithmetic is all integer Resources math, so
 // buffer reuse cannot perturb anything.
+//
+//dmp:hotpath
 func (p *Profile) Reset(now float64, current Resources, releases []Release) {
 	p.times = append(p.times[:0], now)
 	p.avail = append(p.avail[:0], current)
@@ -64,6 +66,8 @@ func (p *Profile) Reset(now float64, current Resources, releases []Release) {
 }
 
 // indexFor returns the segment index covering time t (t >= times[0]).
+//
+//dmp:hotpath
 func (p *Profile) indexFor(t float64) int {
 	i := sort.SearchFloat64s(p.times, t)
 	if i < len(p.times) && p.times[i] == t {
@@ -73,6 +77,8 @@ func (p *Profile) indexFor(t float64) int {
 }
 
 // splitAt inserts a breakpoint at t if none exists.
+//
+//dmp:hotpath
 func (p *Profile) splitAt(t float64) {
 	i := sort.SearchFloat64s(p.times, t)
 	if i < len(p.times) && p.times[i] == t {
@@ -92,6 +98,8 @@ func (p *Profile) splitAt(t float64) {
 
 // fitsOver reports whether demand d fits continuously over [start,
 // start+duration) given the profile.
+//
+//dmp:hotpath
 func (p *Profile) fitsOver(d Demand, start, duration float64) bool {
 	end := start + duration
 	for i := range p.times {
@@ -113,6 +121,8 @@ func (p *Profile) fitsOver(d Demand, start, duration float64) bool {
 // EarliestFit returns the earliest time ≥ after at which demand d fits for
 // the whole duration. It returns +Inf when the demand never fits (even on
 // the final, steady-state segment).
+//
+//dmp:hotpath
 func (p *Profile) EarliestFit(d Demand, after, duration float64) float64 {
 	if after < p.times[0] {
 		after = p.times[0]
@@ -136,6 +146,8 @@ func (p *Profile) EarliestFit(d Demand, after, duration float64) float64 {
 // Reserve subtracts demand d from the profile over [start, start+duration).
 // Reservations may drive a segment negative only if the caller reserves
 // without checking EarliestFit first; conservative backfill never does.
+//
+//dmp:hotpath
 func (p *Profile) Reserve(d Demand, start, duration float64) {
 	end := start + duration
 	if start < p.times[0] {
@@ -162,6 +174,8 @@ func (p *Profile) Reserve(d Demand, start, duration float64) {
 // node share is taken from large nodes first when the demand requires
 // them, otherwise from normal nodes with large nodes as overflow —
 // mirroring how placement consumes the cheapest adequate nodes first.
+//
+//dmp:hotpath
 func subtract(r Resources, d Demand) Resources {
 	n := d.Nodes
 	if d.LargeOnly {

@@ -70,6 +70,8 @@ func (r *Recorder) SampleInterval() float64 {
 // SetNow advances the recorder's clock; the simulator calls it at the top
 // of every event handler so emitters deeper in the stack (policies, ledger)
 // need not thread the simulated time through their signatures.
+//
+//dmp:hotpath
 func (r *Recorder) SetNow(t float64) {
 	if r == nil {
 		return
@@ -78,6 +80,8 @@ func (r *Recorder) SetNow(t float64) {
 }
 
 // Now returns the recorder's clock.
+//
+//dmp:hotpath
 func (r *Recorder) Now() float64 {
 	if r == nil {
 		return 0
@@ -97,6 +101,8 @@ func (r *Recorder) emit(e Event) {
 }
 
 // JobSubmit records a job entering the pending queue.
+//
+//dmp:hotpath
 func (r *Recorder) JobSubmit(job int, resubmit bool) {
 	if r == nil {
 		return
@@ -110,6 +116,8 @@ func (r *Recorder) JobSubmit(job int, resubmit bool) {
 
 // JobStart records a dispatch: nodes compute nodes, localMB local memory,
 // remoteMB borrowed memory.
+//
+//dmp:hotpath
 func (r *Recorder) JobStart(job, nodes int, localMB, remoteMB int64) {
 	if r == nil {
 		return
@@ -120,6 +128,8 @@ func (r *Recorder) JobStart(job, nodes int, localMB, remoteMB int64) {
 // JobEnd records a job's final outcome and the restart count accumulated so
 // far. Each job emits this at most once; non-final attempt terminations go
 // through JobAttemptEnd.
+//
+//dmp:hotpath
 func (r *Recorder) JobEnd(job int, outcome string, restarts int) {
 	if r == nil {
 		return
@@ -130,6 +140,8 @@ func (r *Recorder) JobEnd(job int, outcome string, restarts int) {
 // JobAttemptEnd records a non-final attempt termination (an OOM kill that
 // leads to a restart or abandonment) with the attempt's outcome name and the
 // restart count including this kill.
+//
+//dmp:hotpath
 func (r *Recorder) JobAttemptEnd(job int, outcome string, restarts int) {
 	if r == nil {
 		return
@@ -138,6 +150,8 @@ func (r *Recorder) JobAttemptEnd(job int, outcome string, restarts int) {
 }
 
 // LeaseGrant records node borrowing mb from lender on behalf of job.
+//
+//dmp:hotpath
 func (r *Recorder) LeaseGrant(job, node, lender int, mb int64) {
 	if r == nil {
 		return
@@ -147,6 +161,8 @@ func (r *Recorder) LeaseGrant(job, node, lender int, mb int64) {
 
 // LeaseAdjust records a dynamic resize of one compute node's allocation:
 // deltaMB total change (negative = shrink), deltaRemoteMB its remote share.
+//
+//dmp:hotpath
 func (r *Recorder) LeaseAdjust(job, node int, deltaMB, deltaRemoteMB int64) {
 	if r == nil {
 		return
@@ -155,6 +171,8 @@ func (r *Recorder) LeaseAdjust(job, node int, deltaMB, deltaRemoteMB int64) {
 }
 
 // LeaseRevoke records a lease returned at teardown.
+//
+//dmp:hotpath
 func (r *Recorder) LeaseRevoke(job, node, lender int, mb int64) {
 	if r == nil {
 		return
@@ -165,6 +183,8 @@ func (r *Recorder) LeaseRevoke(job, node, lender int, mb int64) {
 // BackfillHole records a reservation: job cannot start now and is promised
 // the resources at time at (+Inf when it can never start under the current
 // releases).
+//
+//dmp:hotpath
 func (r *Recorder) BackfillHole(job int, at float64) {
 	if r == nil {
 		return
@@ -174,6 +194,8 @@ func (r *Recorder) BackfillHole(job int, at float64) {
 
 // BackfillPlace records a job started by the backfill pass ahead of the
 // queue head.
+//
+//dmp:hotpath
 func (r *Recorder) BackfillPlace(job int) {
 	if r == nil {
 		return
@@ -185,6 +207,8 @@ func (r *Recorder) BackfillPlace(job int) {
 // a KindPoolWatermark event for each threshold newly crossed on the way
 // down. Rising back above a threshold re-arms it silently. The comparison
 // is integer-exact (free·100 ≤ capacity·pct) so runs are reproducible.
+//
+//dmp:hotpath
 func (r *Recorder) PoolCheck(freeMB, capacityMB int64) {
 	if r == nil || capacityMB <= 0 {
 		return
@@ -211,6 +235,8 @@ func (r *Recorder) PoolCheck(freeMB, capacityMB int64) {
 
 // Sample records one fixed-interval snapshot into the columnar series and
 // forwards it to the sink.
+//
+//dmp:hotpath
 func (r *Recorder) Sample(t float64, freeMB, lentMB int64, queue, busy, running int) {
 	if r == nil {
 		return
