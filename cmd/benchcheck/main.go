@@ -19,15 +19,27 @@
 //
 //	go run ./cmd/benchcheck -baseline BENCH_2.json -compare BENCH_3.json
 //
+// With -speedup/-min-speedup, benchcheck instead gates a ratio between two
+// benchmarks of the SAME run — the CI multi-core gate that requires the
+// parallel executor to beat the serial one by a factor:
+//
+//	go test -run '^$' -bench 'BenchmarkScenario$/^grizzly-scale' -benchtime 1x -count=5 . \
+//	    | go run ./cmd/benchcheck \
+//	        -speedup 'BenchmarkScenario/grizzly-scale,BenchmarkScenario/grizzly-scale-parallel' \
+//	        -min-speedup 3.0
+//
 // Flags:
 //
-//	-baseline path   recorded JSON baseline (required)
+//	-baseline path   recorded JSON baseline (required unless -speedup is set)
 //	-compare path    second baseline to diff against -baseline (skips stdin)
 //	-tolerance f     allowed fractional slowdown before failing (default 0.20)
+//	-speedup a,b     benchmark pair: require median(a)/median(b) ≥ -min-speedup
+//	-min-speedup f   required speedup factor for the -speedup pair (default 1.0)
 //
 // Benchmarks present in the input but absent from the baseline (or vice
 // versa) are reported and skipped; only the intersection is compared.
-// Exit status 1 on regression or if no benchmark could be compared.
+// Exit status 1 on regression, on a missed speedup, or if no benchmark
+// could be compared.
 package main
 
 import (
@@ -40,6 +52,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 type baselineFile struct {
@@ -61,20 +74,28 @@ func realMain() int {
 	baselinePath := flag.String("baseline", "", "recorded BENCH_<n>.json to compare against")
 	comparePath := flag.String("compare", "", "second BENCH_<n>.json to diff against -baseline instead of stdin")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional slowdown before failing")
+	speedupPair := flag.String("speedup", "", "comma-separated benchmark pair a,b: require median(a)/median(b) >= -min-speedup")
+	minSpeedup := flag.Float64("min-speedup", 1.0, "required speedup factor for the -speedup pair")
 	flag.Parse()
-	if *baselinePath == "" {
-		fmt.Fprintln(os.Stderr, "benchcheck: -baseline is required")
+	if *baselinePath == "" && *speedupPair == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -baseline is required (or -speedup for a same-run ratio gate)")
 		return 2
 	}
 
-	base, want, err := loadBaseline(*baselinePath)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
-		return 2
+	var base baselineFile
+	want := map[string]float64{}
+	if *baselinePath != "" {
+		var err error
+		base, want, err = loadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			return 2
+		}
 	}
 
 	var samples map[string][]float64
 	var order []string
+	var err error
 	if *comparePath != "" {
 		// Baseline-vs-baseline mode: the second file's recorded medians stand
 		// in for the stdin samples, in the file's own benchmark order.
@@ -89,6 +110,15 @@ func realMain() int {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchcheck: reading stdin: %v\n", err)
 			return 2
+		}
+	}
+
+	if *speedupPair != "" {
+		if code := checkSpeedup(samples, *speedupPair, *minSpeedup); code != 0 {
+			return code
+		}
+		if *baselinePath == "" {
+			return 0
 		}
 	}
 
@@ -121,6 +151,32 @@ func realMain() int {
 	}
 	fmt.Printf("benchcheck: %d benchmarks within %.0f%% of %s (commit %s)\n",
 		compared, *tolerance*100, *baselinePath, base.Commit)
+	return 0
+}
+
+// checkSpeedup enforces the same-run ratio gate: pair is "slow,fast", and
+// median(slow)/median(fast) must reach min. Returns the process exit code
+// (0 on success) so realMain can pass it straight through.
+func checkSpeedup(samples map[string][]float64, pair string, min float64) int {
+	names := strings.Split(pair, ",")
+	if len(names) != 2 || names[0] == "" || names[1] == "" {
+		fmt.Fprintf(os.Stderr, "benchcheck: -speedup wants two comma-separated benchmark names, got %q\n", pair)
+		return 2
+	}
+	slow, fast := names[0], names[1]
+	for _, n := range names {
+		if len(samples[n]) == 0 {
+			fmt.Fprintf(os.Stderr, "benchcheck: -speedup benchmark %q not found in input\n", n)
+			return 1
+		}
+	}
+	ratio := median(samples[slow]) / median(samples[fast])
+	if ratio < min {
+		fmt.Fprintf(os.Stderr, "benchcheck: speedup %s over %s is %.2fx, want >= %.2fx\n",
+			fast, slow, ratio, min)
+		return 1
+	}
+	fmt.Printf("speedup %-40s %.2fx over %s (>= %.2fx required)\n", fast, ratio, slow, min)
 	return 0
 }
 

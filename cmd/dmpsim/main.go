@@ -39,6 +39,9 @@ func main() {
 		telPath   = flag.String("telemetry", "", "write a JSONL telemetry event log here (inspect with dmpobs)")
 		telEvery  = flag.Float64("telemetry-interval", 300, "telemetry pool-sampling period in simulated seconds (0 = events only)")
 		promPath  = flag.String("prom", "", "write Prometheus text-format run aggregates here")
+		shards    = flag.Int("shards", 0, "cluster-ledger shard count (0 = single shard)")
+		parallel  = flag.Bool("parallel", false, "windowed executor with parallel refresh phases (bit-identical results)")
+		workers   = flag.Int("workers", 0, "parallel refresh worker count (0 = GOMAXPROCS; needs -parallel)")
 		seed      = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -94,6 +97,9 @@ func main() {
 		fail("unknown preset %q", *preset)
 	}
 	p.Seed = *seed
+	p.Shards = *shards
+	p.Parallel = *parallel
+	p.Workers = *workers
 
 	mc, err := experiments.MemConfigByPct(*memPct)
 	if err != nil {
@@ -148,6 +154,13 @@ func main() {
 			fail("%s: %v", *confPath, err)
 		}
 		cfg.Seed = *seed
+		if *shards > 0 {
+			cfg.Cluster.Shards = *shards
+		}
+		if *parallel {
+			cfg.Parallel = true
+			cfg.Workers = *workers
+		}
 		if tl != nil {
 			cfg.Observer = tl
 		}

@@ -12,8 +12,12 @@ func (r *Recorder) Now() float64  { return 0 }
 
 type Engine struct{}
 
-func (e *Engine) Schedule(at float64) {}
-func (e *Engine) Now() float64        { return 0 }
+type Fired struct{}
+
+func (e *Engine) Schedule(at float64)                {}
+func (e *Engine) ScheduleTag(at float64, tag uint64) {}
+func (e *Engine) FireWindowed(f Fired) bool          { return true }
+func (e *Engine) Now() float64                       { return 0 }
 
 func appendUnsorted(m map[int]string) []int {
 	var keys []int
@@ -93,6 +97,21 @@ func intAccum(m map[int]int) int {
 func schedule(m map[int]float64, e *Engine) {
 	for _, at := range m {
 		e.Schedule(at) // want `Engine\.Schedule called inside range over map m`
+	}
+}
+
+func scheduleTagged(m map[int]float64, e *Engine) {
+	for id, at := range m {
+		e.ScheduleTag(at, uint64(id)) // want `Engine\.ScheduleTag called inside range over map m`
+	}
+}
+
+// fireWindow is the window-era form of the same bug (this PR's precedent):
+// dispatching popped window members by map iteration order would break the
+// serial-order guarantee that makes windowed runs bit-identical.
+func fireWindow(m map[int]Fired, e *Engine) {
+	for _, f := range m {
+		e.FireWindowed(f) // want `Engine\.FireWindowed called inside range over map m`
 	}
 }
 

@@ -69,14 +69,23 @@ var (
 type Cluster struct {
 	nodes []Node
 
-	free     freeIndex
-	idle     idleSet
+	// The node ID space is partitioned into contiguous shards (see
+	// shard.go), each with its own free-memory treap, idle bitset, and
+	// aggregate summary. shardSize is the owned range of every shard but
+	// the last. With one shard (the default) the layout and every walk are
+	// exactly the pre-sharding single-treap ledger.
+	shards    []shardIx
+	shardSize int
+	mergeIts  []freeIter // per-shard merge iterators, persistent scratch
+	mergeHeap []int32    // merge-heap scratch (shard indices)
+
 	capOrder []NodeID // node IDs sorted by (CapacityMB asc, ID asc); immutable
 
 	capTotal  int64
 	freeTotal int64
 	lentTotal int64
 	busy      int
+	idleCount int // compute-available nodes across all shards
 
 	// Capacity-class split of the idle set: a node with CapacityMB > largeMB
 	// is "large". Maintained alongside the bitset so the backfill reservation
@@ -91,21 +100,47 @@ type Cluster struct {
 }
 
 // initIndexes builds the incremental indexes from the freshly constructed
-// node slice. Nodes start idle and empty, so free == capacity everywhere.
-func (c *Cluster) initIndexes() {
-	frees := make([]int64, len(c.nodes))
-	c.capOrder = make([]NodeID, len(c.nodes))
+// node slice, partitioned into nShards contiguous shards. Nodes start idle
+// and empty, so free == capacity everywhere.
+func (c *Cluster) initIndexes(nShards int) {
+	n := len(c.nodes)
+	if nShards < 1 {
+		nShards = 1
+	}
+	if nShards > n {
+		nShards = n
+	}
+	c.shardSize = (n + nShards - 1) / nShards
+	nShards = (n + c.shardSize - 1) / c.shardSize // drop empty tail shards
+	c.shards = make([]shardIx, nShards)
+	c.mergeIts = make([]freeIter, nShards)
+	c.capOrder = make([]NodeID, n)
 	for i := range c.nodes {
-		frees[i] = c.nodes[i].FreeMB()
 		c.capTotal += c.nodes[i].CapacityMB
-		c.freeTotal += frees[i]
 		c.capOrder[i] = NodeID(i)
 	}
-	c.free.init(frees)
-	c.idle.init(len(c.nodes))
-	for i := range c.nodes {
-		if d := c.idle.setTo(i, c.nodes[i].IsComputeAvailable()); d != 0 {
-			c.bumpIdleSplit(i, d)
+	for s := range c.shards {
+		sh := &c.shards[s]
+		sh.base = s * c.shardSize
+		sh.n = minInt(c.shardSize, n-sh.base)
+		frees := make([]int64, sh.n)
+		for i := 0; i < sh.n; i++ {
+			node := &c.nodes[sh.base+i]
+			frees[i] = node.FreeMB()
+			sh.freeMB += frees[i]
+			sh.lentMB += node.LentMB
+			if frees[i] > 0 {
+				sh.lenders++
+			}
+			c.freeTotal += frees[i]
+		}
+		sh.free.init(frees, sh.base)
+		sh.idle.init(sh.n)
+		for i := 0; i < sh.n; i++ {
+			if d := sh.idle.setTo(i, c.nodes[sh.base+i].IsComputeAvailable()); d != 0 {
+				c.idleCount += d
+				c.bumpIdleSplit(sh.base+i, d)
+			}
 		}
 	}
 	sort.Slice(c.capOrder, func(a, b int) bool {
@@ -117,18 +152,33 @@ func (c *Cluster) initIndexes() {
 	})
 }
 
-// reindexMem refiles node n in the free-memory index and folds the delta
-// into the free-total aggregate. delta is the change in allocated memory
-// (positive = memory taken).
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// reindexMem refiles node n in its shard's free-memory index and folds the
+// delta into the shard and cluster aggregates. delta is the change in
+// allocated memory (positive = memory taken).
+//
+//dmp:hotpath
 func (c *Cluster) reindexMem(n *Node, delta int64) {
 	c.freeTotal -= delta
-	c.free.update(n.ID, n.FreeMB())
+	sh := &c.shards[int(n.ID)/c.shardSize]
+	sh.freeMB -= delta
+	sh.refile(int32(int(n.ID)-sh.base), n.FreeMB())
 }
 
 // reindexIdle refreshes node n's compute-availability bit and the
 // capacity-class split counts.
+//
+//dmp:hotpath
 func (c *Cluster) reindexIdle(n *Node) {
-	if d := c.idle.setTo(int(n.ID), n.IsComputeAvailable()); d != 0 {
+	sh := &c.shards[int(n.ID)/c.shardSize]
+	if d := sh.idle.setTo(int(n.ID)-sh.base, n.IsComputeAvailable()); d != 0 {
+		c.idleCount += d
 		c.bumpIdleSplit(int(n.ID), d)
 	}
 }
@@ -149,17 +199,28 @@ type Config struct {
 	Cores     int   // cores per node
 	NormalMB  int64 // capacity of a normal node
 	LargeFrac float64
+	// Shards partitions the ledger indexes into this many contiguous
+	// shards (see shard.go). 0 or 1 keeps the single-shard layout, which
+	// is bit-identical to the pre-sharding ledger; values above Nodes are
+	// clamped. Results are identical for every shard count — only the
+	// index update and scan costs change.
+	Shards int
 }
 
-// New builds a cluster of n homogeneous nodes. All nodes count as "normal"
-// in the idle-split summary: the large class is defined as capacity above the
-// normal size, and a homogeneous cluster has none.
+// New builds a single-shard cluster of n homogeneous nodes. All nodes count
+// as "normal" in the idle-split summary: the large class is defined as
+// capacity above the normal size, and a homogeneous cluster has none.
 func New(n, cores int, capacityMB int64) *Cluster {
+	return NewSharded(n, cores, capacityMB, 1)
+}
+
+// NewSharded is New with an explicit ledger shard count.
+func NewSharded(n, cores int, capacityMB int64, shards int) *Cluster {
 	c := &Cluster{nodes: make([]Node, n), largeMB: capacityMB}
 	for i := range c.nodes {
 		c.nodes[i] = Node{ID: NodeID(i), Cores: cores, CapacityMB: capacityMB, RunningJob: NoJob}
 	}
-	c.initIndexes()
+	c.initIndexes(shards)
 	return c
 }
 
@@ -176,7 +237,7 @@ func NewMixed(cfg Config) *Cluster {
 		}
 		c.nodes[i] = Node{ID: NodeID(i), Cores: cfg.Cores, CapacityMB: cap, RunningJob: NoJob}
 	}
-	c.initIndexes()
+	c.initIndexes(cfg.Shards)
 	return c
 }
 
@@ -214,7 +275,14 @@ func (c *Cluster) TotalLentMB() int64 { return c.lentTotal }
 // cluster: it is valid until the next IdleComputeNodes call and must not be
 // retained or mutated.
 func (c *Cluster) IdleComputeNodes() []NodeID {
-	c.idleBuf = c.idle.appendIDs(c.idleBuf[:0])
+	// Shards own contiguous ascending ID ranges, so concatenating the
+	// per-shard bitset walks in shard order yields ascending IDs — the
+	// exact single-bitset enumeration.
+	buf := c.idleBuf[:0]
+	for i := range c.shards {
+		buf = c.shards[i].idle.appendIDs(buf, c.shards[i].base)
+	}
+	c.idleBuf = buf
 	return c.idleBuf
 }
 
@@ -232,7 +300,7 @@ func (c *Cluster) idleComputeNodesRef() []NodeID {
 }
 
 // IdleComputeCount returns the number of compute-available nodes in O(1).
-func (c *Cluster) IdleComputeCount() int { return c.idle.count }
+func (c *Cluster) IdleComputeCount() int { return c.idleCount }
 
 // IdleComputeSplit returns the compute-available node counts by capacity
 // class (normal vs large, the paper's double-capacity nodes) in O(1). The
@@ -331,6 +399,7 @@ func (c *Cluster) Lend(id NodeID, mb int64) error {
 	}
 	n.LentMB += mb
 	c.lentTotal += mb
+	c.shards[int(n.ID)/c.shardSize].lentMB += mb
 	c.reindexMem(n, mb)
 	c.reindexIdle(n) // lending past half capacity flips compute availability
 	return nil
@@ -347,6 +416,7 @@ func (c *Cluster) ReturnLend(id NodeID, mb int64) error {
 	}
 	n.LentMB -= mb
 	c.lentTotal -= mb
+	c.shards[int(n.ID)/c.shardSize].lentMB -= mb
 	c.reindexMem(n, -mb)
 	c.reindexIdle(n)
 	return nil
@@ -363,15 +433,27 @@ func (c *Cluster) ReturnLend(id NodeID, mb int64) error {
 // be retained, mutated, or read across ledger mutations.
 func (c *Cluster) LendersByFreeDesc(exclude map[NodeID]bool) []NodeID {
 	ids := c.lendersBuf[:0]
-	c.free.ascend(func(id NodeID, free int64) bool {
-		if free <= 0 {
-			return false // descending order: everything after is empty too
-		}
-		if !exclude[id] {
-			ids = append(ids, id)
-		}
-		return true
-	})
+	if len(c.shards) == 1 {
+		// Single-shard fast path: local index == NodeID, so the consumer
+		// logic runs directly in the treap walk's yield — one dynamic call
+		// per node, same as the pre-shard ledger.
+		c.shards[0].free.ascend(func(local int32, free int64) bool {
+			if free <= 0 {
+				return false // descending order: everything after is empty too
+			}
+			if id := NodeID(local); !exclude[id] {
+				ids = append(ids, id)
+			}
+			return true
+		})
+	} else {
+		c.ascendAll(false, func(id NodeID, free int64) bool {
+			if !exclude[id] {
+				ids = append(ids, id)
+			}
+			return true
+		})
+	}
 	c.lendersBuf = ids
 	return ids
 }
@@ -403,15 +485,21 @@ func (c *Cluster) lendersByFreeDescRef(exclude map[NodeID]bool) []NodeID {
 // AscendLenders walks the nodes with free memory in (free desc, ID asc)
 // order without materialising a slice, stopping when yield returns false.
 // Consumers that only need lenders until a deficit is covered use this to
-// touch O(answer) nodes instead of ranking the whole cluster. The ledger
-// must not be mutated during the walk.
+// touch O(answer) nodes instead of ranking the whole cluster. With a
+// sharded ledger the walk is the two-level lender index: shards whose O(1)
+// summary shows no lenders are never entered, the rest merge in global
+// order. The ledger must not be mutated during the walk.
 func (c *Cluster) AscendLenders(yield func(id NodeID, free int64) bool) {
-	c.free.ascend(func(id NodeID, free int64) bool {
-		if free <= 0 {
-			return false
-		}
-		return yield(id, free)
-	})
+	if len(c.shards) == 1 {
+		c.shards[0].free.ascend(func(local int32, free int64) bool {
+			if free <= 0 {
+				return false
+			}
+			return yield(NodeID(local), free)
+		})
+		return
+	}
+	c.ascendAll(false, yield)
 }
 
 // AscendFree walks all nodes — including those with no free memory — in
@@ -420,7 +508,13 @@ func (c *Cluster) AscendLenders(yield func(id NodeID, free int64) bool) {
 // the retired candidate sort produced. The ledger must not be mutated
 // during the walk.
 func (c *Cluster) AscendFree(yield func(id NodeID, free int64) bool) {
-	c.free.ascend(yield)
+	if len(c.shards) == 1 {
+		c.shards[0].free.ascend(func(local int32, free int64) bool {
+			return yield(NodeID(local), free)
+		})
+		return
+	}
+	c.ascendAll(true, yield)
 }
 
 // CheckInvariants verifies the ledger is consistent and the incremental
@@ -460,19 +554,42 @@ func (c *Cluster) CheckInvariants() error {
 	idle := 0
 	for i := range c.nodes {
 		n := &c.nodes[i]
-		if got := c.free.key[i]; got != n.FreeMB() {
+		sh := &c.shards[i/c.shardSize]
+		local := i - sh.base
+		if got := sh.free.key[local]; got != n.FreeMB() {
 			return fmt.Errorf("index: node %d filed under %d MB free, ledger has %d", i, got, n.FreeMB())
 		}
 		avail := n.IsComputeAvailable()
 		if avail {
 			idle++
 		}
-		if got := c.idle.bits[i>>6]&(1<<uint(i&63)) != 0; got != avail {
+		if got := sh.idle.bits[local>>6]&(1<<uint(local&63)) != 0; got != avail {
 			return fmt.Errorf("index: node %d idle bit %t, ledger says %t", i, got, avail)
 		}
 	}
-	if idle != c.idle.count {
-		return fmt.Errorf("index: idle count %d, ledger count %d", c.idle.count, idle)
+	if idle != c.idleCount {
+		return fmt.Errorf("index: idle count %d, ledger count %d", c.idleCount, idle)
+	}
+	// Per-shard summaries must mirror the ledger slice they own.
+	for s := range c.shards {
+		sh := &c.shards[s]
+		var freeMB, lentMB int64
+		lenders, shIdle := 0, 0
+		for i := sh.base; i < sh.base+sh.n; i++ {
+			n := &c.nodes[i]
+			freeMB += n.FreeMB()
+			lentMB += n.LentMB
+			if n.FreeMB() > 0 {
+				lenders++
+			}
+			if n.IsComputeAvailable() {
+				shIdle++
+			}
+		}
+		if freeMB != sh.freeMB || lentMB != sh.lentMB || lenders != sh.lenders || shIdle != sh.idle.count {
+			return fmt.Errorf("index: shard %d summary (free=%d lent=%d lenders=%d idle=%d), ledger (free=%d lent=%d lenders=%d idle=%d)",
+				s, sh.freeMB, sh.lentMB, sh.lenders, sh.idle.count, freeMB, lentMB, lenders, shIdle)
+		}
 	}
 	if n, l := c.idleComputeSplitRef(); n != c.idleNormal || l != c.idleLarge {
 		return fmt.Errorf("index: idle split (normal=%d large=%d), ledger (normal=%d large=%d)",

@@ -35,10 +35,13 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// freeIndex is a treap over the dense node ID space. All nodes are always
-// present; a node's key is the free-memory value it was last filed under.
-// Storage is flat arrays indexed by node ID, so the index allocates nothing
-// after construction.
+// freeIndex is a treap over one shard's dense local index space
+// [0, len(key)). All nodes are always present; a node's key is the
+// free-memory value it was last filed under. Storage is flat arrays indexed
+// by the shard-local node index, so the index allocates nothing after
+// construction. The owning shard translates local indices to global node
+// IDs by adding its base; within a shard local order and global ID order
+// coincide, so the comparator below still realises (free desc, ID asc).
 type freeIndex struct {
 	key   []int64 // free MB the node is currently filed under
 	prio  []uint64
@@ -48,7 +51,10 @@ type freeIndex struct {
 	stack []int32 // iterative-traversal scratch, reused across walks
 }
 
-func (ix *freeIndex) init(frees []int64) {
+// init builds the treap. base is the owning shard's first global node ID:
+// priorities hash the global ID, so the tree shape for a node set depends
+// only on which nodes it holds, never on the shard layout history.
+func (ix *freeIndex) init(frees []int64, base int) {
 	n := len(frees)
 	ix.key = make([]int64, n)
 	ix.prio = make([]uint64, n)
@@ -56,7 +62,7 @@ func (ix *freeIndex) init(frees []int64) {
 	ix.right = make([]int32, n)
 	ix.root = nilIdx
 	for i := 0; i < n; i++ {
-		ix.prio[i] = splitmix64(uint64(i) + 1)
+		ix.prio[i] = splitmix64(uint64(base+i) + 1)
 		ix.key[i] = frees[i]
 	}
 	for i := 0; i < n; i++ {
@@ -128,9 +134,9 @@ func (ix *freeIndex) merge(l, r int32) int32 {
 	return r
 }
 
-// update refiles node id under its new free-memory key: O(log N) expected.
-func (ix *freeIndex) update(id NodeID, newFree int64) {
-	n := int32(id)
+// update refiles local node n under its new free-memory key: O(log N/S)
+// expected in the shard size.
+func (ix *freeIndex) update(n int32, newFree int64) {
 	if ix.key[n] == newFree {
 		return
 	}
@@ -139,10 +145,11 @@ func (ix *freeIndex) update(id NodeID, newFree int64) {
 	ix.root = ix.insertAt(ix.root, n)
 }
 
-// ascend walks all nodes in (free desc, ID asc) order, stopping early when
-// yield returns false. The walk is allocation-free after the stack scratch
-// has grown once. The ledger must not be mutated during the walk.
-func (ix *freeIndex) ascend(yield func(id NodeID, free int64) bool) {
+// ascend walks all nodes in (free desc, local index asc) order, stopping
+// early when yield returns false. The walk is allocation-free after the
+// stack scratch has grown once. The ledger must not be mutated during the
+// walk.
+func (ix *freeIndex) ascend(yield func(local int32, free int64) bool) {
 	st := ix.stack[:0]
 	cur := ix.root
 	for cur != nilIdx || len(st) > 0 {
@@ -152,12 +159,52 @@ func (ix *freeIndex) ascend(yield func(id NodeID, free int64) bool) {
 		}
 		cur = st[len(st)-1]
 		st = st[:len(st)-1]
-		if !yield(NodeID(cur), ix.key[cur]) {
+		if !yield(cur, ix.key[cur]) {
 			break
 		}
 		cur = ix.right[cur]
 	}
 	ix.stack = st[:0]
+}
+
+// freeIter is a pull-based in-order iterator over one shard's treap, the
+// building block of the cross-shard merge walk. Unlike ascend it yields one
+// node per next call, so an S-way merge can interleave shards while
+// preserving the global (free desc, ID asc) order. The stack scratch
+// persists across walks; the ledger must not be mutated mid-iteration.
+type freeIter struct {
+	ix    *freeIndex
+	stack []int32
+	head  int32 // most recently yielded node (maintained by the merge)
+}
+
+// init points the iterator at the treap's in-order start.
+//
+//dmp:hotpath
+func (it *freeIter) init(ix *freeIndex) {
+	it.ix = ix
+	st := it.stack[:0]
+	for cur := ix.root; cur != nilIdx; cur = ix.left[cur] {
+		st = append(st, cur)
+	}
+	it.stack = st
+}
+
+// next yields the next local node index in (free desc, index asc) order.
+//
+//dmp:hotpath
+func (it *freeIter) next() (int32, bool) {
+	st := it.stack
+	if len(st) == 0 {
+		return 0, false
+	}
+	n := st[len(st)-1]
+	st = st[:len(st)-1]
+	for cur := it.ix.right[n]; cur != nilIdx; cur = it.ix.left[cur] {
+		st = append(st, cur)
+	}
+	it.stack = st
+	return n, true
 }
 
 // idleSet tracks compute-available nodes as a bitset with a running count.
@@ -191,12 +238,13 @@ func (s *idleSet) setTo(i int, avail bool) int {
 	return -1
 }
 
-// appendIDs appends the set members to dst in ascending ID order.
-func (s *idleSet) appendIDs(dst []NodeID) []NodeID {
+// appendIDs appends the set members to dst in ascending ID order, offset by
+// the owning shard's base.
+func (s *idleSet) appendIDs(dst []NodeID, base int) []NodeID {
 	for w, word := range s.bits {
-		base := w << 6
+		wbase := base + w<<6
 		for word != 0 {
-			dst = append(dst, NodeID(base+bits.TrailingZeros64(word)))
+			dst = append(dst, NodeID(wbase+bits.TrailingZeros64(word)))
 			word &= word - 1
 		}
 	}

@@ -146,6 +146,19 @@ type Config struct {
 	Horizon         float64 // stop the clock after this time; 0 = run to completion
 	MaxEvents       uint64  // runaway backstop: abort after this many events (0 = unlimited)
 	CheckInvariants bool    // verify the ledger after every event (slow; tests only)
+
+	// Parallel selects the windowed event executor: events are popped in
+	// same-timestamp batches and the contention refresh runs its
+	// data-parallel phases on a worker team. Results are bit-identical to
+	// the serial executor — the differential tests assert it — with one
+	// documented difference: the MaxEvents budget is enforced at window
+	// boundaries, so a run may fire the remainder of the current window
+	// past the budget before aborting. Off by default.
+	Parallel bool
+	// Workers sizes the parallel worker team (including the event-loop
+	// goroutine). Zero means GOMAXPROCS; 1 keeps the windowed executor but
+	// runs every phase inline. Ignored unless Parallel is set.
+	Workers int
 }
 
 // Normalize fills unset fields with the paper's defaults and validates the
@@ -207,6 +220,12 @@ func (c *Config) Normalize() error {
 	if c.Topology != nil && c.Topology.Size() < c.Cluster.Nodes {
 		return fmt.Errorf("core: topology has %d endpoints for %d nodes",
 			c.Topology.Size(), c.Cluster.Nodes)
+	}
+	if c.Cluster.Shards < 0 {
+		return errors.New("core: negative shard count")
+	}
+	if c.Workers < 0 {
+		return errors.New("core: negative worker count")
 	}
 	return nil
 }

@@ -169,8 +169,15 @@ func midRunSimulator(tb testing.TB, nJobs, nodes int, bf BackfillMode) *Simulato
 func TestRefreshAndBackfillPassAllocationFree(t *testing.T) {
 	s := midRunSimulator(t, 32, 48, ConservativeBackfill)
 	s.refreshAll() // warm caches and scratch
-	if got := testing.AllocsPerRun(50, func() { s.refreshAll() }); got != 0 {
+	full := func() {
+		s.trafficValid = false // defeat the elision: measure the full recompute
+		s.refreshAll()
+	}
+	if got := testing.AllocsPerRun(50, full); got != 0 {
 		t.Fatalf("refreshAll allocates %.1f per call at steady state, want 0", got)
+	}
+	if got := testing.AllocsPerRun(50, func() { s.refreshAll() }); got != 0 {
+		t.Fatalf("elided refreshAll allocates %.1f per call, want 0", got)
 	}
 	if s.prof == nil {
 		s.prof = &sched.Profile{}
@@ -189,9 +196,10 @@ func TestRefreshAndBackfillPassAllocationFree(t *testing.T) {
 // comparing the incremental path against the retained full rescan.
 func BenchmarkRefresh(b *testing.B) {
 	for _, mode := range []struct {
-		name string
-		ref  bool
-	}{{"incremental", false}, {"rescan", true}} {
+		name  string
+		ref   bool
+		elide bool
+	}{{"incremental", false, false}, {"rescan", true, false}, {"elided", false, true}} {
 		b.Run(mode.name, func(b *testing.B) {
 			s := midRunSimulator(b, 96, 128, EASYBackfill)
 			s.refRescan = mode.ref
@@ -199,6 +207,9 @@ func BenchmarkRefresh(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
+				if !mode.elide {
+					s.trafficValid = false
+				}
 				s.refreshAll()
 			}
 		})

@@ -13,6 +13,7 @@ import (
 	"dismem/internal/sched"
 	"dismem/internal/sim"
 	"dismem/internal/slowdown"
+	"dismem/internal/sweep"
 	"dismem/internal/telemetry"
 )
 
@@ -43,16 +44,41 @@ type Simulator struct {
 	curBusyNodes  int
 	tickScheduled bool
 
-	// runIDs mirrors the keys of running, kept sorted ascending. The refresh
-	// and backfill hot paths iterate it instead of collecting and sorting the
-	// map keys on every event.
-	runIDs []int
+	// runIDs mirrors the keys of running, kept sorted ascending; runList
+	// holds the corresponding *runningJob at the same index. The refresh and
+	// backfill hot paths iterate runList instead of chasing every ID through
+	// the map on every event.
+	runIDs  []int
+	runList []*runningJob
+
+	// cachedTraffic memoises the flat per-node traffic sum between
+	// refreshes. It is valid only while the running set and every member's
+	// allocation are unchanged (trafficValid), in which case rho — and with
+	// it every job's slowdown — is unchanged too and refreshAll elides the
+	// whole contention recomputation. Reuse is bit-exact: the cached value
+	// is the same flat sum over the same unchanged inputs.
+	cachedTraffic float64
+	trafficValid  bool
 
 	// refRescan routes refreshAll/currentResources/releases through the
 	// retained full-rescan reference implementations. The differential tests
 	// run every scenario both ways and assert identical Results and
 	// byte-identical telemetry.
 	refRescan bool
+
+	// Parallel execution state, nil/unused unless cfg.Parallel selects the
+	// windowed executor and the machine has more than one worker. parMin is
+	// the running-set size below which fan-out costs more than it saves;
+	// tests poke it to force the parallel phases on small scenarios.
+	team      *sweep.Team
+	parMin    int
+	parRho    float64
+	phaseBank func(worker, start, end int) // prebuilt: Team fn escapes, so closures are one-time
+	phaseSlow func(worker, start, end int)
+	parFracs  [][]float64 // per-worker recontend scratch
+	bankBuf   []float64   // per-job banking deltas, reduced serially in runID order
+	winBuf    []sim.Fired
+	winStats  WindowStats
 
 	// Scratch reused across refreshAll calls (the per-event hot path).
 	idsBuf   []int
@@ -156,7 +182,7 @@ func (s *Simulator) Run() (*Result, error) {
 	for _, j := range s.jobs {
 		s.records[j.ID] = &JobRecord{Job: j, Submit: j.SubmitTime, FirstStart: -1, LastStart: -1, Finish: -1}
 		id := j.ID
-		s.eng.Schedule(j.SubmitTime, func(*sim.Engine) { s.onSubmit(id) })
+		s.eng.ScheduleTag(j.SubmitTime, evTag(tagSubmit, id), func(*sim.Engine) { s.onSubmit(id) })
 	}
 	if iv := s.tel.SampleInterval(); iv > 0 {
 		// The sampler reads state and emits; it mutates nothing, so results
@@ -171,8 +197,18 @@ func (s *Simulator) Run() (*Result, error) {
 	if s.cfg.MaxEvents > 0 {
 		s.eng.SetMaxEvents(s.cfg.MaxEvents)
 	}
-	s.eng.Run()
-	if s.eng.Exhausted() {
+	exhausted := false
+	if s.cfg.Parallel {
+		s.setupParallel()
+		if s.team != nil {
+			defer s.team.Close()
+		}
+		exhausted = s.runWindows()
+	} else {
+		s.eng.Run()
+		exhausted = s.eng.Exhausted()
+	}
+	if exhausted {
 		return nil, fmt.Errorf("core: event budget (%d) exhausted at t=%.0f — runaway simulation",
 			s.cfg.MaxEvents, s.eng.Now())
 	}
@@ -229,6 +265,24 @@ func (s *Simulator) poolCheck() {
 
 // ---------------------------------------------------------------- events
 
+// Event tags classify queue entries for the window executor without calling
+// into their actions: a kind in the top bits and the owning job (zero for
+// global events) in the low 32. Tag zero is "unclassified" — the sampler's
+// ticks, scheduled through Engine.Every, stay untagged and conservatively
+// conflict with everything.
+const (
+	tagSubmit = iota + 1
+	tagTick
+	tagFinish
+	tagLimit
+	tagUpdate
+)
+
+// evTag packs an event kind and job ID into an engine tag.
+func evTag(kind, id int) uint64 { return uint64(kind)<<32 | uint64(uint32(id)) }
+
+func tagKind(tag uint64) int { return int(tag >> 32) }
+
 func (s *Simulator) onSubmit(id int) {
 	s.accrue()
 	j := s.byID[id]
@@ -265,7 +319,7 @@ func (s *Simulator) ensureTick(immediate bool) {
 	if immediate {
 		delay = 0
 	}
-	s.eng.After(delay, func(*sim.Engine) { s.onTick() })
+	s.eng.AfterTag(delay, evTag(tagTick, 0), func(*sim.Engine) { s.onTick() })
 }
 
 func (s *Simulator) onTick() {
@@ -438,8 +492,8 @@ func (s *Simulator) releases() []sched.Release {
 		return s.releasesRescan()
 	}
 	out := s.relBuf[:0]
-	for _, id := range s.runIDs {
-		out = append(out, s.releaseOf(s.running[id]))
+	for _, rj := range s.runList {
+		out = append(out, s.releaseOf(rj))
 	}
 	s.relBuf = out
 	return out
@@ -527,16 +581,20 @@ func (s *Simulator) start(j *job.Job, ja *cluster.JobAllocation) {
 	s.runIDs = append(s.runIDs, 0)
 	copy(s.runIDs[i+1:], s.runIDs[i:])
 	s.runIDs[i] = j.ID
+	s.runList = append(s.runList, nil)
+	copy(s.runList[i+1:], s.runList[i:])
+	s.runList[i] = rj
+	s.trafficValid = false // new member: the traffic sum changes
 	s.curAllocMB += ja.TotalMB()
 	s.curBusyNodes += len(ja.PerNode)
 
 	if s.cfg.EnforceTimeLimit {
 		id := j.ID
-		rj.limitEv = s.eng.After(j.LimitSec, func(*sim.Engine) { s.onTimeLimit(id) })
+		rj.limitEv = s.eng.AfterTag(j.LimitSec, evTag(tagLimit, id), func(*sim.Engine) { s.onTimeLimit(id) })
 	}
 	if s.pol.Tracks() {
 		id := j.ID
-		rj.updateEv = s.eng.After(rj.period, func(*sim.Engine) { s.onMemoryUpdate(id) })
+		rj.updateEv = s.eng.AfterTag(rj.period, evTag(tagUpdate, id), func(*sim.Engine) { s.onMemoryUpdate(id) })
 	}
 	if s.cfg.Observer != nil {
 		s.cfg.Observer.JobStarted(now, j, ja.TotalMB()-ja.RemoteMB(), ja.RemoteMB())
@@ -626,7 +684,11 @@ func (s *Simulator) teardown(rj *runningJob) {
 	delete(s.running, rj.j.ID)
 	if i := sort.SearchInts(s.runIDs, rj.j.ID); i < len(s.runIDs) && s.runIDs[i] == rj.j.ID {
 		s.runIDs = append(s.runIDs[:i], s.runIDs[i+1:]...)
+		copy(s.runList[i:], s.runList[i+1:])
+		s.runList[len(s.runList)-1] = nil
+		s.runList = s.runList[:len(s.runList)-1]
 	}
+	s.trafficValid = false // departed member: the traffic sum changes
 	s.poolCheck() // rising free re-arms the watermark detector
 }
 
@@ -648,10 +710,17 @@ func (s *Simulator) onMemoryUpdate(id int) {
 
 	before := rj.alloc.TotalMB()
 	oom := false
+	changed := false
 	for i := range rj.alloc.PerNode {
 		na := &rj.alloc.PerNode[i]
 		nodeBefore, remoteBefore := na.TotalMB(), na.RemoteMB()
 		err := s.adj.Adjust(s.cl, rj.alloc, i, target)
+		if na.TotalMB() != nodeBefore || na.RemoteMB() != remoteBefore {
+			// One Adjust call either grows or shrinks a node's allocation,
+			// so an unchanged (total, remote) pair means untouched leases —
+			// the contention cache stays exact.
+			changed = true
+		}
 		if s.tel != nil {
 			if d := na.TotalMB() - nodeBefore; d != 0 {
 				s.tel.LeaseAdjust(id, int(na.Node), d, na.RemoteMB()-remoteBefore)
@@ -667,7 +736,10 @@ func (s *Simulator) onMemoryUpdate(id int) {
 	}
 	after := rj.alloc.TotalMB()
 	s.curAllocMB += after - before
-	rj.dirty = true // the Adjust loop may have reshaped this job's placement
+	if changed {
+		rj.dirty = true
+		s.trafficValid = false
+	}
 	s.poolCheck()
 
 	if oom {
@@ -677,7 +749,7 @@ func (s *Simulator) onMemoryUpdate(id int) {
 	if s.cfg.Observer != nil && after != before {
 		s.cfg.Observer.AllocationChanged(s.eng.Now(), rj.j, before, after)
 	}
-	rj.updateEv = s.eng.After(rj.period, func(*sim.Engine) { s.onMemoryUpdate(id) })
+	rj.updateEv = s.eng.AfterTag(rj.period, evTag(tagUpdate, id), func(*sim.Engine) { s.onMemoryUpdate(id) })
 	s.refreshAll()
 }
 
@@ -736,10 +808,21 @@ func (s *Simulator) oomKill(rj *runningJob) {
 //
 //dmp:hotpath
 func (s *Simulator) bank(rj *runningJob) {
+	s.res.UsedMBSeconds += s.bankDelta(rj)
+}
+
+// bankDelta advances rj's progress and returns its used-memory integral
+// contribution without touching the shared accumulator. The parallel
+// refresh runs this per job concurrently (it mutates rj only) and then
+// reduces the deltas serially in runID order — the exact additions, in the
+// exact order, of the serial bank loop.
+//
+//dmp:hotpath
+func (s *Simulator) bankDelta(rj *runningJob) float64 {
 	now := s.eng.Now()
 	dt := now - rj.lastT
 	if dt <= 0 {
-		return
+		return 0
 	}
 	p0 := rj.progress
 	p1 := p0 + dt/rj.slow
@@ -759,7 +842,7 @@ func (s *Simulator) bank(rj *runningJob) {
 	} else {
 		meanUse = float64(rj.use.At(p0))
 	}
-	s.res.UsedMBSeconds += meanUse * float64(rj.j.Nodes) * dt
+	return meanUse * float64(rj.j.Nodes) * dt
 }
 
 // remoteFraction returns the (possibly distance-weighted) remote share of
@@ -795,16 +878,25 @@ func (s *Simulator) remoteFraction(na *cluster.NodeAllocation) float64 {
 //
 //dmp:hotpath
 func (s *Simulator) recontend(rj *runningJob) {
+	s.fracsBuf = s.recontendInto(rj, s.fracsBuf)
+}
+
+// recontendInto is recontend with caller-supplied fraction scratch, so the
+// parallel refresh can rebuild several dirty jobs concurrently with one
+// scratch slice per worker. It writes rj's fields only.
+//
+//dmp:hotpath
+func (s *Simulator) recontendInto(rj *runningJob, fracs []float64) []float64 {
 	rj.nodeTraffic = rj.nodeTraffic[:0]
-	fracs := s.fracsBuf[:0]
+	fracs = fracs[:0]
 	for i := range rj.alloc.PerNode {
 		na := &rj.alloc.PerNode[i]
 		rj.nodeTraffic = append(rj.nodeTraffic, slowdown.NodeTraffic(rj.j.Profile, 1-na.LocalFraction()))
 		fracs = append(fracs, s.remoteFraction(na))
 	}
-	s.fracsBuf = fracs
 	rj.maxFrac = slowdown.MaxWeightedFrac(fracs)
 	rj.dirty = false
+	return fracs
 }
 
 // refreshAll recomputes the global contention pressure and every running
@@ -825,6 +917,12 @@ func (s *Simulator) recontend(rj *runningJob) {
 // by the prevailing slowdown step by step, and collapsing steps would change
 // the float rounding and with it the golden digests.
 //
+// A refresh with trafficValid still set — nothing started, finished, or
+// resized since the last one — skips the contention recomputation entirely:
+// the flat traffic sum, rho, and every job's slowdown are pure functions of
+// state that has not changed, so reusing them is bit-exact. Only banking
+// (time advanced) and refinishing (finish times shift with the clock) run.
+//
 //dmp:hotpath
 func (s *Simulator) refreshAll() {
 	if s.refRescan {
@@ -832,23 +930,71 @@ func (s *Simulator) refreshAll() {
 		return
 	}
 	now := s.eng.Now()
-	for _, id := range s.runIDs {
-		s.bank(s.running[id])
+	if s.team != nil && len(s.runList) >= s.parMin {
+		s.refreshParallel(now)
+		return
 	}
-	var traffic float64
-	for _, id := range s.runIDs {
-		rj := s.running[id]
-		if rj.dirty {
-			s.recontend(rj)
+	for _, rj := range s.runList {
+		s.bank(rj)
+	}
+	if !s.trafficValid {
+		var traffic float64
+		for _, rj := range s.runList {
+			if rj.dirty {
+				s.recontend(rj)
+			}
+			for _, t := range rj.nodeTraffic {
+				traffic += t
+			}
 		}
-		for _, t := range rj.nodeTraffic {
-			traffic += t
+		s.cachedTraffic = traffic
+		s.trafficValid = true
+		rho := s.model.Pressure(traffic)
+		for _, rj := range s.runList {
+			rj.slow = slowdown.JobSlowdownFromMax(rj.j.Profile, rj.maxFrac, rho)
 		}
 	}
-	rho := s.model.Pressure(traffic)
-	for _, id := range s.runIDs {
-		rj := s.running[id]
-		rj.slow = slowdown.JobSlowdownFromMax(rj.j.Profile, rj.maxFrac, rho)
+	for _, rj := range s.runList {
+		s.refinish(rj, now)
+	}
+}
+
+// refreshParallel is refreshAll's data-parallel form, used by the windowed
+// executor when a worker team exists and the running set is large enough to
+// amortise the dispatch. It is bit-identical to the serial path by phase
+// construction:
+//
+//	A (parallel) banking deltas + dirty-job recontends — each touches one
+//	  job's state only, with per-worker fraction scratch;
+//	B (serial, runID order) the UsedMBSeconds reduction and the flat
+//	  traffic sum — float additions associate exactly as serially;
+//	C (parallel) per-job slowdowns — pure functions of (profile, maxFrac,
+//	  rho);
+//	D (serial, runID order) refinish — engine mutation, where the order of
+//	  Schedule calls assigns the seqs that break same-time firing ties.
+func (s *Simulator) refreshParallel(now float64) {
+	n := len(s.runList)
+	if cap(s.bankBuf) < n {
+		s.bankBuf = make([]float64, 0, 2*n)
+	}
+	s.bankBuf = s.bankBuf[:n]
+	s.team.Run(n, s.phaseBank)
+	for _, d := range s.bankBuf {
+		s.res.UsedMBSeconds += d
+	}
+	if !s.trafficValid {
+		var traffic float64
+		for _, rj := range s.runList {
+			for _, t := range rj.nodeTraffic {
+				traffic += t
+			}
+		}
+		s.cachedTraffic = traffic
+		s.trafficValid = true
+		s.parRho = s.model.Pressure(traffic)
+		s.team.Run(n, s.phaseSlow)
+	}
+	for _, rj := range s.runList {
 		s.refinish(rj, now)
 	}
 }
@@ -868,7 +1014,7 @@ func (s *Simulator) refinish(rj *runningJob, now float64) {
 	}
 	if !rj.finishEv.Pending() {
 		id := rj.j.ID
-		rj.finishEv = s.eng.Schedule(at, func(*sim.Engine) { s.onFinish(id) }) //dmplint:ignore hotpath-alloc scheduled once per finish-time move, not per refresh step; Reschedule reuses the handle below
+		rj.finishEv = s.eng.ScheduleTag(at, evTag(tagFinish, id), func(*sim.Engine) { s.onFinish(id) }) //dmplint:ignore hotpath-alloc scheduled once per finish-time move, not per refresh step; Reschedule reuses the handle below
 	} else if rj.finishEv.At() != at {
 		rj.finishEv = s.eng.Reschedule(rj.finishEv, at)
 	}

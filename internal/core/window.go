@@ -1,0 +1,144 @@
+package core
+
+import (
+	"runtime"
+
+	"dismem/internal/sim"
+	"dismem/internal/slowdown"
+	"dismem/internal/sweep"
+)
+
+// defaultParMin is the running-set size below which refreshAll stays serial
+// even with a worker team: dispatching two channel ops per worker costs
+// more than banking a handful of jobs. Tests lower s.parMin to force the
+// parallel phases onto small scenarios.
+const defaultParMin = 32
+
+// This file is the simulator's window executor: the event loop used when
+// Config.Parallel selects the windowed runtime. Each iteration pops every
+// event due at the earliest timestamp (sim.Engine.NextWindow), classifies
+// the batch from its tags, and dispatches the members.
+//
+// Dispatch is ALWAYS in pop (serial) order. The independence analysis runs
+// — and its verdict is recorded in WindowStats — but under the paper's
+// shared-pressure contention model it almost never clears a multi-event
+// window: every allocation-changing event (submit via the tick it arms,
+// finish, time limit, memory update) ends in refreshAll, which recomputes
+// the global pressure rho from every running job and reschedules every
+// finish event. Two such events therefore couple no matter which jobs they
+// belong to, and reordering them would change float accumulation order and
+// the telemetry byte stream. Firing in pop order reproduces serial
+// execution exactly — same seq assignment, same clock, same bytes — so the
+// windowed runtime is bit-identical by construction, and the differential
+// suite asserts it. The multi-core win lives one level down: refreshAll's
+// data-parallel phases (refreshParallel) run on the worker team inside each
+// event, where the work actually is at 100k-node scale.
+//
+// The event budget is enforced at window boundaries: a budget that expires
+// mid-window takes effect once the window drains (documented in Config).
+
+// WindowStats counts what the window executor saw: how often windows held
+// more than one event and how often the independence analysis could have
+// cleared one. It exists to keep the design honest — the numbers back the
+// serial-dispatch decision above — and is not part of Result, so serial and
+// windowed runs stay DeepEqual-comparable.
+type WindowStats struct {
+	Windows     int // windows popped
+	Events      int // members actually fired
+	Multi       int // windows with more than one member
+	Independent int // multi-member windows proven reorderable
+}
+
+// WindowStats returns the executor's counters; zero when the serial loop ran.
+func (s *Simulator) WindowStats() WindowStats { return s.winStats }
+
+// setupParallel builds the worker team and the prebuilt refresh-phase
+// closures (Team.Run retains its fn, so a per-call closure literal would
+// allocate on every refresh — these capture only the simulator and read the
+// per-refresh state from its fields).
+func (s *Simulator) setupParallel() {
+	if s.parMin == 0 {
+		s.parMin = defaultParMin
+	}
+	w := s.cfg.Workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w <= 1 {
+		return // windowed executor with every phase inline
+	}
+	s.team = sweep.NewTeam(w)
+	s.parFracs = make([][]float64, s.team.Size())
+	s.phaseBank = func(worker, start, end int) {
+		for i := start; i < end; i++ {
+			rj := s.runList[i]
+			s.bankBuf[i] = s.bankDelta(rj)
+			if rj.dirty {
+				s.parFracs[worker] = s.recontendInto(rj, s.parFracs[worker])
+			}
+		}
+	}
+	s.phaseSlow = func(worker, start, end int) {
+		rho := s.parRho
+		for i := start; i < end; i++ {
+			rj := s.runList[i]
+			rj.slow = slowdown.JobSlowdownFromMax(rj.j.Profile, rj.maxFrac, rho)
+		}
+	}
+}
+
+// runWindows drives the engine to completion through event windows,
+// reporting whether the event budget was exhausted.
+func (s *Simulator) runWindows() bool {
+	for {
+		if s.cfg.MaxEvents > 0 && s.eng.Fired() >= s.cfg.MaxEvents {
+			return true
+		}
+		s.winBuf = s.eng.NextWindow(s.winBuf)
+		if len(s.winBuf) == 0 {
+			return false
+		}
+		s.winStats.Windows++
+		if len(s.winBuf) > 1 {
+			s.winStats.Multi++
+			if s.windowIndependent(s.winBuf) {
+				s.winStats.Independent++
+			}
+		}
+		for _, f := range s.winBuf {
+			if s.eng.FireWindowed(f) {
+				s.winStats.Events++
+			}
+		}
+	}
+}
+
+// windowIndependent reports whether the window's members provably commute:
+// every member carries a tag, the tagged jobs are pairwise distinct, and at
+// most one member mutates shared state. All five tagged kinds are mutators
+// — submits push the queue and arm the scheduler tick, and finish/limit/
+// update handlers end in the global contention refresh — and untagged
+// events (the telemetry sampler) order the output byte stream, so the
+// criterion passes only for degenerate batches. That emptiness is the
+// point: it is the measured justification for serial dispatch, not a
+// placeholder (see the file comment and DESIGN.md).
+func (s *Simulator) windowIndependent(buf []sim.Fired) bool {
+	mutators := 0
+	for i, f := range buf {
+		tag := f.Tag()
+		if tag == 0 {
+			return false // unclassified: assume the worst
+		}
+		switch tagKind(tag) {
+		case tagSubmit, tagTick, tagFinish, tagLimit, tagUpdate:
+			mutators++
+		}
+		id := int(uint32(tag))
+		for _, g := range buf[:i] {
+			if g.Tag() != 0 && int(uint32(g.Tag())) == id {
+				return false // same job twice: ordered by definition
+			}
+		}
+	}
+	return mutators <= 1
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dismem/internal/job"
+	"dismem/internal/memtrace"
+	"dismem/internal/policy"
+	"dismem/internal/telemetry"
+)
+
+// runVariant executes one differential scenario under the given executor
+// configuration and returns its Result plus the telemetry byte stream.
+func runVariant(t *testing.T, cfg Config, jobs []*job.Job,
+	shards int, parallel bool, workers, parMin int) (*Result, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	c := cfg
+	c.Cluster.Shards = shards
+	c.Parallel = parallel
+	c.Workers = workers
+	c.Telemetry = telemetry.New(telemetry.Options{
+		Sink:           telemetry.NewJSONL(&buf),
+		SampleInterval: 90,
+	})
+	s, err := New(c, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parMin > 0 {
+		s.parMin = parMin
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Telemetry.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.Bytes()
+}
+
+// TestDifferentialWindowedParallelVsSerial is the end-to-end oracle for this
+// PR: the same 30 randomized scenarios as the incremental-vs-rescan suite —
+// all policies, all backfill modes, OOM restart/abandon, topology weighting
+// — each run serially and then under every combination of sharded ledger,
+// windowed executor, and parallel refresh phases (parMin forced to 1 so the
+// worker team handles even tiny running sets). Results must be deeply equal
+// and the telemetry JSONL byte-identical in every cell.
+func TestDifferentialWindowedParallelVsSerial(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg, mkJobs := differentialScenario(seed)
+			wantRes, wantLog := runVariant(t, cfg, mkJobs(), 0, false, 0, 0)
+			variants := []struct {
+				name     string
+				shards   int
+				parallel bool
+				workers  int
+				parMin   int
+			}{
+				{"sharded", 3, false, 0, 0},
+				{"sharded-max", 1 << 20, false, 0, 0}, // clamps to one node per shard
+				{"windowed", 0, true, 1, 0},           // window executor, inline phases
+				{"windowed-parallel", 2, true, 3, 1},  // team of 3, fan out immediately
+			}
+			for _, v := range variants {
+				res, log := runVariant(t, cfg, mkJobs(), v.shards, v.parallel, v.workers, v.parMin)
+				if !reflect.DeepEqual(res, wantRes) {
+					t.Fatalf("%s: results diverged\nserial: %+v\n%s: %+v", v.name, wantRes, v.name, res)
+				}
+				if !bytes.Equal(log, wantLog) {
+					t.Fatalf("%s: telemetry logs diverged (%d vs %d bytes)", v.name, len(log), len(wantLog))
+				}
+			}
+		})
+	}
+}
+
+// TestWindowedSameTimeFinishOrder pins the satellite-4 determinism finding:
+// refinish assigns finish-event seqs in runID order, and when two jobs
+// complete at exactly the same timestamp those seqs are the only thing
+// ordering their handlers. The scenario forces a same-time double finish;
+// the windowed run must pop both into one window (observable in
+// WindowStats) and fire them in the serial order, yielding identical
+// results and bytes.
+func TestWindowedSameTimeFinishOrder(t *testing.T) {
+	cfg := baseConfig(8, 2048, policy.Static)
+	cfg.Seed = 3
+	mk := func() []*job.Job {
+		var jobs []*job.Job
+		for i := 1; i <= 4; i++ {
+			// Identical submit/runtime: finishes collide at one timestamp.
+			jobs = append(jobs, mkJob(i, 0, 1, 512, 500, memtrace.Constant(512)))
+		}
+		return jobs
+	}
+	wantRes, wantLog := runVariant(t, cfg, mk(), 0, false, 0, 0)
+
+	var buf bytes.Buffer
+	c := cfg
+	c.Parallel = true
+	c.Workers = 2
+	c.Telemetry = telemetry.New(telemetry.Options{Sink: telemetry.NewJSONL(&buf), SampleInterval: 90})
+	s, err := New(c, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.parMin = 1
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Telemetry.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, wantRes) {
+		t.Fatalf("results diverged\nserial:   %+v\nwindowed: %+v", wantRes, res)
+	}
+	if !bytes.Equal(buf.Bytes(), wantLog) {
+		t.Fatalf("telemetry diverged (%d vs %d bytes)", buf.Len(), len(wantLog))
+	}
+	st := s.WindowStats()
+	if st.Multi == 0 {
+		t.Fatalf("scenario never produced a multi-event window: %+v", st)
+	}
+}
+
+// TestShardSpanningJob covers the remaining shard-boundary case at the
+// simulator level: a job whose allocation spans every shard (Nodes equal to
+// the cluster size) with usage growth that borrows remote memory across
+// shard boundaries, compared against the single-shard ledger.
+func TestShardSpanningJob(t *testing.T) {
+	cfg := baseConfig(6, 1024, policy.Dynamic)
+	cfg.Seed = 11
+	cfg.UpdateInterval = 50
+	mk := func() []*job.Job {
+		grow := memtrace.MustNew([]memtrace.Point{
+			{T: 0, MB: 256}, {T: 2000, MB: 1500},
+		})
+		return []*job.Job{
+			mkJob(1, 0, 6, 512, 2000, grow), // spans all 6 nodes → all shards
+			mkJob(2, 100, 2, 700, 1200, memtrace.Constant(700)),
+		}
+	}
+	wantRes, wantLog := runVariant(t, cfg, mk(), 1, false, 0, 0)
+	for _, shards := range []int{2, 3, 6} {
+		res, log := runVariant(t, cfg, mk(), shards, false, 0, 0)
+		if !reflect.DeepEqual(res, wantRes) {
+			t.Fatalf("shards=%d: results diverged", shards)
+		}
+		if !bytes.Equal(log, wantLog) {
+			t.Fatalf("shards=%d: telemetry diverged", shards)
+		}
+	}
+}
+
+// TestParallelRefreshPhasesAllocationFree asserts the windowed executor's
+// steady-state event dispatch — window pop, parallel bank fan-out, ordered
+// reduction, refinish — performs zero allocations once scratch has grown.
+func TestParallelRefreshPhasesAllocationFree(t *testing.T) {
+	s := midRunSimulator(t, 32, 48, EASYBackfill)
+	s.parMin = 1
+	s.cfg.Parallel = true
+	s.cfg.Workers = 2
+	s.setupParallel()
+	defer s.team.Close()
+	s.refreshAll() // size bankBuf and per-worker scratch
+	full := func() {
+		s.trafficValid = false
+		s.refreshAll()
+	}
+	if got := testing.AllocsPerRun(50, full); got != 0 {
+		t.Fatalf("parallel refreshAll allocates %.1f per call, want 0", got)
+	}
+}

@@ -28,10 +28,17 @@ type Action func(e *Engine)
 type Event struct {
 	at    float64
 	seq   uint64
-	index int // heap index; -1 when not queued
+	index int // heap index; -1 when not queued, windowedIdx mid-window
 	gen   uint64
+	tag   uint64
 	fire  Action
 }
+
+// windowedIdx marks an event popped into the current window by NextWindow
+// but not yet fired: it is out of the heap, yet its handle must stay pending
+// so earlier events in the same window can cancel or reschedule it exactly
+// as they could under serial stepping.
+const windowedIdx = -2
 
 // Handle identifies one scheduled event. The zero Handle refers to no event
 // and every operation on it is a no-op. A Handle is spent once its event
@@ -42,9 +49,11 @@ type Handle struct {
 	gen uint64
 }
 
-// Pending reports whether the event is still queued to fire.
+// Pending reports whether the event is still due to fire — queued in the
+// heap, or popped into the current window but not yet dispatched.
 func (h Handle) Pending() bool {
-	return h.ev != nil && h.ev.gen == h.gen && h.ev.index >= 0
+	return h.ev != nil && h.ev.gen == h.gen &&
+		(h.ev.index >= 0 || h.ev.index == windowedIdx)
 }
 
 // At returns the simulated time at which the event is due to fire, or NaN
@@ -94,6 +103,7 @@ type Engine struct {
 	seq       uint64
 	queue     eventQueue
 	free      []*Event // recycled event storage
+	windowed  int      // popped by NextWindow, not yet fired or cancelled
 	fired     uint64
 	maxT      float64
 	maxEvents uint64
@@ -120,8 +130,12 @@ func (e *Engine) Now() float64 { return e.now }
 // Fired returns the number of events fired so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of events currently queued.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of events still due to fire: queued in the
+// heap, plus any popped into the current window but not yet dispatched. The
+// latter term keeps handlers that read Pending mid-window (the sampler's
+// stop condition) observing exactly what they would under serial stepping,
+// where undelivered same-time events are still in the heap.
+func (e *Engine) Pending() int { return len(e.queue) + e.windowed }
 
 // SetHorizon stops the run when the clock would pass t. Events scheduled at
 // exactly t still fire.
@@ -134,6 +148,14 @@ func (e *Engine) Halt() { e.halted = true }
 // panics: it always indicates a logic error in the caller, and silently
 // clamping would corrupt causality.
 func (e *Engine) Schedule(at float64, fn Action) Handle {
+	return e.ScheduleTag(at, 0, fn)
+}
+
+// ScheduleTag is Schedule with an opaque classification tag attached to the
+// event. The engine never interprets tags; window executors read them back
+// via Fired.Tag to decide event independence without calling into the
+// action. Plain Schedule leaves the tag zero ("unclassified").
+func (e *Engine) ScheduleTag(at float64, tag uint64, fn Action) Handle {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %g before now %g", at, e.now))
 	}
@@ -151,6 +173,7 @@ func (e *Engine) Schedule(at float64, fn Action) Handle {
 	e.seq++
 	ev.at = at
 	ev.seq = e.seq
+	ev.tag = tag
 	ev.fire = fn
 	ev.index = -1
 	heap.Push(&e.queue, ev)
@@ -159,7 +182,12 @@ func (e *Engine) Schedule(at float64, fn Action) Handle {
 
 // After enqueues fn to fire d seconds from now.
 func (e *Engine) After(d float64, fn Action) Handle {
-	return e.Schedule(e.now+d, fn)
+	return e.ScheduleTag(e.now+d, 0, fn)
+}
+
+// AfterTag enqueues fn to fire d seconds from now with a classification tag.
+func (e *Engine) AfterTag(d float64, tag uint64, fn Action) Handle {
+	return e.ScheduleTag(e.now+d, tag, fn)
 }
 
 // Every schedules fn at absolute time start and then every interval seconds
@@ -199,19 +227,28 @@ func (e *Engine) Cancel(h Handle) {
 	if !h.Pending() {
 		return
 	}
+	if h.ev.index == windowedIdx {
+		// Popped into the current window but not yet fired: not in the heap.
+		// Recycling bumps the generation, so FireWindowed skips it — the
+		// same observable outcome as a serial cancel-before-fire.
+		e.windowed--
+		e.recycle(h.ev)
+		return
+	}
 	heap.Remove(&e.queue, h.ev.index)
 	e.recycle(h.ev)
 }
 
-// Reschedule cancels h and schedules its action at a new absolute time,
-// returning the replacement handle. The handle must be pending.
+// Reschedule cancels h and schedules its action (and tag) at a new absolute
+// time, returning the replacement handle. The handle must be pending.
 func (e *Engine) Reschedule(h Handle, at float64) Handle {
 	if !h.Pending() {
 		panic("sim: reschedule of a spent or zero event handle")
 	}
 	fn := h.ev.fire
+	tag := h.ev.tag
 	e.Cancel(h)
-	return e.Schedule(at, fn)
+	return e.ScheduleTag(at, tag, fn)
 }
 
 // Step fires the next event, if any, and reports whether one fired.

@@ -1,0 +1,103 @@
+package sim
+
+import "container/heap"
+
+// This file implements event windows: batch extraction of every event due at
+// the earliest queued timestamp, in the exact (time, insertion-order)
+// sequence serial stepping would fire them. A window executor pops a window,
+// classifies the members by their tags, and dispatches them — in seq order
+// when it cannot prove independence, which reproduces serial execution
+// byte-for-byte. Mid-window the un-fired members remain pending: an earlier
+// member's handler can cancel or reschedule a later member and FireWindowed
+// will skip it, exactly as the serial engine would have.
+//
+// Handlers may schedule new events at the window's timestamp; those land
+// after every current member in seq order and are returned by the next
+// NextWindow call at the same timestamp — again matching the serial order.
+// The event budget (SetMaxEvents) is therefore enforced at window
+// boundaries rather than between members: a budget expiring mid-window
+// takes effect once the window drains.
+
+// Fired is one member of an extracted window: a claim ticket for firing a
+// popped event. The tag is copied out at pop time so classification stays
+// valid even if the member is cancelled by an earlier member's handler.
+type Fired struct {
+	ev  *Event
+	gen uint64
+	tag uint64
+}
+
+// Tag returns the classification tag the event was scheduled with.
+func (f Fired) Tag() uint64 { return f.tag }
+
+// Live reports whether the member is still due to fire — false once it has
+// been fired, or cancelled/rescheduled by an earlier member of the window.
+func (f Fired) Live() bool {
+	return f.ev != nil && f.ev.gen == f.gen && f.ev.index == windowedIdx
+}
+
+// NextWindow pops every event due at the earliest queued timestamp (if that
+// timestamp is within the horizon) into buf, in the order serial stepping
+// would fire them, and advances the clock to it. The members stay pending —
+// cancellable and reschedulable — until individually dispatched with
+// FireWindowed. An empty result means the queue is drained or the next
+// event lies beyond the horizon.
+//
+//dmp:hotpath
+func (e *Engine) NextWindow(buf []Fired) []Fired {
+	buf = buf[:0]
+	if len(e.queue) == 0 {
+		return buf
+	}
+	at := e.queue[0].at
+	if at > e.maxT {
+		return buf
+	}
+	e.now = at
+	for len(e.queue) > 0 && e.queue[0].at == at {
+		ev := heap.Pop(&e.queue).(*Event)
+		ev.index = windowedIdx
+		e.windowed++
+		buf = append(buf, Fired{ev: ev, gen: ev.gen, tag: ev.tag})
+	}
+	return buf
+}
+
+// FireWindowed dispatches one window member and recycles its storage,
+// reporting whether it actually fired (false for members cancelled or
+// rescheduled since the pop). Members of one window must be fired in the
+// order NextWindow returned them unless the caller has proven them
+// independent.
+//
+//dmp:hotpath
+func (e *Engine) FireWindowed(f Fired) bool {
+	if !f.Live() {
+		return false
+	}
+	ev := f.ev
+	ev.index = -1
+	// Decrement before firing: a serial Step pops the event before running
+	// its handler, so Pending must exclude the member being dispatched.
+	e.windowed--
+	e.fired++
+	fn := ev.fire
+	fn(e)
+	e.recycle(ev)
+	return true
+}
+
+// DropWindow returns un-fired window members to the queue — the unwind path
+// for an executor that popped a window and then decided to stop (budget
+// exhausted, halt requested). Members keep their original timestamps and
+// seqs, so a subsequent NextWindow or Step sees exactly the schedule the
+// pop removed.
+func (e *Engine) DropWindow(buf []Fired) {
+	for _, f := range buf {
+		if !f.Live() {
+			continue
+		}
+		f.ev.index = -1
+		e.windowed--
+		heap.Push(&e.queue, f.ev)
+	}
+}

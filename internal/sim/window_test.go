@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// windowRun drives the engine entirely through NextWindow/FireWindowed
+// (firing each window in pop order) and returns the final time.
+func windowRun(e *Engine) float64 {
+	var buf []Fired
+	for {
+		buf = e.NextWindow(buf)
+		if len(buf) == 0 {
+			return e.Now()
+		}
+		for _, f := range buf {
+			e.FireWindowed(f)
+		}
+	}
+}
+
+// TestWindowMatchesSerial schedules a randomized workload — including
+// handlers that schedule follow-ups at the current timestamp and at later
+// ones — on two engines and asserts the window-driven run fires the exact
+// event sequence of the serial run.
+func TestWindowMatchesSerial(t *testing.T) {
+	build := func(log *[]int) *Engine {
+		e := New()
+		rng := rand.New(rand.NewSource(7))
+		id := 0
+		var add func(at float64, depth int)
+		add = func(at float64, depth int) {
+			me := id
+			id++
+			e.ScheduleTag(at, uint64(me), func(e *Engine) {
+				*log = append(*log, me)
+				if depth > 0 {
+					// Same-time follow-up: must fire after every event
+					// already queued at this timestamp.
+					add(e.Now(), depth-1)
+					add(e.Now()+float64(rng.Intn(3)), depth-1)
+				}
+			})
+		}
+		for i := 0; i < 40; i++ {
+			add(float64(rng.Intn(8)), 2)
+		}
+		return e
+	}
+
+	var serial, windowed []int
+	es := build(&serial)
+	endS := es.Run()
+	ew := build(&windowed)
+	endW := windowRun(ew)
+
+	if !reflect.DeepEqual(serial, windowed) {
+		t.Fatalf("window firing order diverged from serial:\nserial   %v\nwindowed %v", serial, windowed)
+	}
+	if endS != endW || es.Fired() != ew.Fired() {
+		t.Fatalf("final state diverged: serial (t=%g fired=%d) windowed (t=%g fired=%d)",
+			endS, es.Fired(), endW, ew.Fired())
+	}
+}
+
+// TestWindowCancelMidWindow has the first member of a window cancel the
+// second; the second must not fire even though it was already popped.
+func TestWindowCancelMidWindow(t *testing.T) {
+	e := New()
+	fired := []string{}
+	var hb Handle
+	e.Schedule(1, func(e *Engine) {
+		fired = append(fired, "a")
+		e.Cancel(hb)
+	})
+	hb = e.Schedule(1, func(e *Engine) { fired = append(fired, "b") })
+	e.Schedule(1, func(e *Engine) { fired = append(fired, "c") })
+
+	buf := e.NextWindow(nil)
+	if len(buf) != 3 {
+		t.Fatalf("window size %d, want 3", len(buf))
+	}
+	if !hb.Pending() {
+		t.Fatal("windowed member should stay pending until fired")
+	}
+	if got := e.Pending(); got != 3 {
+		t.Fatalf("Pending = %d mid-window, want 3 (un-fired members must count)", got)
+	}
+	n := 0
+	for _, f := range buf {
+		if e.FireWindowed(f) {
+			n++
+		}
+	}
+	if want := []string{"a", "c"}; !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	if n != 2 || hb.Pending() {
+		t.Fatalf("fired count %d (want 2), cancelled handle pending=%t", n, hb.Pending())
+	}
+}
+
+// TestWindowRescheduleMidWindow moves a popped member: to a later time it
+// must fire there; to the current time it must fire after every member of
+// the current window — both identical to serial semantics.
+func TestWindowRescheduleMidWindow(t *testing.T) {
+	e := New()
+	var fired []string
+	var later, sameT Handle
+	e.Schedule(1, func(e *Engine) {
+		fired = append(fired, "a")
+		later = e.Reschedule(later, 5)
+		sameT = e.Reschedule(sameT, e.Now())
+	})
+	later = e.ScheduleTag(1, 42, func(e *Engine) { fired = append(fired, "later") })
+	sameT = e.Schedule(1, func(e *Engine) { fired = append(fired, "same") })
+	e.Schedule(1, func(e *Engine) { fired = append(fired, "b") })
+
+	windowRun(e)
+	want := []string{"a", "b", "same", "later"}
+	if !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock %g, want 5", e.Now())
+	}
+	if later.ev.tag != 42 {
+		t.Fatalf("reschedule dropped the tag: %d", later.ev.tag)
+	}
+}
+
+// TestWindowHorizonAndDrop checks NextWindow refuses events beyond the
+// horizon, and DropWindow returns popped members with their original order
+// intact.
+func TestWindowHorizonAndDrop(t *testing.T) {
+	e := New()
+	var fired []int
+	for i := 0; i < 3; i++ {
+		me := i
+		e.Schedule(2, func(e *Engine) { fired = append(fired, me) })
+	}
+	e.Schedule(9, func(e *Engine) { fired = append(fired, 99) })
+	e.SetHorizon(1)
+	if buf := e.NextWindow(nil); len(buf) != 0 {
+		t.Fatalf("NextWindow yielded %d events beyond the horizon", len(buf))
+	}
+	e.SetHorizon(100)
+
+	buf := e.NextWindow(nil)
+	if len(buf) != 3 {
+		t.Fatalf("window size %d, want 3", len(buf))
+	}
+	e.FireWindowed(buf[0]) // partially execute, then unwind the rest
+	e.DropWindow(buf[1:])
+	e.Run()
+	if want := []int{0, 1, 2, 99}; !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+}
+
+// TestWindowAllocationFree asserts the pop/fire cycle allocates nothing at
+// steady state: events are pooled and the window buffer is caller scratch.
+func TestWindowAllocationFree(t *testing.T) {
+	e := New()
+	var buf []Fired
+	noop := func(e *Engine) {}
+	cycle := func() {
+		for i := 0; i < 4; i++ {
+			e.ScheduleTag(e.Now()+1, uint64(i), noop)
+		}
+		buf = e.NextWindow(buf)
+		for _, f := range buf {
+			e.FireWindowed(f)
+		}
+	}
+	cycle() // grow the pool and buffer once
+	if got := testing.AllocsPerRun(50, cycle); got != 0 {
+		t.Fatalf("window cycle allocates %.1f per iteration, want 0", got)
+	}
+}
+
+// BenchmarkWindowCycle measures the windowed dispatch loop — schedule a
+// same-time batch, pop it as one window, fire every member — against which
+// the serial Step path's heap pop is the reference. The delta is the whole
+// cost the windowed executor adds per event.
+func BenchmarkWindowCycle(b *testing.B) {
+	for _, batch := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			e := New()
+			var buf []Fired
+			noop := func(e *Engine) {}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for k := 0; k < batch; k++ {
+					e.ScheduleTag(e.Now()+1, uint64(k+1), noop)
+				}
+				buf = e.NextWindow(buf)
+				for _, f := range buf {
+					e.FireWindowed(f)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,120 @@
+package sweep
+
+import "sync/atomic"
+
+// Team is a pinned set of worker goroutines for sub-microsecond data-parallel
+// fan-out: the same fn applied over an index range, split into one contiguous
+// chunk per worker. It complements Pool: the pool's submit/future machinery
+// allocates per task and is built for coarse DAGs of heterogeneous work,
+// while a simulator refresh fires on every event and needs a dispatch that
+// allocates nothing and costs two channel operations per worker.
+//
+// The caller participates as worker 0, so a Team of size 1 runs entirely
+// inline — no goroutines, no synchronisation — which is also the automatic
+// degradation on a single-core machine. Run calls must come from one
+// goroutine at a time; the workers never touch shared state except through
+// the caller-provided fn, which receives disjoint [start, end) ranges and a
+// worker index for per-worker scratch.
+type Team struct {
+	size int
+
+	fn        func(worker, start, end int)
+	n         int
+	remaining atomic.Int32
+	wake      []chan struct{} // one per helper goroutine (size-1 of them)
+	done      chan struct{}
+	panicked  atomic.Value // first panic value observed by a helper
+	closed    bool
+}
+
+// NewTeam returns a team of the given size (minimum 1). Sizing beyond
+// GOMAXPROCS only adds scheduling noise to a compute-bound phase — callers
+// wanting "use the machine" should pass runtime.GOMAXPROCS(0) — but it is
+// permitted so the goroutine protocol stays testable on small machines.
+// Close must be called to release the helpers.
+func NewTeam(size int) *Team {
+	if size < 1 {
+		size = 1
+	}
+	t := &Team{size: size, done: make(chan struct{}, size)}
+	for w := 1; w < size; w++ {
+		ch := make(chan struct{}, 1)
+		t.wake = append(t.wake, ch)
+		go t.helper(w, ch)
+	}
+	return t
+}
+
+// Size returns the worker count (including the caller).
+func (t *Team) Size() int { return t.size }
+
+func (t *Team) helper(worker int, wake chan struct{}) {
+	for range wake {
+		t.runChunk(worker)
+	}
+}
+
+// runChunk executes worker w's contiguous share of [0, n) and signals
+// completion. Panics are captured and re-raised on the caller's goroutine.
+func (t *Team) runChunk(worker int) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.panicked.CompareAndSwap(nil, r)
+		}
+		if t.remaining.Add(-1) == 0 {
+			t.done <- struct{}{}
+		}
+	}()
+	chunk := (t.n + t.size - 1) / t.size
+	start := worker * chunk
+	end := start + chunk
+	if start >= t.n {
+		return
+	}
+	if end > t.n {
+		end = t.n
+	}
+	t.fn(worker, start, end)
+}
+
+// Run applies fn over [0, n) split into one contiguous chunk per worker and
+// returns when every chunk is done. fn must write only to per-index or
+// per-worker state; the team provides the happens-before edges between Run's
+// return and every chunk's writes. A panic in any chunk is re-raised here
+// after all workers have finished. Steady state performs zero allocations.
+//
+//dmp:hotpath
+func (t *Team) Run(n int, fn func(worker, start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if t.size == 1 || n == 1 {
+		fn(0, 0, n)
+		return
+	}
+	t.fn = fn
+	t.n = n
+	t.remaining.Store(int32(t.size))
+	for _, ch := range t.wake {
+		ch <- struct{}{}
+	}
+	t.runChunk(0)
+	<-t.done
+	t.fn = nil
+	if r := t.panicked.Load(); r != nil {
+		t.panicked = atomic.Value{}
+		panic(r)
+	}
+}
+
+// Close stops the helper goroutines. The team must not be used afterwards.
+// Closing a size-1 team (or closing twice) is a no-op.
+func (t *Team) Close() {
+	if t.closed {
+		return
+	}
+	t.closed = true
+	for _, ch := range t.wake {
+		close(ch)
+	}
+}

@@ -1,0 +1,122 @@
+package sweep
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestTeamCoversRange checks every index in [0, n) is visited exactly once
+// for assorted team sizes and range lengths, including ranges smaller than
+// the team.
+func TestTeamCoversRange(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 8} {
+		tm := NewTeam(size)
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			visits := make([]int32, n)
+			tm.Run(n, func(worker, start, end int) {
+				for i := start; i < end; i++ {
+					atomic.AddInt32(&visits[i], 1)
+				}
+			})
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("size=%d n=%d: index %d visited %d times", size, n, i, v)
+				}
+			}
+		}
+		tm.Close()
+	}
+}
+
+// TestTeamWorkerIndexes checks each chunk reports a distinct worker index in
+// [0, Size) so per-worker scratch slots never collide.
+func TestTeamWorkerIndexes(t *testing.T) {
+	tm := NewTeam(4)
+	defer tm.Close()
+	if tm.Size() > 4 {
+		t.Fatalf("Size %d exceeds requested 4", tm.Size())
+	}
+	seen := make([]int32, tm.Size())
+	tm.Run(tm.Size()*10, func(worker, start, end int) {
+		if worker < 0 || worker >= tm.Size() {
+			panic("worker index out of range")
+		}
+		atomic.AddInt32(&seen[worker], 1)
+	})
+	for w, c := range seen {
+		if c > 1 {
+			t.Fatalf("worker %d ran %d chunks, want at most 1", w, c)
+		}
+	}
+}
+
+// TestTeamPanicPropagates asserts a panic inside any chunk re-raises on the
+// caller after all workers finish, and the team remains usable afterwards.
+func TestTeamPanicPropagates(t *testing.T) {
+	tm := NewTeam(2)
+	defer tm.Close()
+	func() {
+		defer func() {
+			if r := recover(); r != "boom" {
+				t.Fatalf("recovered %v, want boom", r)
+			}
+		}()
+		tm.Run(100, func(worker, start, end int) {
+			if start == 0 {
+				panic("boom")
+			}
+		})
+		t.Fatal("Run returned instead of panicking")
+	}()
+	// The team must still work after a propagated panic.
+	var sum atomic.Int64
+	tm.Run(10, func(worker, start, end int) {
+		for i := start; i < end; i++ {
+			sum.Add(int64(i))
+		}
+	})
+	if sum.Load() != 45 {
+		t.Fatalf("post-panic Run sum %d, want 45", sum.Load())
+	}
+}
+
+// TestTeamRunAllocationFree asserts dispatch allocates nothing at steady
+// state for both the inline (size 1) and parallel paths. The fn must be
+// prebuilt — a capturing closure literal at the call site would itself
+// allocate, which is the caller's responsibility, not the team's.
+func TestTeamRunAllocationFree(t *testing.T) {
+	work := make([]int64, 256)
+	fn := func(worker, start, end int) {
+		for i := start; i < end; i++ {
+			work[i]++
+		}
+	}
+	for _, size := range []int{1, 2} {
+		tm := NewTeam(size)
+		tm.Run(len(work), fn) // warm up
+		got := testing.AllocsPerRun(50, func() { tm.Run(len(work), fn) })
+		tm.Close()
+		if got != 0 {
+			t.Fatalf("size=%d: Run allocates %.1f per dispatch, want 0", size, got)
+		}
+	}
+}
+
+func BenchmarkTeamDispatch(b *testing.B) {
+	work := make([]float64, 4096)
+	fn := func(worker, start, end int) {
+		for i := start; i < end; i++ {
+			work[i] *= 1.0000001
+		}
+	}
+	for _, size := range []int{1, 2, 4} {
+		tm := NewTeam(size)
+		b.Run(map[int]string{1: "size=1", 2: "size=2", 4: "size=4"}[size], func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tm.Run(len(work), fn)
+			}
+		})
+		defer tm.Close()
+	}
+}

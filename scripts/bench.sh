@@ -5,19 +5,22 @@
 # Usage:  scripts/bench.sh [output.json]
 #
 # The default output name is BENCH_<n>.json in the repo root, where <n> is
-# taken from the BENCH_SEQ environment variable (default 3, the PR that
-# made the contention refresh incremental). Benchmarks covered: the
-# whole-figure pipeline benchmarks (Fig. 5 pooled and serial, the replicated
-# headlines, trace generation vs cache hit), the end-to-end
-# BenchmarkScenario suite (the preset-scale policies at 100x; grizzly-scale
-# separately at 1x — one iteration is a full 1490-node week), the refresh
-# micro-benchmark, and the micro-benchmarks for each indexed structure
-# (lender ranking, dynamic placement, engine schedule/cancel, trace cursor).
+# taken from the BENCH_SEQ environment variable (default 4, the PR that
+# sharded the cluster ledger and added the windowed/parallel executor).
+# Benchmarks covered: the whole-figure pipeline benchmarks (Fig. 5 pooled
+# and serial, the replicated headlines, trace generation vs cache hit), the
+# end-to-end BenchmarkScenario suite (the preset-scale policies at 100x;
+# grizzly-scale, its parallel twin, and the 100k-node scenario separately at
+# 1x — one iteration is a full cluster-scale run), the refresh
+# micro-benchmark (incremental, rescan, and elided modes), and the
+# micro-benchmarks for each indexed structure (lender ranking, sharded
+# ascend, dynamic placement, engine schedule/cancel, window dispatch, team
+# fan-out, trace cursor).
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_${BENCH_SEQ:-3}.json}"
+out="${1:-BENCH_${BENCH_SEQ:-4}.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -38,10 +41,15 @@ run .                    'BenchmarkTraceGeneration$'    1s 3
 run .                    'BenchmarkTraceCacheHit$'      1s 3
 run .                    'BenchmarkScenario$/^(baseline|static|dynamic)$' 100x 5
 run .                    'BenchmarkScenario$/^grizzly-scale$' 1x
+run .                    'BenchmarkScenario$/^grizzly-scale-parallel$' 1x
+run .                    'BenchmarkScenario$/^100k$'    1x
 run ./internal/core      'BenchmarkRefresh'             1s 3
 run ./internal/cluster   'BenchmarkLenderRank'          1s 3
+run ./internal/cluster   'BenchmarkShardedAscend'       1s 3
 run ./internal/policy    'BenchmarkPlaceDynamic'        1s 3
 run ./internal/sim       'BenchmarkEngineScheduleCancel' 1s 3
+run ./internal/sim       'BenchmarkWindowCycle'         1s 3
+run ./internal/sweep     'BenchmarkTeamDispatch'        1s 3
 run ./internal/memtrace  'BenchmarkTraceAtSequential'   1s 3
 
 awk -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
