@@ -1,7 +1,8 @@
 // Command dmplint runs dismem's static-analysis suite (internal/analysis)
-// over the module: detclock, maporder, nilsafe-emit, and hotpath-alloc
-// enforce the determinism and hot-path invariants the runtime differential
-// and golden-digest tests can only detect after the fact.
+// over the module: detclock, maporder, nilsafe-emit, hotpath-alloc, and
+// domainmerge enforce the determinism, hot-path, and pressure-domain
+// invariants the runtime differential and golden-digest tests can only
+// detect after the fact.
 //
 // Usage:
 //
@@ -135,6 +136,7 @@ var selfTestFixtures = map[string]string{
 	"maporder":      "maporder",
 	"nilsafe-emit":  "nilsafe",
 	"hotpath-alloc": "hotpath",
+	"domainmerge":   "domainmerge",
 }
 
 // runSelfTest loads every analyzer's fixture package and fails unless the

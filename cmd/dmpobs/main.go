@@ -150,6 +150,21 @@ func summarize(w io.Writer, name string, log *telemetry.Log, width, top int) err
 			counts[telemetry.KindBackfillPlace], counts[telemetry.KindBackfillHole])
 	}
 
+	if counts[telemetry.KindWindowStats] > 0 {
+		// The run-level executor counters: the last window_stats event wins
+		// (there is one per run; concatenated logs show the final run's).
+		for i := len(log.Events) - 1; i >= 0; i-- {
+			e := &log.Events[i]
+			if e.Kind != telemetry.KindWindowStats {
+				continue
+			}
+			fmt.Fprintln(w, "\nwindow executor")
+			fmt.Fprintf(w, "  windows   %10d popped, %d events fired\n", e.MB, e.Aux)
+			fmt.Fprintf(w, "  multi     %10d multi-event windows, %d proven independent\n", e.Node, e.Lender)
+			break
+		}
+	}
+
 	fmt.Fprintln(w, "\nlease flow")
 	fmt.Fprintf(w, "  granted   %10.1f GB in %d leases from %d lender nodes\n",
 		gb(grantMB), counts[telemetry.KindLeaseGrant], len(lentBy))

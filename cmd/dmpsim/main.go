@@ -42,9 +42,22 @@ func main() {
 		shards    = flag.Int("shards", 0, "cluster-ledger shard count (0 = single shard)")
 		parallel  = flag.Bool("parallel", false, "windowed executor with parallel refresh phases (bit-identical results)")
 		workers   = flag.Int("workers", 0, "parallel refresh worker count (0 = GOMAXPROCS; needs -parallel)")
+		pressure  = flag.String("pressure", "global", "contention model: global (one system-wide rho) or domains (per-rack pressure domains)")
+		domains   = flag.Int("domains", 0, "pressure-domain count (0 = derive from topology/shards; needs -pressure=domains)")
 		seed      = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
+
+	var pmode core.PressureMode
+	switch *pressure {
+	case "global":
+		pmode = core.PressureGlobal
+	case "domains":
+		pmode = core.PressureDomains
+	default:
+		fail("unknown pressure mode %q (want global or domains)", *pressure)
+	}
+	var ws core.WindowStats
 
 	var tl *core.Timeline
 	if *timeline != "" {
@@ -161,6 +174,11 @@ func main() {
 			cfg.Parallel = true
 			cfg.Workers = *workers
 		}
+		if pmode != core.PressureGlobal {
+			cfg.Pressure = pmode
+			cfg.Domains = *domains
+		}
+		cfg.WindowStatsOut = &ws
 		if tl != nil {
 			cfg.Observer = tl
 		}
@@ -181,6 +199,11 @@ func main() {
 			if tl != nil {
 				cfg.Observer = tl
 			}
+			if pmode != core.PressureGlobal {
+				cfg.Pressure = pmode
+				cfg.Domains = *domains
+			}
+			cfg.WindowStatsOut = &ws
 			cfg.Telemetry = rec
 		})
 		if err != nil {
@@ -189,6 +212,11 @@ func main() {
 	}
 
 	if rec != nil {
+		if *parallel {
+			// One run-level window_stats event closes the log so dmpobs can
+			// report the executor's parallelism counters.
+			rec.WindowStats(ws.Windows, ws.Events, ws.Multi, ws.Independent)
+		}
 		// Close before reporting: it flushes the JSONL stream and surfaces
 		// the first write error of the whole run.
 		events, samples := rec.TotalEvents(), rec.Series().Len()
@@ -275,6 +303,13 @@ func main() {
 	fmt.Printf("OOM kills:              %d\n", res.OOMKills)
 	fmt.Printf("peak queue depth:       %d\n", res.PeakQueue)
 	fmt.Printf("makespan:               %.0f s\n", res.Makespan)
+	if pmode == core.PressureDomains {
+		fmt.Printf("pressure model:         domains\n")
+	}
+	if *parallel {
+		fmt.Printf("event windows:          %d windows, %d events, %d multi-event, %d independent\n",
+			ws.Windows, ws.Events, ws.Multi, ws.Independent)
+	}
 	fmt.Printf("throughput:             %.6f jobs/s\n", res.Throughput())
 	fmt.Printf("throughput per dollar:  %.3e jobs/s/$\n",
 		metrics.ThroughputPerDollar(res.Throughput(), sysNodes, totalMem))

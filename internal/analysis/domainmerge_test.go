@@ -1,0 +1,29 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"dismem/internal/analysis"
+	"dismem/internal/analysis/analysistest"
+)
+
+func TestDomainMerge(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.DomainMerge, "domainmerge")
+}
+
+func TestDomainMergePathFilter(t *testing.T) {
+	cases := map[string]bool{
+		"internal/core":                true,
+		"dismem/internal/core":         true,
+		"dismem/internal/core/sub":     true,
+		"dismem/internal/policy":       false,
+		"dismem/internal/coreutils":    false,
+		"example.com/x/internal/core":  true,
+		"example.com/x/internal/sched": false,
+	}
+	for path, want := range cases {
+		if got := analysis.DomainMerge.PathFilter(path); got != want {
+			t.Errorf("PathFilter(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

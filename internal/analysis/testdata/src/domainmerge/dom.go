@@ -1,0 +1,88 @@
+// Package domainmerge is the analysistest fixture for the domainmerge
+// analyzer. The sim struct stands in for core.Simulator; only the
+// domain-indexed cache fields are name-matched.
+package domainmerge
+
+type sim struct {
+	domTraffic []float64
+	domRho     []float64
+	domValid   []bool
+	nDom       int
+}
+
+// invalidate drops validity bits: pure writes are allowed anywhere.
+func (s *sim) invalidate(doms []int) {
+	for _, d := range doms {
+		s.domValid[d] = false
+	}
+}
+
+// install replaces the whole caches: still writes, still fine.
+func (s *sim) install(n int) {
+	s.domTraffic = make([]float64, n)
+	s.domRho = make([]float64, n)
+	s.domValid = make([]bool, n)
+	s.nDom = n
+}
+
+// leakRho hands one domain's pressure to a caller that may apply it to a
+// job resident somewhere else entirely.
+func (s *sim) leakRho(d int) float64 {
+	return s.domRho[d] // want `per-domain contention state domRho read in leakRho, which is not a merge step`
+}
+
+// skipValid consults the validity cache outside the rebuild step.
+func (s *sim) skipValid(d int) bool {
+	if s.domValid[d] { // want `per-domain contention state domValid read in skipValid`
+		return true
+	}
+	return false
+}
+
+// accumulate is a compound assignment: it reads the old slot before
+// storing, so it is a read despite being spelled like a write.
+func (s *sim) accumulate(d int, t float64) {
+	s.domTraffic[d] += t // want `per-domain contention state domTraffic read in accumulate`
+}
+
+// rebuild is the sanctioned merge step: annotated, it may read the caches
+// while re-deriving them from scratch.
+//
+//dmp:domainmerge
+func (s *sim) rebuild(doms []int, traffic []float64) {
+	for _, d := range doms {
+		if s.domValid[d] {
+			continue
+		}
+		s.domTraffic[d] = traffic[d]
+		s.domRho[d] = traffic[d] / 4
+		s.domValid[d] = true
+	}
+}
+
+// worst folds rho across the whole domain set — the merge the directive
+// exists for.
+//
+//dmp:domainmerge
+func (s *sim) worst(doms []int) float64 {
+	max := 0.0
+	for _, d := range doms {
+		if s.domRho[d] > max {
+			max = s.domRho[d]
+		}
+	}
+	return max
+}
+
+// writesOnly carries the directive but never reads domain state: the stale
+// annotation is itself reported.
+//
+//dmp:domainmerge
+func (s *sim) writesOnly(d int) { // want `stale //dmp:domainmerge on writesOnly`
+	s.domValid[d] = false
+}
+
+// allowlisted pins the suppression path: an ignored read must stay silent.
+func (s *sim) allowlisted(d int) float64 {
+	return s.domRho[d] //dmplint:ignore domainmerge fixture: read feeds a domain-local report, never another domain
+}

@@ -81,19 +81,18 @@ type Cluster struct {
 
 	capOrder []NodeID // node IDs sorted by (CapacityMB asc, ID asc); immutable
 
-	capTotal  int64
-	freeTotal int64
-	lentTotal int64
-	busy      int
-	idleCount int // compute-available nodes across all shards
+	// All mutable running aggregates (free, lent, idle counts, idle
+	// capacity-class split) live on the shards; the cluster-level getters
+	// sum over them in O(S). Only capTotal (immutable), busy (never
+	// touched by memory-only operations) and largeMB (immutable) stay
+	// global — this is what lets disjoint-shard memory adjustments run
+	// concurrently without sharing a single counter.
+	capTotal int64
+	busy     int
 
-	// Capacity-class split of the idle set: a node with CapacityMB > largeMB
-	// is "large". Maintained alongside the bitset so the backfill reservation
-	// arithmetic reads its resource summary in O(1) instead of rescanning all
-	// nodes per scheduling pass.
-	largeMB    int64
-	idleNormal int
-	idleLarge  int
+	// largeMB is the capacity-class threshold: a node with
+	// CapacityMB > largeMB is "large" in the idle-split summary.
+	largeMB int64
 
 	lendersBuf []NodeID // scratch returned by LendersByFreeDesc
 	idleBuf    []NodeID // scratch returned by IdleComputeNodes
@@ -132,14 +131,12 @@ func (c *Cluster) initIndexes(nShards int) {
 			if frees[i] > 0 {
 				sh.lenders++
 			}
-			c.freeTotal += frees[i]
 		}
 		sh.free.init(frees, sh.base)
 		sh.idle.init(sh.n)
 		for i := 0; i < sh.n; i++ {
 			if d := sh.idle.setTo(i, c.nodes[sh.base+i].IsComputeAvailable()); d != 0 {
-				c.idleCount += d
-				c.bumpIdleSplit(sh.base+i, d)
+				c.bumpIdleSplit(sh, sh.base+i, d)
 			}
 		}
 	}
@@ -165,7 +162,6 @@ func minInt(a, b int) int {
 //
 //dmp:hotpath
 func (c *Cluster) reindexMem(n *Node, delta int64) {
-	c.freeTotal -= delta
 	sh := &c.shards[int(n.ID)/c.shardSize]
 	sh.freeMB -= delta
 	sh.refile(int32(int(n.ID)-sh.base), n.FreeMB())
@@ -178,17 +174,17 @@ func (c *Cluster) reindexMem(n *Node, delta int64) {
 func (c *Cluster) reindexIdle(n *Node) {
 	sh := &c.shards[int(n.ID)/c.shardSize]
 	if d := sh.idle.setTo(int(n.ID)-sh.base, n.IsComputeAvailable()); d != 0 {
-		c.idleCount += d
-		c.bumpIdleSplit(int(n.ID), d)
+		c.bumpIdleSplit(sh, int(n.ID), d)
 	}
 }
 
-// bumpIdleSplit folds an idle-set membership delta into the per-class counts.
-func (c *Cluster) bumpIdleSplit(i, delta int) {
+// bumpIdleSplit folds an idle-set membership delta into the shard's
+// per-class counts.
+func (c *Cluster) bumpIdleSplit(sh *shardIx, i, delta int) {
 	if c.nodes[i].CapacityMB > c.largeMB {
-		c.idleLarge += delta
+		sh.idleLarge += delta
 	} else {
-		c.idleNormal += delta
+		sh.idleNormal += delta
 	}
 }
 
@@ -255,20 +251,34 @@ func (c *Cluster) Nodes() []Node { return c.nodes }
 // construction — capacities never change).
 func (c *Cluster) TotalCapacityMB() int64 { return c.capTotal }
 
-// TotalFreeMB returns the total unallocated memory across all nodes (O(1),
-// maintained incrementally by the ledger operations).
-func (c *Cluster) TotalFreeMB() int64 { return c.freeTotal }
+// TotalFreeMB returns the total unallocated memory across all nodes: the
+// integer-exact sum of the per-shard aggregates, O(S) with S ≤ 64 — no
+// ledger rescan.
+func (c *Cluster) TotalFreeMB() int64 {
+	var free int64
+	for i := range c.shards {
+		free += c.shards[i].freeMB
+	}
+	return free
+}
 
 // TotalAllocatedMB returns the total memory currently allocated (local on
-// compute nodes plus lent to remote jobs). O(1): per node,
+// compute nodes plus lent to remote jobs): per node,
 // local + lent == capacity − free, so the total is the capacity total minus
 // the free total.
-func (c *Cluster) TotalAllocatedMB() int64 { return c.capTotal - c.freeTotal }
+func (c *Cluster) TotalAllocatedMB() int64 { return c.capTotal - c.TotalFreeMB() }
 
 // TotalLentMB returns the total memory currently lent to remote jobs across
-// all nodes (O(1), maintained incrementally by Lend/ReturnLend). The
-// telemetry sampler reads it every tick, so it must not rescan the ledger.
-func (c *Cluster) TotalLentMB() int64 { return c.lentTotal }
+// all nodes (O(S) over the per-shard aggregates maintained by
+// Lend/ReturnLend). The telemetry sampler reads it every tick, so it must
+// not rescan the ledger.
+func (c *Cluster) TotalLentMB() int64 {
+	var lent int64
+	for i := range c.shards {
+		lent += c.shards[i].lentMB
+	}
+	return lent
+}
 
 // IdleComputeNodes returns the IDs of nodes able to start a new job, in
 // ascending ID order. The returned slice is a scratch buffer owned by the
@@ -299,14 +309,26 @@ func (c *Cluster) idleComputeNodesRef() []NodeID {
 	return ids
 }
 
-// IdleComputeCount returns the number of compute-available nodes in O(1).
-func (c *Cluster) IdleComputeCount() int { return c.idleCount }
+// IdleComputeCount returns the number of compute-available nodes (O(S) sum
+// of the per-shard bitset counts).
+func (c *Cluster) IdleComputeCount() int {
+	idle := 0
+	for i := range c.shards {
+		idle += c.shards[i].idle.count
+	}
+	return idle
+}
 
 // IdleComputeSplit returns the compute-available node counts by capacity
-// class (normal vs large, the paper's double-capacity nodes) in O(1). The
-// backfill reservation arithmetic reads it every scheduling pass.
+// class (normal vs large, the paper's double-capacity nodes), summed over
+// the per-shard splits. The backfill reservation arithmetic reads it every
+// scheduling pass.
 func (c *Cluster) IdleComputeSplit() (normal, large int) {
-	return c.idleNormal, c.idleLarge
+	for i := range c.shards {
+		normal += c.shards[i].idleNormal
+		large += c.shards[i].idleLarge
+	}
+	return normal, large
 }
 
 // idleComputeSplitRef is the retained full-rescan reference for
@@ -398,7 +420,6 @@ func (c *Cluster) Lend(id NodeID, mb int64) error {
 		return fmt.Errorf("%w: node %d free %d MB, lend %d MB", ErrInsufficientMemory, id, n.FreeMB(), mb)
 	}
 	n.LentMB += mb
-	c.lentTotal += mb
 	c.shards[int(n.ID)/c.shardSize].lentMB += mb
 	c.reindexMem(n, mb)
 	c.reindexIdle(n) // lending past half capacity flips compute availability
@@ -415,7 +436,6 @@ func (c *Cluster) ReturnLend(id NodeID, mb int64) error {
 		return fmt.Errorf("%w: node %d lent %d MB, return %d MB", ErrOverRelease, id, n.LentMB, mb)
 	}
 	n.LentMB -= mb
-	c.lentTotal -= mb
 	c.shards[int(n.ID)/c.shardSize].lentMB -= mb
 	c.reindexMem(n, -mb)
 	c.reindexIdle(n)
@@ -542,11 +562,11 @@ func (c *Cluster) CheckInvariants() error {
 		}
 	}
 	// Index consistency: every derived structure must mirror the ledger.
-	if freeSum != c.freeTotal {
-		return fmt.Errorf("index: free total %d, ledger sum %d", c.freeTotal, freeSum)
+	if got := c.TotalFreeMB(); freeSum != got {
+		return fmt.Errorf("index: free total %d, ledger sum %d", got, freeSum)
 	}
-	if lentSum != c.lentTotal {
-		return fmt.Errorf("index: lent total %d, ledger sum %d", c.lentTotal, lentSum)
+	if got := c.TotalLentMB(); lentSum != got {
+		return fmt.Errorf("index: lent total %d, ledger sum %d", got, lentSum)
 	}
 	if busy != c.busy {
 		return fmt.Errorf("index: busy count %d, ledger count %d", c.busy, busy)
@@ -567,14 +587,14 @@ func (c *Cluster) CheckInvariants() error {
 			return fmt.Errorf("index: node %d idle bit %t, ledger says %t", i, got, avail)
 		}
 	}
-	if idle != c.idleCount {
-		return fmt.Errorf("index: idle count %d, ledger count %d", c.idleCount, idle)
+	if got := c.IdleComputeCount(); idle != got {
+		return fmt.Errorf("index: idle count %d, ledger count %d", got, idle)
 	}
 	// Per-shard summaries must mirror the ledger slice they own.
 	for s := range c.shards {
 		sh := &c.shards[s]
 		var freeMB, lentMB int64
-		lenders, shIdle := 0, 0
+		lenders, shIdle, shNormal, shLarge := 0, 0, 0, 0
 		for i := sh.base; i < sh.base+sh.n; i++ {
 			n := &c.nodes[i]
 			freeMB += n.FreeMB()
@@ -584,16 +604,26 @@ func (c *Cluster) CheckInvariants() error {
 			}
 			if n.IsComputeAvailable() {
 				shIdle++
+				if n.CapacityMB > c.largeMB {
+					shLarge++
+				} else {
+					shNormal++
+				}
 			}
 		}
 		if freeMB != sh.freeMB || lentMB != sh.lentMB || lenders != sh.lenders || shIdle != sh.idle.count {
 			return fmt.Errorf("index: shard %d summary (free=%d lent=%d lenders=%d idle=%d), ledger (free=%d lent=%d lenders=%d idle=%d)",
 				s, sh.freeMB, sh.lentMB, sh.lenders, sh.idle.count, freeMB, lentMB, lenders, shIdle)
 		}
+		if shNormal != sh.idleNormal || shLarge != sh.idleLarge {
+			return fmt.Errorf("index: shard %d idle split (normal=%d large=%d), ledger (normal=%d large=%d)",
+				s, sh.idleNormal, sh.idleLarge, shNormal, shLarge)
+		}
 	}
-	if n, l := c.idleComputeSplitRef(); n != c.idleNormal || l != c.idleLarge {
+	gotN, gotL := c.IdleComputeSplit()
+	if refN, refL := c.idleComputeSplitRef(); refN != gotN || refL != gotL {
 		return fmt.Errorf("index: idle split (normal=%d large=%d), ledger (normal=%d large=%d)",
-			c.idleNormal, c.idleLarge, n, l)
+			gotN, gotL, refN, refL)
 	}
 	return nil
 }

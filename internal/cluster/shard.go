@@ -27,6 +27,14 @@ type shardIx struct {
 	freeMB  int64 // sum of FreeMB over the shard's nodes
 	lentMB  int64 // sum of LentMB over the shard's nodes
 	lenders int   // nodes with FreeMB > 0
+
+	// Capacity-class split of the shard's idle set (normal vs large, see
+	// Cluster.largeMB). Kept per shard — like every other running
+	// aggregate — so that ledger mutations confined to disjoint shards
+	// touch disjoint memory and can proceed concurrently; the cluster-wide
+	// getters sum over shards (integer-exact, O(S)).
+	idleNormal int
+	idleLarge  int
 }
 
 // refile moves the node at local index to its new free-memory key, keeping

@@ -91,6 +91,29 @@ func (b BackfillMode) String() string {
 	return "easy"
 }
 
+// PressureMode selects how remote-memory contention pressure is scoped.
+type PressureMode int
+
+const (
+	// PressureGlobal is the paper's model: one shared traffic level over
+	// the whole fabric, so every allocation change moves the slowdown of
+	// every running job.
+	PressureGlobal PressureMode = iota
+	// PressureDomains partitions the nodes into pressure domains (one per
+	// ledger shard, sized from the torus Z-planes when a topology is
+	// set). Each domain carries its own traffic sum and ρ; refresh is
+	// O(Δ) within the touched domains only, and window members whose
+	// jobs touch disjoint domain sets dispatch concurrently.
+	PressureDomains
+)
+
+func (m PressureMode) String() string {
+	if m == PressureDomains {
+		return "domains"
+	}
+	return "global"
+}
+
 // Config parameterises one simulation scenario. Defaults (applied by
 // Normalize) follow the paper's Table 4.
 type Config struct {
@@ -159,6 +182,23 @@ type Config struct {
 	// goroutine). Zero means GOMAXPROCS; 1 keeps the windowed executor but
 	// runs every phase inline. Ignored unless Parallel is set.
 	Workers int
+
+	// Pressure selects the contention scope: PressureGlobal (the paper's
+	// model, default, bit-identical to previous releases) or
+	// PressureDomains (per-rack pressure partitions). Each mode is
+	// individually deterministic; they produce different — both valid —
+	// trajectories.
+	Pressure PressureMode
+	// Domains sets the pressure-domain count for PressureDomains. Zero
+	// resolves to the torus Z extent when a topology is set, else to the
+	// ledger shard count when sharded, else 16; always clamped to the
+	// node count. Domains are identified with ledger shards, so Normalize
+	// forces Cluster.Shards to the resolved count in domains mode.
+	Domains int
+	// WindowStatsOut, when non-nil, receives a copy of the windowed
+	// executor's WindowStats after Run. Lets callers that only see the
+	// Config (preset runners, CLIs) observe window-parallelism efficacy.
+	WindowStatsOut *WindowStats
 }
 
 // Normalize fills unset fields with the paper's defaults and validates the
@@ -223,6 +263,38 @@ func (c *Config) Normalize() error {
 	}
 	if c.Cluster.Shards < 0 {
 		return errors.New("core: negative shard count")
+	}
+	if c.Domains < 0 {
+		return errors.New("core: negative domain count")
+	}
+	switch c.Pressure {
+	case PressureGlobal:
+		if c.Domains != 0 {
+			return errors.New("core: Domains set without Pressure: domains")
+		}
+	case PressureDomains:
+		if c.LenderPolicy == NearestFirst {
+			return errors.New("core: nearest-first lending is incompatible with pressure domains")
+		}
+		if c.Domains == 0 {
+			switch {
+			case c.Topology != nil:
+				c.Domains = c.Topology.Z
+			case c.Cluster.Shards > 1:
+				c.Domains = c.Cluster.Shards
+			default:
+				c.Domains = 16
+			}
+		}
+		if c.Domains > c.Cluster.Nodes {
+			c.Domains = c.Cluster.Nodes
+		}
+		// Domains are identified with ledger shards: one shard per domain
+		// keeps every per-domain resource summary O(1) and makes
+		// disjoint-domain window members touch disjoint shard state.
+		c.Cluster.Shards = c.Domains
+	default:
+		return fmt.Errorf("core: unknown pressure mode %d", int(c.Pressure))
 	}
 	if c.Workers < 0 {
 		return errors.New("core: negative worker count")

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dismem/internal/cluster"
+	"dismem/internal/job"
+	"dismem/internal/memtrace"
+	"dismem/internal/policy"
+	"dismem/internal/slowdown"
+	"dismem/internal/telemetry"
+)
+
+// runLogged executes cfg with a JSONL recorder attached and returns the
+// Result plus the byte-exact telemetry log.
+func runLogged(t *testing.T, cfg Config, jobs []*job.Job) (*Result, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	cfg.Telemetry = telemetry.New(telemetry.Options{
+		Sink:           telemetry.NewJSONL(&buf),
+		SampleInterval: 90,
+	})
+	s, err := New(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Telemetry.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.Bytes()
+}
+
+// TestSingleDomainMatchesGlobal is the partition property test: one pressure
+// domain covering the whole cluster IS the global model. The single flat
+// traffic sum visits jobs and nodes in the same order, PressureBW over the
+// whole fabric bandwidth is Model.Pressure, the per-domain max fraction
+// degenerates to the global max, and the domain-first borrow walk is the
+// global lender walk — so results and telemetry must be byte-identical, not
+// merely statistically close, across the randomized differential scenarios.
+func TestSingleDomainMatchesGlobal(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg, mkJobs := differentialScenario(seed)
+			gRes, gLog := runLogged(t, cfg, mkJobs())
+
+			dc := cfg
+			dc.Pressure = PressureDomains
+			dc.Domains = 1
+			dRes, dLog := runLogged(t, dc, mkJobs())
+
+			if !reflect.DeepEqual(gRes, dRes) {
+				t.Fatalf("results diverged\nglobal:        %+v\nsingle-domain: %+v", gRes, dRes)
+			}
+			if !bytes.Equal(gLog, dLog) {
+				t.Fatalf("telemetry logs diverged (%d vs %d bytes)", len(gLog), len(dLog))
+			}
+			if gRes.Completed+gRes.TimedOut+gRes.Abandoned == 0 && !gRes.Infeasible {
+				t.Fatal("scenario exercised nothing")
+			}
+		})
+	}
+}
+
+// TestDifferentialDomainsWindowedVsSerial runs randomized multi-domain
+// scenarios through the serial event loop and the windowed executor and
+// asserts they agree. With telemetry attached the windowed executor
+// dispatches serially (the recorder orders the byte stream), so the logs
+// must be byte-identical; without telemetry the executor fires
+// proven-independent update windows concurrently on the worker team, and
+// the Results must still be deeply equal — the end-to-end proof that
+// parallel compute halves plus pop-order commits replay serial execution.
+// The suite as a whole must exercise at least one concurrent dispatch.
+func TestDifferentialDomainsWindowedVsSerial(t *testing.T) {
+	independent := 0
+	for seed := int64(0); seed < 30; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg, mkJobs := differentialScenario(seed)
+			cfg.Pressure = PressureDomains
+			cfg.Domains = 2 + int(seed)%3
+			cfg.UpdateJitter = 0 // same-tick updates: multi-event windows
+
+			serRes, serLog := runLogged(t, cfg, mkJobs())
+
+			wc := cfg
+			wc.Parallel = true
+			wc.Workers = 4
+			winRes, winLog := runLogged(t, wc, mkJobs())
+			if !reflect.DeepEqual(serRes, winRes) {
+				t.Fatalf("telemetry runs diverged\nserial:   %+v\nwindowed: %+v", serRes, winRes)
+			}
+			if !bytes.Equal(serLog, winLog) {
+				t.Fatalf("telemetry logs diverged (%d vs %d bytes)", len(serLog), len(winLog))
+			}
+
+			// Telemetry off: the windowed run may now dispatch independent
+			// windows concurrently.
+			quiet := cfg
+			quiet.Telemetry = nil
+			s, err := New(quiet, mkJobs())
+			if err != nil {
+				t.Fatal(err)
+			}
+			qSer, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			qw := quiet
+			qw.Parallel = true
+			qw.Workers = 4
+			var ws WindowStats
+			qw.WindowStatsOut = &ws
+			sw, err := New(qw, mkJobs())
+			if err != nil {
+				t.Fatal(err)
+			}
+			qWin, err := sw.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(qSer, qWin) {
+				t.Fatalf("quiet runs diverged\nserial:   %+v\nwindowed: %+v", qSer, qWin)
+			}
+			independent += ws.Independent
+		})
+	}
+	if independent == 0 {
+		t.Fatal("no window was ever dispatched concurrently: the suite exercised nothing")
+	}
+}
+
+// TestDomainsModeRelievesContention is the model-level sanity check the
+// partition exists for: a bandwidth hog in one rack must not slow a job in
+// another. Under uniform load per-domain rho equals global rho (traffic and
+// bandwidth both scale with the node count), so the scenario is skewed: a
+// hog with huge per-node bandwidth and a flat sensitivity curve (it emits
+// traffic but feels no slowdown) fills one domain, and a
+// contention-sensitive victim with modest remote traffic fills another. The
+// global single rho charges the victim for the hog's traffic; the victim's
+// domain rho sees only its own.
+func TestDomainsModeRelievesContention(t *testing.T) {
+	hogProf := &slowdown.Profile{
+		Name: "hog", Nodes: 1, RuntimeSec: 100, BandwidthGBs: 50,
+		Sens: slowdown.Curve{{Pressure: 0, Penalty: 0}},
+	}
+	mk := func() []*job.Job {
+		hog := mkJob(1, 0, 3, 2048, 4000, memtrace.Constant(2048))
+		hog.Profile = hogProf
+		victim := mkJob(2, 0, 3, 1280, 4000, memtrace.Constant(1280))
+		victim.Profile = streamProfile()
+		return []*job.Job{hog, victim}
+	}
+	// 12 nodes, 4 domains of 3: the hog occupies one whole domain, the
+	// victim the next, and the remaining idle nodes lend the remote halves.
+	cfg := baseConfig(12, 1024, policy.Static)
+
+	victimStretch := func(res *Result) float64 {
+		for _, r := range res.Records {
+			if r.Job.ID == 2 {
+				return (r.Finish - r.LastStart) / r.Job.BaseRuntime
+			}
+		}
+		t.Fatal("victim record missing")
+		return 0
+	}
+
+	global := runSim(t, cfg, mk())
+
+	dc := cfg
+	dc.Pressure = PressureDomains
+	dc.Domains = 4
+	doms := runSim(t, dc, mk())
+
+	gs, ds := victimStretch(global), victimStretch(doms)
+	if gs <= 1 {
+		t.Fatalf("global victim shows no contention (stretch %.3f): test exercises nothing", gs)
+	}
+	if ds >= gs {
+		t.Fatalf("domain partition did not shield the victim: global stretch %.3f, domains stretch %.3f", gs, ds)
+	}
+}
+
+// TestDomainsConfigValidation pins the Normalize contract for the new knobs.
+func TestDomainsConfigValidation(t *testing.T) {
+	cfg := baseConfig(8, 1024, policy.Dynamic)
+	cfg.Domains = 4 // without Pressure: domains
+	if err := cfg.Normalize(); err == nil {
+		t.Fatal("Domains without Pressure: domains passed Normalize")
+	}
+
+	cfg = baseConfig(8, 1024, policy.Dynamic)
+	cfg.Pressure = PressureDomains
+	cfg.Domains = 64 // more domains than nodes: clamped
+	if err := cfg.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Domains != 8 || cfg.Cluster.Shards != 8 {
+		t.Fatalf("want Domains and Shards clamped to 8, got Domains=%d Shards=%d", cfg.Domains, cfg.Cluster.Shards)
+	}
+
+	cfg = baseConfig(8, 1024, policy.Dynamic)
+	cfg.Pressure = PressureDomains
+	cfg.Cluster.Shards = 4
+	if err := cfg.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Domains != 4 {
+		t.Fatalf("want Domains derived from Shards=4, got %d", cfg.Domains)
+	}
+}
+
+// midRunSimulatorDomains is midRunSimulator in pressure-domains mode.
+func midRunSimulatorDomains(tb testing.TB, nJobs, nodes, doms int) *Simulator {
+	tb.Helper()
+	cfg := baseConfig(nodes, 4096, policy.Dynamic)
+	cfg.CheckInvariants = false
+	cfg.Backfill = EASYBackfill
+	cfg.UpdateInterval = 100
+	cfg.Pressure = PressureDomains
+	cfg.Domains = doms
+	cfg.Horizon = 1000
+	jobs := make([]*job.Job, 0, nJobs)
+	for i := 1; i <= nJobs; i++ {
+		req := int64(1024 + (i%7)*256)
+		usage := memtrace.MustNew([]memtrace.Point{
+			{T: 0, MB: req / 2}, {T: 10000, MB: req + 512},
+		})
+		j := mkJob(i, float64(i%40), 1+i%3, req, 20000, usage)
+		if i%2 == 0 {
+			j.Profile = streamProfile()
+		}
+		jobs = append(jobs, j)
+	}
+	s, err := New(cfg, jobs)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		tb.Fatal(err)
+	}
+	if len(s.running) == 0 {
+		tb.Fatal("no jobs running at the horizon")
+	}
+	return s
+}
+
+// TestRefreshDomainsAllocationFree asserts the per-event domain refresh
+// allocates nothing at steady state, like the global incremental path.
+func TestRefreshDomainsAllocationFree(t *testing.T) {
+	s := midRunSimulatorDomains(t, 32, 48, 8)
+	rj := s.runList[0]
+	s.refreshAfter(rj) // warm scratch
+	full := func() {
+		s.invalidate(rj) // defeat the elision: rebuild the touched domains
+		s.refreshAfter(rj)
+	}
+	if got := testing.AllocsPerRun(50, full); got != 0 {
+		t.Fatalf("refreshDomains allocates %.1f per call at steady state, want 0", got)
+	}
+}
+
+// BenchmarkRefreshDomains is BenchmarkRefresh's domains-mode counterpart:
+// one event's contention refresh at a high concurrent-running count. The
+// domains rows touch one job's home domains (O(Δ)); the global-incremental
+// row from BenchmarkRefresh re-sums every running job and is the reference.
+func BenchmarkRefreshDomains(b *testing.B) {
+	for _, doms := range []int{4, 16} {
+		b.Run(fmt.Sprintf("domains=%d", doms), func(b *testing.B) {
+			s := midRunSimulatorDomains(b, 96, 128, doms)
+			rj := s.runList[0]
+			s.refreshAfter(rj)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.invalidate(rj)
+				s.refreshAfter(rj)
+			}
+		})
+	}
+}
+
+// domainsBenchJobs handcrafts a mid-size workload for the windowed-dispatch
+// benchmark: many narrow jobs with identical update periods (no jitter) so
+// update events pile into multi-member windows, spread across the cluster so
+// frozen domain sets are usually disjoint. Derived from the job index — no
+// RNG — so the workload is reproducible.
+func domainsBenchJobs(n int) []*job.Job {
+	prof := &slowdown.Profile{
+		Name: "bench-stream", Nodes: 1, RuntimeSec: 3000, BandwidthGBs: 8,
+		Sens: slowdown.CurveStream,
+	}
+	jobs := make([]*job.Job, 0, n)
+	for i := 0; i < n; i++ {
+		runtime := 2000 + float64(i%200)*10
+		usage := memtrace.MustNew([]memtrace.Point{
+			{T: 0, MB: 2 * 1024},
+			{T: runtime * 0.7, MB: 5 * 1024},
+			{T: runtime, MB: 6 * 1024},
+		})
+		jobs = append(jobs, &job.Job{
+			ID:          i + 1,
+			SubmitTime:  float64(i % 60),
+			Nodes:       4,
+			RequestMB:   7 * 1024,
+			LimitSec:    runtime * 4,
+			BaseRuntime: runtime,
+			Usage:       usage,
+			Profile:     prof,
+		})
+	}
+	return jobs
+}
+
+// BenchmarkWindowedDispatch runs one mid-size domains-mode scenario through
+// the serial loop and the windowed executor. The windowed row's win over
+// serial is the cross-event parallelism the partitioned model unlocks; the
+// run fails if no window was actually dispatched concurrently, so the
+// benchmark cannot silently measure the serial path twice.
+func BenchmarkWindowedDispatch(b *testing.B) {
+	mkCfg := func() Config {
+		return Config{
+			Cluster:        cluster.Config{Nodes: 2048, Cores: 32, NormalMB: 8 * 1024},
+			Policy:         policy.Dynamic,
+			UpdateInterval: 200,
+			Pressure:       PressureDomains,
+			Domains:        32,
+			Seed:           1,
+		}
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := mkCfg()
+			s, err := New(cfg, domainsBenchJobs(400))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("windowed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := mkCfg()
+			cfg.Parallel = true
+			var ws WindowStats
+			cfg.WindowStatsOut = &ws
+			s, err := New(cfg, domainsBenchJobs(400))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Run(); err != nil {
+				b.Fatal(err)
+			}
+			if ws.Independent == 0 {
+				b.Fatalf("no independent windows: stats %+v", ws)
+			}
+		}
+	})
+}

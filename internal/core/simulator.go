@@ -80,6 +80,30 @@ type Simulator struct {
 	winBuf    []sim.Fired
 	winStats  WindowStats
 
+	// Pressure-domain state (Config.Pressure == PressureDomains). nDom is 0
+	// in global mode, which disables every domain path. Domains are
+	// identified with ledger shards: domain d owns shard d's contiguous
+	// node-ID range, so a node's home domain is cl.ShardOf(id) and every
+	// per-domain resource summary is the shard's O(1) summary.
+	nDom         int
+	domBW        []float64       // per-domain aggregate remote bandwidth (GB/s)
+	domTraffic   []float64       // per-domain cached traffic sum
+	domRho       []float64       // per-domain contention pressure
+	domValid     []bool          // per-domain traffic-cache validity
+	domJobs      [][]*runningJob // per-domain home-resident jobs, ascending job ID
+	domCapMB     []int64         // per-domain memory capacity (immutable)
+	refreshEpoch uint64          // refreshDomains per-phase job dedup stamp
+	winGen       uint64          // windowIndependentDomains generation
+	domStamp     []uint64        // per-domain winGen stamps (independence scratch)
+
+	// Parallel window-dispatch state (domains mode + worker team + no
+	// telemetry): per-worker adjusters and the taken members' jobs and
+	// compute outcomes for one window.
+	adjPar      []*policy.Adjuster
+	dispRJs     []*runningJob
+	dispOuts    []updateOutcome
+	phaseUpdate func(worker, start, end int)
+
 	// Scratch reused across refreshAll calls (the per-event hot path).
 	idsBuf   []int
 	fracsBuf []float64
@@ -112,6 +136,19 @@ type runningJob struct {
 	nodeTraffic []float64 // per alloc.PerNode entry: slowdown.NodeTraffic value
 	maxFrac     float64   // max distance-weighted remote fraction over nodes
 	dirty       bool      // allocation changed since recontend last ran
+
+	// Pressure-domain footprint (domains mode only), frozen at dispatch by
+	// domainize: the home domain of every compute node, the sorted unique
+	// home-domain list, and the domain set — home domains plus the shards
+	// of every placement lease's lender — that confines all later growth.
+	// domFrac caches, per home domain, the maximum weighted remote fraction
+	// of the job's nodes resident there; epoch is the refreshDomains dedup
+	// stamp for jobs spanning several touched domains.
+	nodeDom  []int32
+	homeDoms []int32
+	domSet   []int32
+	domFrac  []float64
+	epoch    uint64
 }
 
 // New validates the configuration and trace and builds a simulator.
@@ -138,12 +175,16 @@ func New(cfg Config, jobs []*job.Job) (*Simulator, error) {
 	if cfg.LenderPolicy == NearestFirst {
 		ranker = policy.NearestFirstRanker(*cfg.Topology)
 	}
+	pol := policy.NewWithRanker(cfg.Policy, ranker)
+	if cfg.Pressure == PressureDomains {
+		pol = policy.NewDomainFirst(cfg.Policy)
+	}
 	s := &Simulator{
 		cfg:     cfg,
 		jobs:    jobs,
 		byID:    byID,
 		cl:      cluster.NewMixed(cfg.Cluster),
-		pol:     policy.NewWithRanker(cfg.Policy, ranker),
+		pol:     pol,
 		ranker:  ranker,
 		adj:     policy.NewAdjuster(ranker),
 		eng:     sim.New(),
@@ -156,6 +197,26 @@ func New(cfg Config, jobs []*job.Job) (*Simulator, error) {
 	}
 	s.model = slowdown.NewModel(cfg.Cluster.Nodes, cfg.PerNodeRemoteBW)
 	s.adj.Tel = cfg.Telemetry
+	if cfg.Pressure == PressureDomains {
+		// One pressure domain per ledger shard (Normalize forced
+		// Cluster.Shards == Domains). A domain's bandwidth budget scales
+		// with the nodes it contains, mirroring the global model's
+		// per-node fabric provisioning.
+		s.nDom = s.cl.ShardCount()
+		s.domBW = make([]float64, s.nDom)
+		s.domTraffic = make([]float64, s.nDom)
+		s.domRho = make([]float64, s.nDom)
+		s.domValid = make([]bool, s.nDom)
+		s.domJobs = make([][]*runningJob, s.nDom)
+		s.domCapMB = make([]int64, s.nDom)
+		s.domStamp = make([]uint64, s.nDom)
+		for i := 0; i < s.nDom; i++ {
+			s.domBW[i] = cfg.PerNodeRemoteBW * float64(s.cl.Shard(i).Nodes)
+		}
+		for _, n := range s.cl.Nodes() {
+			s.domCapMB[s.cl.ShardOf(n.ID)] += n.CapacityMB
+		}
+	}
 	return s, nil
 }
 
@@ -228,6 +289,9 @@ func (s *Simulator) Run() (*Result, error) {
 			return nil, err
 		}
 	}
+	if s.cfg.WindowStatsOut != nil {
+		*s.cfg.WindowStatsOut = s.winStats
+	}
 	return s.res, nil
 }
 
@@ -255,12 +319,22 @@ func (s *Simulator) sample() {
 }
 
 // poolCheck feeds the free-pool watermark detector after any change to the
-// memory ledger.
-func (s *Simulator) poolCheck() {
+// memory ledger. In domains mode it additionally checks the touched job's
+// domain set against each domain's own capacity, so per-rack exhaustion is
+// visible even while the system-wide pool looks healthy; rj may be nil when
+// no single job scopes the change. With a single domain the per-domain check
+// would duplicate the system-wide one event for event, so it is skipped —
+// which keeps single-domain runs byte-identical to global mode.
+func (s *Simulator) poolCheck(rj *runningJob) {
 	if s.tel == nil {
 		return
 	}
 	s.tel.PoolCheck(s.cl.TotalFreeMB(), s.cl.TotalCapacityMB())
+	if s.nDom > 1 && rj != nil {
+		for _, d := range rj.domSet {
+			s.tel.PoolCheckDomain(int(d), s.cl.Shard(int(d)).FreeMB, s.domCapMB[d])
+		}
+	}
 }
 
 // ---------------------------------------------------------------- events
@@ -585,6 +659,13 @@ func (s *Simulator) start(j *job.Job, ja *cluster.JobAllocation) {
 	copy(s.runList[i+1:], s.runList[i:])
 	s.runList[i] = rj
 	s.trafficValid = false // new member: the traffic sum changes
+	if s.nDom > 0 {
+		s.domainize(rj)
+		for _, d := range rj.homeDoms {
+			s.domJobs[d] = insertDomJob(s.domJobs[d], rj)
+			s.domValid[d] = false
+		}
+	}
 	s.curAllocMB += ja.TotalMB()
 	s.curBusyNodes += len(ja.PerNode)
 
@@ -607,9 +688,9 @@ func (s *Simulator) start(j *job.Job, ja *cluster.JobAllocation) {
 				s.tel.LeaseGrant(j.ID, int(na.Node), int(l.Lender), l.MB)
 			}
 		}
-		s.poolCheck()
+		s.poolCheck(rj)
 	}
-	s.refreshAll()
+	s.refreshAfter(rj)
 }
 
 func (s *Simulator) onFinish(id int) {
@@ -628,7 +709,7 @@ func (s *Simulator) onFinish(id int) {
 		s.cfg.Observer.JobFinished(s.eng.Now(), rj.j, Completed)
 	}
 	s.tel.JobEnd(id, Completed.String(), rj.rec.Restarts)
-	s.refreshAll()
+	s.refreshAfter(rj)
 	s.ensureTick(true)
 }
 
@@ -649,7 +730,7 @@ func (s *Simulator) onTimeLimit(id int) {
 	}
 	s.tel.JobEnd(id, TimedOut.String(), rj.rec.Restarts)
 	s.cancelDependents(rj.j.ID)
-	s.refreshAll()
+	s.refreshAfter(rj)
 	s.ensureTick(true)
 }
 
@@ -689,68 +770,115 @@ func (s *Simulator) teardown(rj *runningJob) {
 		s.runList = s.runList[:len(s.runList)-1]
 	}
 	s.trafficValid = false // departed member: the traffic sum changes
-	s.poolCheck() // rising free re-arms the watermark detector
+	if s.nDom > 0 {
+		for _, d := range rj.homeDoms {
+			s.domJobs[d] = removeDomJob(s.domJobs[d], rj)
+			s.domValid[d] = false
+		}
+	}
+	s.poolCheck(rj) // rising free re-arms the watermark detector
+}
+
+// updateOutcome carries one memory update's results from the compute half
+// (banking + allocation resize, parallelisable across disjoint domain sets)
+// to the commit half (shared-accumulator and engine mutation, serial).
+type updateOutcome struct {
+	usedDelta     float64 // bankDelta contribution, reduced serially
+	before, after int64   // allocation totals around the resize
+	changed       bool    // any node's (total, remote) pair moved
+	oom           bool    // resize hit ErrOutOfMemory
 }
 
 // onMemoryUpdate is the Monitor→Decider→Actuator→Executor cycle for one job
 // (paper §2.2): read the usage the job will exhibit until the next update,
 // resize the allocation to it, handle OOM, refresh the contention model.
+// The body is split into updateCompute and updateCommit so the windowed
+// executor can run the compute halves of domain-disjoint updates in parallel
+// and replay the commit halves serially in pop order.
 func (s *Simulator) onMemoryUpdate(id int) {
 	s.accrue()
 	rj, ok := s.running[id]
 	if !ok {
 		return
 	}
-	s.bank(rj)
+	out := s.updateCompute(rj, s.adj)
+	s.updateCommit(rj, out)
+}
+
+// updateCompute banks rj's progress and resizes its allocation to the usage
+// trace's next-window maximum. It mutates rj and the ledger entries of rj's
+// nodes and (in domains mode) lenders inside rj's frozen domain set only —
+// never the simulator's shared accumulators — so compute halves of jobs with
+// pairwise-disjoint domain sets commute and may run concurrently, each with
+// its own Adjuster.
+//
+//dmp:hotpath
+func (s *Simulator) updateCompute(rj *runningJob, adj *policy.Adjuster) updateOutcome {
+	var out updateOutcome
+	out.usedDelta = s.bankDelta(rj)
 
 	// Decider: provision for the maximum usage between now and the next
 	// update, read from the offline usage trace at the job's progress.
 	window := rj.period / rj.slow // wallclock window mapped to progress time
 	target := rj.use.MaxIn(rj.progress, rj.progress+window)
 
-	before := rj.alloc.TotalMB()
-	oom := false
-	changed := false
+	out.before = rj.alloc.TotalMB()
 	for i := range rj.alloc.PerNode {
 		na := &rj.alloc.PerNode[i]
 		nodeBefore, remoteBefore := na.TotalMB(), na.RemoteMB()
-		err := s.adj.Adjust(s.cl, rj.alloc, i, target)
+		var err error
+		if s.nDom > 0 {
+			err = adj.AdjustDomains(s.cl, rj.alloc, i, target, rj.domSet)
+		} else {
+			err = adj.Adjust(s.cl, rj.alloc, i, target)
+		}
 		if na.TotalMB() != nodeBefore || na.RemoteMB() != remoteBefore {
 			// One Adjust call either grows or shrinks a node's allocation,
 			// so an unchanged (total, remote) pair means untouched leases —
 			// the contention cache stays exact.
-			changed = true
+			out.changed = true
 		}
 		if s.tel != nil {
 			if d := na.TotalMB() - nodeBefore; d != 0 {
-				s.tel.LeaseAdjust(id, int(na.Node), d, na.RemoteMB()-remoteBefore)
+				s.tel.LeaseAdjust(rj.j.ID, int(na.Node), d, na.RemoteMB()-remoteBefore)
 			}
 		}
 		if err != nil {
 			if err == policy.ErrOutOfMemory {
-				oom = true
+				out.oom = true
 				break
 			}
 			panic(err)
 		}
 	}
-	after := rj.alloc.TotalMB()
-	s.curAllocMB += after - before
-	if changed {
-		rj.dirty = true
-		s.trafficValid = false
-	}
-	s.poolCheck()
+	out.after = rj.alloc.TotalMB()
+	return out
+}
 
-	if oom {
+// updateCommit applies one update's shared-state effects: the utilisation
+// accumulators, cache invalidation, watermark checks, OOM handling, the next
+// update event, and the contention refresh. Always serial.
+//
+//dmp:hotpath
+func (s *Simulator) updateCommit(rj *runningJob, out updateOutcome) {
+	s.res.UsedMBSeconds += out.usedDelta
+	s.curAllocMB += out.after - out.before
+	if out.changed {
+		rj.dirty = true
+		s.invalidate(rj)
+	}
+	s.poolCheck(rj)
+
+	if out.oom {
 		s.oomKill(rj)
 		return
 	}
-	if s.cfg.Observer != nil && after != before {
-		s.cfg.Observer.AllocationChanged(s.eng.Now(), rj.j, before, after)
+	if s.cfg.Observer != nil && out.after != out.before {
+		s.cfg.Observer.AllocationChanged(s.eng.Now(), rj.j, out.before, out.after)
 	}
-	rj.updateEv = s.eng.AfterTag(rj.period, evTag(tagUpdate, id), func(*sim.Engine) { s.onMemoryUpdate(id) })
-	s.refreshAll()
+	id := rj.j.ID
+	rj.updateEv = s.eng.AfterTag(rj.period, evTag(tagUpdate, id), func(*sim.Engine) { s.onMemoryUpdate(id) }) //dmplint:ignore hotpath-alloc one closure per update period, exactly as the pre-split handler allocated
+	s.refreshAfter(rj)
 }
 
 // oomKill applies the configured OOM handling: terminate the job, release
@@ -796,7 +924,7 @@ func (s *Simulator) oomKill(rj *runningJob) {
 		}
 		s.tel.JobSubmit(id, true)
 	}
-	s.refreshAll()
+	s.refreshAfter(rj)
 	s.ensureTick(true)
 }
 
@@ -897,6 +1025,222 @@ func (s *Simulator) recontendInto(rj *runningJob, fracs []float64) []float64 {
 	rj.maxFrac = slowdown.MaxWeightedFrac(fracs)
 	rj.dirty = false
 	return fracs
+}
+
+// ---------------------------------------------------- pressure domains
+
+// domainize freezes rj's pressure-domain footprint at dispatch: each compute
+// node's home domain (its ledger shard), the sorted unique home-domain list,
+// and the domain set — home domains plus every placement lease's lender
+// shard. All later growth is confined to the domain set (AdjustDomains), so
+// the footprint never widens mid-attempt; an OOM restart re-places the job
+// and freezes a fresh one.
+func (s *Simulator) domainize(rj *runningJob) {
+	rj.nodeDom = rj.nodeDom[:0]
+	rj.homeDoms = rj.homeDoms[:0]
+	for i := range rj.alloc.PerNode {
+		d := int32(s.cl.ShardOf(rj.alloc.PerNode[i].Node))
+		rj.nodeDom = append(rj.nodeDom, d)
+		rj.homeDoms = addDom(rj.homeDoms, d)
+	}
+	rj.domSet = append(rj.domSet[:0], rj.homeDoms...)
+	for i := range rj.alloc.PerNode {
+		for _, l := range rj.alloc.PerNode[i].Leases {
+			rj.domSet = addDom(rj.domSet, int32(s.cl.ShardOf(l.Lender)))
+		}
+	}
+	if cap(rj.domFrac) < len(rj.homeDoms) {
+		rj.domFrac = make([]float64, len(rj.homeDoms))
+	}
+	rj.domFrac = rj.domFrac[:len(rj.homeDoms)]
+}
+
+// addDom inserts d into a sorted unique domain list.
+func addDom(doms []int32, d int32) []int32 {
+	i := sort.Search(len(doms), func(k int) bool { return doms[k] >= d })
+	if i < len(doms) && doms[i] == d {
+		return doms
+	}
+	doms = append(doms, 0)
+	copy(doms[i+1:], doms[i:])
+	doms[i] = d
+	return doms
+}
+
+// domIndex returns d's position in a sorted unique domain list.
+//
+//dmp:hotpath
+func domIndex(doms []int32, d int32) int {
+	return sort.Search(len(doms), func(k int) bool { return doms[k] >= d })
+}
+
+// insertDomJob adds rj to a domain's resident list, kept sorted by job ID so
+// per-domain traffic sums and refinish calls visit jobs in the same order
+// every run.
+func insertDomJob(list []*runningJob, rj *runningJob) []*runningJob {
+	i := sort.Search(len(list), func(k int) bool { return list[k].j.ID >= rj.j.ID })
+	list = append(list, nil)
+	copy(list[i+1:], list[i:])
+	list[i] = rj
+	return list
+}
+
+// removeDomJob removes rj from a domain's resident list.
+func removeDomJob(list []*runningJob, rj *runningJob) []*runningJob {
+	i := sort.Search(len(list), func(k int) bool { return list[k].j.ID >= rj.j.ID })
+	if i < len(list) && list[i] == rj {
+		copy(list[i:], list[i+1:])
+		list[len(list)-1] = nil
+		list = list[:len(list)-1]
+	}
+	return list
+}
+
+// invalidate marks the contention caches stale after rj's allocation
+// changed: rj's home domains in domains mode, the flat global sum otherwise.
+//
+//dmp:hotpath
+func (s *Simulator) invalidate(rj *runningJob) {
+	if s.nDom > 0 {
+		for _, d := range rj.homeDoms {
+			s.domValid[d] = false
+		}
+		return
+	}
+	s.trafficValid = false
+}
+
+// refreshAfter refreshes the contention model after an event touching rj:
+// the O(Δ) per-domain path in domains mode, the global refresh otherwise.
+//
+//dmp:hotpath
+func (s *Simulator) refreshAfter(rj *runningJob) {
+	if s.nDom > 0 {
+		s.refreshDomains(rj)
+		return
+	}
+	s.refreshAll()
+}
+
+// refreshDomains is the contention refresh scoped to the domains rj calls
+// home. Jobs outside the touched domains are untouched by construction:
+// their domains' rho values did not move, so their slowdowns — and with them
+// their deferred progress banking and pending finish events — stay exact.
+// That is what makes an event's refresh cost O(touched domains' residents)
+// instead of O(running set).
+//
+// The dirty-job invariant mirrors the global incremental path: at any
+// refreshAfter(rj) the only possibly-dirty job is rj itself, and every site
+// that marks rj dirty also invalidates all of rj's home domains, so the
+// phase-2 rebuild of invalid touched domains re-derives every stale cache.
+//
+// Phases (each deduplicating jobs resident in several touched domains with
+// an epoch stamp, visiting domains ascending and jobs in ID order):
+//
+//	1 bank touched residents' progress at their prevailing slowdown;
+//	2 rebuild each invalid touched domain's traffic sum and rho, merging
+//	  per-node traffic by the node's home domain;
+//	3 re-derive touched residents' slowdowns from the per-domain rho;
+//	4 refinish touched residents.
+//
+//dmp:hotpath
+//dmp:domainmerge
+func (s *Simulator) refreshDomains(rj *runningJob) {
+	now := s.eng.Now()
+	touched := rj.homeDoms
+	s.refreshEpoch++
+	for _, d := range touched {
+		for _, oj := range s.domJobs[d] {
+			if oj.epoch == s.refreshEpoch {
+				continue
+			}
+			oj.epoch = s.refreshEpoch
+			s.bank(oj)
+		}
+	}
+	dirtyRho := false
+	for _, d := range touched {
+		if s.domValid[d] {
+			continue
+		}
+		var traffic float64
+		for _, oj := range s.domJobs[d] {
+			if oj.dirty {
+				s.recontendDomains(oj)
+			}
+			for i, t := range oj.nodeTraffic {
+				if oj.nodeDom[i] == d {
+					traffic += t
+				}
+			}
+		}
+		s.domTraffic[d] = traffic
+		s.domRho[d] = slowdown.PressureBW(traffic, s.domBW[d])
+		s.domValid[d] = true
+		dirtyRho = true
+	}
+	if dirtyRho {
+		s.refreshEpoch++
+		for _, d := range touched {
+			for _, oj := range s.domJobs[d] {
+				if oj.epoch == s.refreshEpoch {
+					continue
+				}
+				oj.epoch = s.refreshEpoch
+				oj.slow = s.domainSlowdown(oj)
+			}
+		}
+	}
+	s.refreshEpoch++
+	for _, d := range touched {
+		for _, oj := range s.domJobs[d] {
+			if oj.epoch == s.refreshEpoch {
+				continue
+			}
+			oj.epoch = s.refreshEpoch
+			s.refinish(oj, now)
+		}
+	}
+}
+
+// recontendDomains rebuilds rj's contention caches in domains mode: the
+// per-node traffic contributions (as recontend does) plus, per home domain,
+// the maximum distance-weighted remote fraction of rj's nodes resident
+// there. It writes rj's fields only.
+//
+//dmp:hotpath
+func (s *Simulator) recontendDomains(rj *runningJob) {
+	rj.nodeTraffic = rj.nodeTraffic[:0]
+	for k := range rj.domFrac {
+		rj.domFrac[k] = 0
+	}
+	for i := range rj.alloc.PerNode {
+		na := &rj.alloc.PerNode[i]
+		rj.nodeTraffic = append(rj.nodeTraffic, slowdown.NodeTraffic(rj.j.Profile, 1-na.LocalFraction()))
+		wf := s.remoteFraction(na)
+		if k := domIndex(rj.homeDoms, rj.nodeDom[i]); wf > rj.domFrac[k] {
+			rj.domFrac[k] = wf
+		}
+	}
+	rj.maxFrac = slowdown.MaxWeightedFrac(rj.domFrac)
+	rj.dirty = false
+}
+
+// domainSlowdown derives rj's slowdown as the worst over its home domains:
+// each domain contributes the single-rho slowdown of rj's nodes resident
+// there at that domain's pressure. With one domain this degenerates to the
+// global formula bit-for-bit.
+//
+//dmp:hotpath
+//dmp:domainmerge
+func (s *Simulator) domainSlowdown(rj *runningJob) float64 {
+	slow := 1.0
+	for k, d := range rj.homeDoms {
+		if v := slowdown.JobSlowdownFromMax(rj.j.Profile, rj.domFrac[k], s.domRho[d]); v > slow {
+			slow = v
+		}
+	}
+	return slow
 }
 
 // refreshAll recomputes the global contention pressure and every running

@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 
+	"dismem/internal/policy"
 	"dismem/internal/sim"
 	"dismem/internal/slowdown"
 	"dismem/internal/sweep"
@@ -19,20 +20,28 @@ const defaultParMin = 32
 // event due at the earliest timestamp (sim.Engine.NextWindow), classifies
 // the batch from its tags, and dispatches the members.
 //
-// Dispatch is ALWAYS in pop (serial) order. The independence analysis runs
-// — and its verdict is recorded in WindowStats — but under the paper's
-// shared-pressure contention model it almost never clears a multi-event
-// window: every allocation-changing event (submit via the tick it arms,
-// finish, time limit, memory update) ends in refreshAll, which recomputes
-// the global pressure rho from every running job and reschedules every
-// finish event. Two such events therefore couple no matter which jobs they
-// belong to, and reordering them would change float accumulation order and
-// the telemetry byte stream. Firing in pop order reproduces serial
-// execution exactly — same seq assignment, same clock, same bytes — so the
-// windowed runtime is bit-identical by construction, and the differential
-// suite asserts it. The multi-core win lives one level down: refreshAll's
-// data-parallel phases (refreshParallel) run on the worker team inside each
-// event, where the work actually is at 100k-node scale.
+// Under the global contention model dispatch is ALWAYS in pop (serial)
+// order. The independence analysis runs — and its verdict is recorded in
+// WindowStats — but the shared pressure rho couples every
+// allocation-changing event to every running job: each such handler ends in
+// refreshAll, which recomputes rho from the whole running set and
+// reschedules every finish event, so reordering members would change float
+// accumulation order and the telemetry byte stream. The multi-core win
+// there lives one level down, in refreshAll's data-parallel phases
+// (refreshParallel).
+//
+// Pressure domains (Config.Pressure: domains) change the coupling: an
+// event's refresh touches only the domains its job calls home, so two
+// memory updates whose jobs' frozen domain sets are disjoint provably
+// commute — they read and write disjoint ledger shards, disjoint contention
+// state, and disjoint job sets. windowIndependentDomains detects exactly
+// that, and dispatchParallel then runs the members' compute halves
+// (banking + allocation resize) concurrently on the worker team and
+// replays their commit halves (shared accumulators, engine mutation,
+// refresh) serially in pop order. Commit order is fixed, per-domain float
+// accumulation order is fixed, so domains-mode runs are deterministic for a
+// given configuration — just not byte-comparable to global mode, which is a
+// different contention model.
 //
 // The event budget is enforced at window boundaries: a budget that expires
 // mid-window takes effect once the window drains (documented in Config).
@@ -85,6 +94,54 @@ func (s *Simulator) setupParallel() {
 			rj.slow = slowdown.JobSlowdownFromMax(rj.j.Profile, rj.maxFrac, rho)
 		}
 	}
+	if s.nDom > 0 {
+		s.adjPar = make([]*policy.Adjuster, s.team.Size())
+		for i := range s.adjPar {
+			s.adjPar[i] = policy.NewAdjuster(s.ranker)
+		}
+		s.phaseUpdate = func(worker, start, end int) {
+			for i := start; i < end; i++ {
+				s.dispOuts[i] = s.updateCompute(s.dispRJs[i], s.adjPar[worker])
+			}
+		}
+	}
+}
+
+// canDispatchParallel gates the concurrent dispatch of an independent
+// window: domains mode (the independence proof relies on domain-confined
+// refreshes), a worker team, and no telemetry — the recorder's event stream
+// orders emissions, and the compute half emits LeaseAdjust/LeaseGrant.
+func (s *Simulator) canDispatchParallel() bool {
+	return s.nDom > 0 && s.team != nil && s.tel == nil
+}
+
+// dispatchParallel fires one proven-independent window concurrently: take
+// every member from the engine first (no member may cancel another — the
+// independence proof covers only tagUpdate members, whose handlers cancel
+// nothing), run the compute halves on the worker team, then replay the
+// commit halves serially in pop order, which fixes seq assignment and float
+// accumulation exactly as one chosen serial order would.
+func (s *Simulator) dispatchParallel(buf []sim.Fired) {
+	s.dispRJs = s.dispRJs[:0]
+	for _, f := range buf {
+		if s.eng.TakeWindowed(f) {
+			s.winStats.Events++
+			s.dispRJs = append(s.dispRJs, s.running[int(uint32(f.Tag()))])
+		}
+	}
+	n := len(s.dispRJs)
+	if n == 0 {
+		return
+	}
+	s.accrue()
+	if cap(s.dispOuts) < n {
+		s.dispOuts = make([]updateOutcome, 0, 2*n)
+	}
+	s.dispOuts = s.dispOuts[:n]
+	s.team.Run(n, s.phaseUpdate)
+	for i, rj := range s.dispRJs {
+		s.updateCommit(rj, s.dispOuts[i])
+	}
 }
 
 // runWindows drives the engine to completion through event windows,
@@ -103,6 +160,10 @@ func (s *Simulator) runWindows() bool {
 			s.winStats.Multi++
 			if s.windowIndependent(s.winBuf) {
 				s.winStats.Independent++
+				if s.canDispatchParallel() {
+					s.dispatchParallel(s.winBuf)
+					continue
+				}
 			}
 		}
 		for _, f := range s.winBuf {
@@ -123,6 +184,9 @@ func (s *Simulator) runWindows() bool {
 // point: it is the measured justification for serial dispatch, not a
 // placeholder (see the file comment and DESIGN.md).
 func (s *Simulator) windowIndependent(buf []sim.Fired) bool {
+	if s.nDom > 0 {
+		return s.windowIndependentDomains(buf)
+	}
 	mutators := 0
 	for i, f := range buf {
 		tag := f.Tag()
@@ -141,4 +205,34 @@ func (s *Simulator) windowIndependent(buf []sim.Fired) bool {
 		}
 	}
 	return mutators <= 1
+}
+
+// windowIndependentDomains is the domains-mode independence criterion: every
+// member is a memory update of a running job, and the members' frozen domain
+// sets are pairwise disjoint. Memory updates read and write only their job,
+// its allocation's shards (growth is confined to the domain set), and its
+// home domains' contention state, so disjoint domain sets mean disjoint
+// footprints. Other event kinds touch cross-domain state — submits arm the
+// scheduler, finish/limit handlers release nodes the scheduler may refill —
+// and conservatively fail the test. Overlap detection stamps each member's
+// domains with a window generation in domStamp, O(total domain-set size).
+func (s *Simulator) windowIndependentDomains(buf []sim.Fired) bool {
+	s.winGen++
+	for _, f := range buf {
+		tag := f.Tag()
+		if tag == 0 || tagKind(tag) != tagUpdate {
+			return false
+		}
+		rj, ok := s.running[int(uint32(tag))]
+		if !ok {
+			return false
+		}
+		for _, d := range rj.domSet {
+			if s.domStamp[d] == s.winGen {
+				return false // shared domain: members couple
+			}
+			s.domStamp[d] = s.winGen
+		}
+	}
+	return true
 }

@@ -72,6 +72,95 @@ func AdjustRanked(cl *cluster.Cluster, ja *cluster.JobAllocation, i int, targetM
 	return NewAdjuster(ranker).Adjust(cl, ja, i, targetMB)
 }
 
+// AdjustDomains is Adjust with growth confined to the given ledger shards
+// (the job's frozen pressure-domain set, sorted ascending): the grow path
+// borrows only from lenders in doms, preferring the compute node's own
+// shard first, and reports ErrOutOfMemory when those domains are exhausted
+// even if other domains still hold free memory. Strict confinement is what
+// makes window members with disjoint domain sets commute — a member can
+// neither read nor take memory outside its set. Shrinking releases existing
+// leases, which by construction already lie inside doms.
+//
+//dmp:hotpath
+func (a *Adjuster) AdjustDomains(cl *cluster.Cluster, ja *cluster.JobAllocation, i int, targetMB int64, doms []int32) error {
+	if targetMB < 0 {
+		return cluster.ErrNegativeAmount
+	}
+	na := &ja.PerNode[i]
+	cur := na.TotalMB()
+	switch {
+	case targetMB < cur:
+		return shrinkTo(cl, ja, i, cur-targetMB)
+	case targetMB > cur:
+		return a.growByDomains(cl, ja, i, targetMB-cur, doms)
+	}
+	return nil
+}
+
+// growByDomains is growBy restricted to the doms shards: local memory
+// first, then the borrower's home shard's lenders, then the remaining
+// domains in ascending order. With a single domain covering the whole
+// cluster it degenerates bit-exactly to growBy — the per-shard walk IS the
+// global lender walk. The per-shard walks use no shared cluster scratch, so
+// concurrent adjusters over disjoint domain sets are safe.
+//
+//dmp:hotpath
+func (a *Adjuster) growByDomains(cl *cluster.Cluster, ja *cluster.JobAllocation, i int, need int64, doms []int32) error {
+	na := &ja.PerNode[i]
+	// Local first.
+	if free := cl.Node(na.Node).FreeMB(); free > 0 {
+		take := minInt64(need, free)
+		if err := ja.GrowLocal(cl, i, take); err != nil {
+			return err
+		}
+		need -= take
+	}
+	if need == 0 {
+		return nil
+	}
+	own := a.own[:0]
+	for k := range ja.PerNode {
+		own = append(own, ja.PerNode[k].Node)
+	}
+	a.own = own
+	// Plan from the walks, then apply: the ledger must not change mid-walk.
+	home := cl.ShardOf(na.Node)
+	takes := a.takes[:0]
+	rem := need
+	scan := func(id cluster.NodeID, free int64) bool { //dmplint:ignore hotpath-alloc one closure per grow call so the same walk body serves the home shard and each remaining domain
+		if containsNode(own, id) {
+			return true
+		}
+		take := minInt64(rem, free)
+		takes = append(takes, cluster.Lease{Lender: id, MB: take})
+		rem -= take
+		return rem > 0
+	}
+	cl.AscendShardLenders(home, scan)
+	for _, d := range doms {
+		if rem <= 0 {
+			break
+		}
+		if int(d) == home {
+			continue
+		}
+		cl.AscendShardLenders(int(d), scan)
+	}
+	a.takes = takes
+	for _, t := range takes {
+		if err := ja.GrowRemote(cl, i, t.Lender, t.MB); err != nil {
+			return err
+		}
+		a.Tel.LeaseGrant(ja.Job, int(na.Node), int(t.Lender), t.MB)
+	}
+	if rem > 0 {
+		// Partial growth is retained; the caller kills and resubmits, which
+		// releases everything and re-places with a fresh domain set.
+		return ErrOutOfMemory
+	}
+	return nil
+}
+
 //
 //dmp:hotpath
 func shrinkTo(cl *cluster.Cluster, ja *cluster.JobAllocation, i int, excess int64) error {

@@ -98,6 +98,25 @@ func NewWithRanker(kind Kind, ranker LenderRanker) Policy {
 	panic("policy: unknown kind")
 }
 
+// NewDomainFirst returns the policy implementation for kind with
+// within-domain-first lender preference: placement borrowing drains the
+// borrowing node's own ledger shard (its pressure domain) before spilling
+// to the global most-free order. Used by the partitioned-pressure
+// contention mode, where keeping leases inside the home domain both lowers
+// that domain's cross-traffic and shrinks the job's frozen domain set. The
+// baseline never borrows, so it is unaffected.
+func NewDomainFirst(kind Kind) Policy {
+	switch kind {
+	case Baseline:
+		return &baselinePolicy{}
+	case Static:
+		return &staticPolicy{place: placer{domainFirst: true}}
+	case Dynamic:
+		return &dynamicPolicy{place: placer{domainFirst: true}}
+	}
+	panic("policy: unknown kind")
+}
+
 // ---------------------------------------------------------------- baseline
 
 type baselinePolicy struct {
@@ -213,14 +232,15 @@ type plan struct {
 // and borrow the deficit from the most-free lenders otherwise — with all
 // working state in reusable scratch buffers.
 type placer struct {
-	ranker LenderRanker // nil = most-free via the cluster index
+	ranker      LenderRanker // nil = most-free via the cluster index
+	domainFirst bool         // within-domain-first borrowing (pressure domains)
 
 	chosen  []cluster.NodeID
 	plans   []plan
 	lenders []cluster.NodeID // fast path: lender snapshot in rank order
 	lf      []int64          // remaining lendable memory, parallel to lenders
 	own     map[cluster.NodeID]bool
-	lfMap   map[cluster.NodeID]int64 // custom-ranker path
+	lfMap   map[cluster.NodeID]int64 // custom-ranker and domain-first paths
 }
 
 func (p *placer) place(cl *cluster.Cluster, j *job.Job, perNodeMB int64) (*cluster.JobAllocation, bool) {
@@ -261,9 +281,12 @@ func (p *placer) place(cl *cluster.Cluster, j *job.Job, perNodeMB int64) (*clust
 	}
 	if deficit > 0 {
 		ok := false
-		if p.ranker == nil {
+		switch {
+		case p.domainFirst:
+			ok = p.planBorrowDomains(cl, perNodeMB)
+		case p.ranker == nil:
 			ok = p.planBorrowFast(cl, perNodeMB, deficit)
-		} else {
+		default:
 			ok = p.planBorrowRanked(cl, perNodeMB)
 		}
 		if !ok {
@@ -366,6 +389,61 @@ func (p *placer) planBorrowRanked(cl *cluster.Cluster, perNodeMB int64) bool {
 			if need == 0 {
 				break
 			}
+		}
+		if need > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// planBorrowDomains plans the deficit borrowing with within-domain
+// preference: each compute node borrows from lenders in its own ledger
+// shard (its pressure domain) first — keeping the borrowed traffic inside
+// the domain whose pressure already prices it — and spills to the global
+// most-free order only for the remainder. Remaining lendable memory is
+// tracked per lender across the job's compute nodes; planning never
+// mutates the ledger. With a single shard the home walk IS the global
+// walk, so the plan degenerates to planBorrowFast's.
+func (p *placer) planBorrowDomains(cl *cluster.Cluster, perNodeMB int64) bool {
+	if p.own == nil {
+		p.own = make(map[cluster.NodeID]bool, len(p.chosen))
+		p.lfMap = make(map[cluster.NodeID]int64)
+	}
+	for id := range p.own {
+		delete(p.own, id)
+	}
+	for id := range p.lfMap {
+		delete(p.lfMap, id)
+	}
+	for _, id := range p.chosen {
+		p.own[id] = true
+	}
+	for i := range p.plans {
+		pl := &p.plans[i]
+		need := perNodeMB - pl.local
+		if need == 0 {
+			continue
+		}
+		scan := func(id cluster.NodeID, free int64) bool {
+			if p.own[id] {
+				return true
+			}
+			left, seen := p.lfMap[id]
+			if !seen {
+				left = free // ledger unchanged during planning
+			}
+			take := minInt64(need, left)
+			if take > 0 {
+				pl.borrow = append(pl.borrow, cluster.Lease{Lender: id, MB: take})
+				p.lfMap[id] = left - take
+				need -= take
+			}
+			return need > 0
+		}
+		cl.AscendShardLenders(cl.ShardOf(pl.node), scan)
+		if need > 0 {
+			cl.AscendLenders(scan)
 		}
 		if need > 0 {
 			return false

@@ -86,6 +86,27 @@ func (e *Engine) FireWindowed(f Fired) bool {
 	return true
 }
 
+// TakeWindowed claims one window member without running its handler: the
+// member is consumed (counted as fired, its storage recycled) and the caller
+// becomes responsible for executing its effect. An executor that has proven
+// a window's members independent takes them all up front — after which no
+// member can cancel another — and then runs their effects on its own
+// schedule, e.g. concurrently. Reports false for members already cancelled
+// or rescheduled since the pop, exactly like FireWindowed.
+//
+//dmp:hotpath
+func (e *Engine) TakeWindowed(f Fired) bool {
+	if !f.Live() {
+		return false
+	}
+	ev := f.ev
+	ev.index = -1
+	e.windowed--
+	e.fired++
+	e.recycle(ev)
+	return true
+}
+
 // DropWindow returns un-fired window members to the queue — the unwind path
 // for an executor that popped a window and then decided to stop (budget
 // exhausted, halt requested). Members keep their original timestamps and

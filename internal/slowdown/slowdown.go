@@ -113,6 +113,18 @@ func (m *Model) Pressure(totalRemoteTraffic float64) float64 {
 	return totalRemoteTraffic / bw
 }
 
+// PressureBW converts remote traffic (GB/s) into utilisation of an explicit
+// bandwidth budget. It is Model.Pressure generalised to a caller-chosen
+// scope: the partitioned contention model evaluates it once per pressure
+// domain, with the domain's aggregate bandwidth as the budget. With the
+// whole fabric's bandwidth it is bit-identical to Model.Pressure.
+func PressureBW(traffic, bw float64) float64 {
+	if bw <= 0 {
+		return 0
+	}
+	return traffic / bw
+}
+
 // NodeTraffic returns the remote traffic one node of the app injects when a
 // fraction remoteFrac of its working set is remote.
 func NodeTraffic(p *Profile, remoteFrac float64) float64 {

@@ -55,7 +55,9 @@ const (
 	KindBackfillPlace
 	// KindPoolWatermark fires when the free disaggregated pool crosses
 	// below a configured threshold: Aux is the threshold percentage, MB
-	// the free pool at the crossing, V the exact free fraction.
+	// the free pool at the crossing, V the exact free fraction. Node is -1
+	// for the system-wide pool; in pressure-domains mode, per-domain
+	// crossings carry the domain index in Node.
 	KindPoolWatermark
 	// KindJobAttemptEnd fires when one attempt of a job terminates without
 	// being the job's final outcome — today that is an OOM kill (Detail
@@ -65,6 +67,13 @@ const (
 	// after the original kinds so their numeric values — and with them the
 	// golden digests of logs containing no OOM events — are unchanged.
 	KindJobAttemptEnd
+	// KindWindowStats is emitted once at the end of a windowed-executor run
+	// with the window-parallelism counters: MB is the window count, Aux the
+	// fired-event count, Node the multi-member window count and Lender the
+	// proven-independent window count; Job is -1. Appended after the
+	// original kinds so their numeric values — and with them the golden
+	// digests of existing logs — are unchanged.
+	KindWindowStats
 
 	// KindCount is the number of event kinds (for counter arrays).
 	KindCount
@@ -83,6 +92,7 @@ var kindNames = [KindCount]string{
 	"backfill_place",
 	"pool_watermark",
 	"job_attempt_end",
+	"window_stats",
 }
 
 // String returns the event kind's wire name.

@@ -32,10 +32,11 @@ var DefaultWatermarks = []int{50, 25, 10, 0}
 // A Recorder is bound to one simulation run and, like the simulator itself,
 // is not safe for concurrent use.
 type Recorder struct {
-	sink     Sink
-	interval float64
-	marks    []int // descending thresholds, pct of capacity
-	level    int   // how many marks are currently crossed
+	sink      Sink
+	interval  float64
+	marks     []int // descending thresholds, pct of capacity
+	level     int   // how many marks are currently crossed
+	domLevels []int // per-domain crossing levels (pressure-domains mode)
 
 	now    float64
 	counts [KindCount]uint64
@@ -231,6 +232,52 @@ func (r *Recorder) PoolCheck(freeMB, capacityMB int64) {
 		}
 	}
 	r.level = level
+}
+
+// PoolCheckDomain is PoolCheck scoped to one pressure domain: the same
+// integer-exact watermark predicate against the domain's free memory and
+// capacity, with an independent crossing level per domain and the domain
+// index in the event's Node field.
+//
+//dmp:hotpath
+func (r *Recorder) PoolCheckDomain(dom int, freeMB, capacityMB int64) {
+	if r == nil || capacityMB <= 0 || dom < 0 {
+		return
+	}
+	for len(r.domLevels) <= dom {
+		r.domLevels = append(r.domLevels, 0)
+	}
+	level := 0
+	for _, pct := range r.marks {
+		if freeMB*100 <= capacityMB*int64(pct) {
+			level++
+		} else {
+			break
+		}
+	}
+	if level > r.domLevels[dom] {
+		for i := r.domLevels[dom]; i < level; i++ {
+			r.emit(Event{
+				Kind: KindPoolWatermark, Job: -1, Node: dom, Lender: -1,
+				MB: freeMB, Aux: int64(r.marks[i]),
+				V: float64(freeMB) / float64(capacityMB),
+			})
+		}
+	}
+	r.domLevels[dom] = level
+}
+
+// WindowStats records the windowed executor's run-level counters: windows
+// popped, members fired, multi-member windows, and multi-member windows
+// proven independent. Emitted once per run, after the event loop drains.
+func (r *Recorder) WindowStats(windows, events, multi, independent int) {
+	if r == nil {
+		return
+	}
+	r.emit(Event{
+		Kind: KindWindowStats, Job: -1, Node: multi, Lender: independent,
+		MB: int64(windows), Aux: int64(events),
+	})
 }
 
 // Sample records one fixed-interval snapshot into the columnar series and

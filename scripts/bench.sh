@@ -5,14 +5,16 @@
 # Usage:  scripts/bench.sh [output.json]
 #
 # The default output name is BENCH_<n>.json in the repo root, where <n> is
-# taken from the BENCH_SEQ environment variable (default 4, the PR that
-# sharded the cluster ledger and added the windowed/parallel executor).
+# taken from the BENCH_SEQ environment variable (default 5, the PR that
+# partitioned contention into per-rack pressure domains and unlocked
+# cross-event window parallelism).
 # Benchmarks covered: the whole-figure pipeline benchmarks (Fig. 5 pooled
 # and serial, the replicated headlines, trace generation vs cache hit), the
 # end-to-end BenchmarkScenario suite (the preset-scale policies at 100x;
 # grizzly-scale, its parallel twin, and the 100k-node scenario separately at
 # 1x — one iteration is a full cluster-scale run), the refresh
-# micro-benchmark (incremental, rescan, and elided modes), and the
+# micro-benchmark (incremental, rescan, and elided modes), the per-domain
+# refresh and windowed-dispatch benchmarks, and the
 # micro-benchmarks for each indexed structure (lender ranking, sharded
 # ascend, dynamic placement, engine schedule/cancel, window dispatch, team
 # fan-out, trace cursor).
@@ -20,7 +22,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_${BENCH_SEQ:-4}.json}"
+out="${1:-BENCH_${BENCH_SEQ:-5}.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -42,8 +44,12 @@ run .                    'BenchmarkTraceCacheHit$'      1s 3
 run .                    'BenchmarkScenario$/^(baseline|static|dynamic)$' 100x 5
 run .                    'BenchmarkScenario$/^grizzly-scale$' 1x
 run .                    'BenchmarkScenario$/^grizzly-scale-parallel$' 1x
+run .                    'BenchmarkScenario$/^grizzly-scale-domains$' 1x
 run .                    'BenchmarkScenario$/^100k$'    1x
-run ./internal/core      'BenchmarkRefresh'             1s 3
+run .                    'BenchmarkScenario$/^100k-domains$' 1x
+run ./internal/core      'BenchmarkRefresh$'            1s 3
+run ./internal/core      'BenchmarkRefreshDomains'      1s 3
+run ./internal/core      'BenchmarkWindowedDispatch'    3x 3
 run ./internal/cluster   'BenchmarkLenderRank'          1s 3
 run ./internal/cluster   'BenchmarkShardedAscend'       1s 3
 run ./internal/policy    'BenchmarkPlaceDynamic'        1s 3
