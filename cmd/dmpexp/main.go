@@ -38,7 +38,9 @@ func main() {
 	os.Exit(realMain())
 }
 
-func realMain() int {
+// realMain's named return lets the profile-flushing defers below fail the
+// process: a heap profile that didn't hit disk must not exit 0.
+func realMain() (code int) {
 	exp := flag.String("exp", "all", "experiment: table2 table3 fig2 fig4 fig5 fig6 fig7 fig8 fig9 ab-update ab-oom ab-backfill ab-lender ablations headlines all")
 	preset := flag.String("preset", "quick", "scale preset: quick or full")
 	withGrizzly := flag.Bool("grizzly", true, "include the Grizzly columns in fig5/fig8")
@@ -70,21 +72,31 @@ func realMain() int {
 		}
 		defer func() {
 			pprof.StopCPUProfile()
-			f.Close()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "dmpexp: cpuprofile: %v\n", err)
+				if code == 0 {
+					code = 1
+				}
+				return
+			}
 			fmt.Fprintf(os.Stderr, "wrote CPU profile to %s\n", *cpuprofile)
 		}()
 	}
 	if *memprofile != "" {
 		defer func() {
 			f, err := os.Create(*memprofile)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "dmpexp: %v\n", err)
-				return
+			if err == nil {
+				runtime.GC() // settle allocations so the heap profile reflects live data
+				err = pprof.WriteHeapProfile(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
 			}
-			defer f.Close()
-			runtime.GC() // settle allocations so the heap profile reflects live data
-			if err := pprof.WriteHeapProfile(f); err != nil {
+			if err != nil {
 				fmt.Fprintf(os.Stderr, "dmpexp: memprofile: %v\n", err)
+				if code == 0 {
+					code = 1
+				}
 				return
 			}
 			fmt.Fprintf(os.Stderr, "wrote heap profile to %s\n", *memprofile)

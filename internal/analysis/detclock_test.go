@@ -39,6 +39,11 @@ func TestGuardedPath(t *testing.T) {
 		"dismem/internal/sweep",
 		"dismem/internal/corelike",
 		"dismem/cmd/dmpsim",
+		// The service layer is deliberately unguarded: request latencies
+		// and Retry-After hints are wall-clock concerns. The simulation
+		// path it calls into stays guarded.
+		"dismem/internal/server",
+		"dismem/cmd/dmpd",
 	}
 	for _, p := range open {
 		if analysis.GuardedPath(p) {

@@ -199,6 +199,16 @@ type Config struct {
 	// executor's WindowStats after Run. Lets callers that only see the
 	// Config (preset runners, CLIs) observe window-parallelism efficacy.
 	WindowStatsOut *WindowStats
+
+	// Interrupt, when non-nil, is polled between events (every
+	// interruptStride firings on the serial executor; every window on the
+	// windowed one). A non-nil return aborts the run, and Run surfaces the
+	// returned error wrapped — the service daemon threads a request
+	// context's cancellation through it so a disconnecting client frees
+	// the simulation's slot mid-run. An Interrupt that returns nil
+	// throughout never perturbs the simulation: results stay a pure
+	// function of (Config, jobs, Seed).
+	Interrupt func() error
 }
 
 // Normalize fills unset fields with the paper's defaults and validates the

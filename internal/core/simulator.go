@@ -259,15 +259,21 @@ func (s *Simulator) Run() (*Result, error) {
 		s.eng.SetMaxEvents(s.cfg.MaxEvents)
 	}
 	exhausted := false
+	var runErr error
 	if s.cfg.Parallel {
 		s.setupParallel()
 		if s.team != nil {
 			defer s.team.Close()
 		}
-		exhausted = s.runWindows()
+		exhausted, runErr = s.runWindows()
+	} else if s.cfg.Interrupt != nil {
+		exhausted, runErr = s.runInterruptible()
 	} else {
 		s.eng.Run()
 		exhausted = s.eng.Exhausted()
+	}
+	if runErr != nil {
+		return nil, runErr
 	}
 	if exhausted {
 		return nil, fmt.Errorf("core: event budget (%d) exhausted at t=%.0f — runaway simulation",
@@ -293,6 +299,32 @@ func (s *Simulator) Run() (*Result, error) {
 		*s.cfg.WindowStatsOut = s.winStats
 	}
 	return s.res, nil
+}
+
+// interruptStride is how many events the serial executor fires between
+// Interrupt polls: frequent enough that a cancelled request aborts within
+// microseconds of simulated work, rare enough that the poll never shows up
+// in the event hot path.
+const interruptStride = 1024
+
+// runInterruptible is the serial event loop with Config.Interrupt polling:
+// identical to Engine.Run plus a cancellation check every interruptStride
+// events. Used only when Interrupt is set, so the common path keeps the
+// engine's tight loop.
+func (s *Simulator) runInterruptible() (exhausted bool, err error) {
+	for n := uint64(0); ; n++ {
+		if s.cfg.MaxEvents > 0 && s.eng.Fired() >= s.cfg.MaxEvents {
+			return true, nil
+		}
+		if n%interruptStride == 0 {
+			if ierr := s.cfg.Interrupt(); ierr != nil {
+				return false, fmt.Errorf("core: run interrupted at t=%.0f: %w", s.eng.Now(), ierr)
+			}
+		}
+		if !s.eng.Step() {
+			return false, nil
+		}
+	}
 }
 
 // accrue integrates the utilisation counters up to the current time. Every

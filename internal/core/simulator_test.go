@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"reflect"
@@ -417,5 +418,77 @@ func TestQuickWorkloadConservation(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// errInterruptTest is the sentinel a test Interrupt returns; Run must
+// surface it wrapped so callers can errors.Is it back out (the daemon
+// matches context.Canceled this way).
+var errInterruptTest = errors.New("client went away")
+
+func interruptScenario() (Config, []*job.Job) {
+	cfg := baseConfig(4, 1000, policy.Dynamic)
+	cfg.CheckInvariants = false
+	var jobs []*job.Job
+	for i := 0; i < 40; i++ {
+		jobs = append(jobs, mkJob(i+1, float64(i)*7, 1, 200, 500, memtrace.Constant(150)))
+	}
+	return cfg, jobs
+}
+
+// An Interrupt that fails immediately aborts the run before any event and
+// surfaces the cause wrapped.
+func TestInterruptAbortsRun(t *testing.T) {
+	cfg, jobs := interruptScenario()
+	cfg.Interrupt = func() error { return errInterruptTest }
+	s, err := New(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err == nil || res != nil {
+		t.Fatalf("Run = (%v, %v), want interrupt error", res, err)
+	}
+	if !errors.Is(err, errInterruptTest) {
+		t.Fatalf("err = %v, does not wrap the interrupt cause", err)
+	}
+}
+
+// The windowed executor polls Interrupt at window boundaries: a cause that
+// arrives mid-run aborts between windows, never tearing one.
+func TestInterruptWindowedExecutor(t *testing.T) {
+	cfg, jobs := interruptScenario()
+	cfg.Parallel = true
+	cfg.Workers = 1
+	polls := 0
+	cfg.Interrupt = func() error {
+		polls++
+		if polls > 3 {
+			return errInterruptTest
+		}
+		return nil
+	}
+	s, err := New(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); !errors.Is(err, errInterruptTest) {
+		t.Fatalf("err = %v, want wrapped interrupt cause", err)
+	}
+	if polls != 4 {
+		t.Fatalf("interrupt polled %d times, want 4 (aborts on first failure)", polls)
+	}
+}
+
+// An Interrupt that never fires must not perturb the simulation: the Result
+// is deeply equal to the run without one, polls included.
+func TestInterruptNilIsPure(t *testing.T) {
+	cfg, jobs := interruptScenario()
+	base := runSim(t, cfg, jobs)
+	cfg2, jobs2 := interruptScenario()
+	cfg2.Interrupt = func() error { return nil }
+	withPoll := runSim(t, cfg2, jobs2)
+	if !reflect.DeepEqual(base, withPoll) {
+		t.Fatal("a nil-returning Interrupt changed the Result")
 	}
 }

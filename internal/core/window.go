@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 
 	"dismem/internal/policy"
@@ -145,15 +146,22 @@ func (s *Simulator) dispatchParallel(buf []sim.Fired) {
 }
 
 // runWindows drives the engine to completion through event windows,
-// reporting whether the event budget was exhausted.
-func (s *Simulator) runWindows() bool {
+// reporting whether the event budget was exhausted. Config.Interrupt, when
+// set, is polled at every window boundary — windows are the executor's
+// atomic unit, so cancellation never tears a half-dispatched window.
+func (s *Simulator) runWindows() (bool, error) {
 	for {
 		if s.cfg.MaxEvents > 0 && s.eng.Fired() >= s.cfg.MaxEvents {
-			return true
+			return true, nil
+		}
+		if s.cfg.Interrupt != nil {
+			if err := s.cfg.Interrupt(); err != nil {
+				return false, fmt.Errorf("core: run interrupted at t=%.0f: %w", s.eng.Now(), err)
+			}
 		}
 		s.winBuf = s.eng.NextWindow(s.winBuf)
 		if len(s.winBuf) == 0 {
-			return false
+			return false, nil
 		}
 		s.winStats.Windows++
 		if len(s.winBuf) > 1 {

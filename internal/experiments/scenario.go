@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -50,6 +52,8 @@ type ScenarioSpec struct {
 	UpdateInterval   float64  `json:"update_interval_s"` // 0 = preset default
 	OOM              string   `json:"oom"`               // fail_restart (default) | checkpoint_restart
 	EnforceTimeLimit bool     `json:"enforce_time_limit"`
+	Pressure         string   `json:"pressure"` // global (default) | domains
+	Domains          int      `json:"domains"`  // pressure-domain count (0 = derive; needs pressure=domains)
 
 	// Telemetry, when non-nil, builds one private recorder per
 	// (memory, policy) cell. Cells run on parallel sweep workers, so a
@@ -62,35 +66,62 @@ type ScenarioSpec struct {
 	Telemetry func(memPct int, pol string) *telemetry.Recorder `json:"-"`
 }
 
-// LoadScenario parses and validates a spec.
+// LoadScenario parses and validates a spec. Unknown fields are rejected
+// (the daemon serves untrusted documents, and a typoed knob silently
+// falling back to a default would return a confidently wrong simulation),
+// and every enum error names the offending JSON field.
 func LoadScenario(r io.Reader) (*ScenarioSpec, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	var s ScenarioSpec
 	if err := dec.Decode(&s); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, errors.New("scenario: empty spec (want a JSON object)")
+		}
 		return nil, fmt.Errorf("scenario: %v", err)
 	}
 	if s.Name == "" {
 		s.Name = "scenario"
 	}
-	if _, err := s.policies(); err != nil {
+	if err := s.Validate(); err != nil {
 		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks every enum and range field, naming the JSON field in each
+// error so a daemon client can map the message back to its document.
+func (s *ScenarioSpec) Validate() error {
+	if _, err := s.policies(); err != nil {
+		return err
 	}
 	if _, err := s.backfill(); err != nil {
-		return nil, err
+		return err
 	}
 	if _, err := s.oom(); err != nil {
-		return nil, err
+		return err
+	}
+	if _, err := s.pressure(); err != nil {
+		return err
 	}
 	for _, pct := range s.MemPcts {
 		if _, err := MemConfigByPct(pct); err != nil {
-			return nil, err
+			return fmt.Errorf("scenario: field %q: %v", "mem_pcts", err)
 		}
 	}
 	if s.Trace.LargeFrac < 0 || s.Trace.LargeFrac > 1 {
-		return nil, fmt.Errorf("scenario: large_frac %g out of [0,1]", s.Trace.LargeFrac)
+		return fmt.Errorf("scenario: field %q: %g out of [0,1]", "trace.large_frac", s.Trace.LargeFrac)
 	}
-	return &s, nil
+	if s.Trace.ChainFrac < 0 || s.Trace.ChainFrac > 1 {
+		return fmt.Errorf("scenario: field %q: %g out of [0,1]", "trace.chain_frac", s.Trace.ChainFrac)
+	}
+	if s.Trace.Overestimation < 0 {
+		return fmt.Errorf("scenario: field %q: %g is negative", "trace.overestimation", s.Trace.Overestimation)
+	}
+	if s.UpdateInterval < 0 {
+		return fmt.Errorf("scenario: field %q: %g is negative", "update_interval_s", s.UpdateInterval)
+	}
+	return nil
 }
 
 func (s *ScenarioSpec) policies() ([]policy.Kind, error) {
@@ -98,7 +129,7 @@ func (s *ScenarioSpec) policies() ([]policy.Kind, error) {
 		return []policy.Kind{policy.Baseline, policy.Static, policy.Dynamic}, nil
 	}
 	var out []policy.Kind
-	for _, name := range s.Policies {
+	for i, name := range s.Policies {
 		switch strings.ToLower(name) {
 		case "baseline":
 			out = append(out, policy.Baseline)
@@ -107,7 +138,8 @@ func (s *ScenarioSpec) policies() ([]policy.Kind, error) {
 		case "dynamic":
 			out = append(out, policy.Dynamic)
 		default:
-			return nil, fmt.Errorf("scenario: unknown policy %q", name)
+			return nil, fmt.Errorf("scenario: field %q: unknown policy %q (want baseline, static, or dynamic)",
+				fmt.Sprintf("policies[%d]", i), name)
 		}
 	}
 	return out, nil
@@ -122,7 +154,8 @@ func (s *ScenarioSpec) backfill() (core.BackfillMode, error) {
 	case "none":
 		return core.NoBackfill, nil
 	}
-	return 0, fmt.Errorf("scenario: unknown backfill %q", s.Backfill)
+	return 0, fmt.Errorf("scenario: field %q: unknown mode %q (want easy, conservative, or none)",
+		"backfill", s.Backfill)
 }
 
 func (s *ScenarioSpec) oom() (core.OOMMode, error) {
@@ -132,7 +165,26 @@ func (s *ScenarioSpec) oom() (core.OOMMode, error) {
 	case "checkpoint_restart":
 		return core.CheckpointRestart, nil
 	}
-	return 0, fmt.Errorf("scenario: unknown oom %q", s.OOM)
+	return 0, fmt.Errorf("scenario: field %q: unknown mode %q (want fail_restart or checkpoint_restart)",
+		"oom", s.OOM)
+}
+
+func (s *ScenarioSpec) pressure() (core.PressureMode, error) {
+	switch strings.ToLower(s.Pressure) {
+	case "", "global":
+		if s.Domains != 0 {
+			return 0, fmt.Errorf("scenario: field %q: set to %d without %q: %q",
+				"domains", s.Domains, "pressure", "domains")
+		}
+		return core.PressureGlobal, nil
+	case "domains":
+		if s.Domains < 0 {
+			return 0, fmt.Errorf("scenario: field %q: negative count %d", "domains", s.Domains)
+		}
+		return core.PressureDomains, nil
+	}
+	return 0, fmt.Errorf("scenario: field %q: unknown mode %q (want global or domains)",
+		"pressure", s.Pressure)
 }
 
 // ScenarioResult is the sweep outcome: one row per (memory, policy).
@@ -152,27 +204,11 @@ type ScenarioRow struct {
 	MeanStretch    float64
 }
 
-// RunScenario executes the spec at the preset's scale.
-func (p Preset) RunScenarioSpec(s *ScenarioSpec) (*ScenarioResult, error) {
-	pols, err := s.policies()
-	if err != nil {
-		return nil, err
-	}
-	bf, err := s.backfill()
-	if err != nil {
-		return nil, err
-	}
-	oom, err := s.oom()
-	if err != nil {
-		return nil, err
-	}
-	mems := s.MemPcts
-	if len(mems) == 0 {
-		for _, mc := range MemoryConfigs() {
-			mems = append(mems, mc.LabelPct)
-		}
-	}
-
+// scenarioTraceParams resolves the preset/spec overlay into the trace
+// pipeline's parameters: spec values override the preset's scale knobs
+// where set. RunScenarioSpecCtx and ScenarioKey share it, so the key can
+// never drift from what actually runs.
+func (p Preset) scenarioTraceParams(s *ScenarioSpec) tracegen.Params {
 	nodes := p.SystemNodes
 	if s.Trace.SystemNodes > 0 {
 		nodes = s.Trace.SystemNodes
@@ -189,7 +225,7 @@ func (p Preset) RunScenarioSpec(s *ScenarioSpec) (*ScenarioResult, error) {
 	if s.Trace.Seed != 0 {
 		seed = s.Trace.Seed
 	}
-	tr, err := tracegen.Cached(tracegen.Params{
+	return tracegen.Params{
 		SystemNodes:       nodes,
 		Load:              load,
 		Days:              days,
@@ -200,7 +236,109 @@ func (p Preset) RunScenarioSpec(s *ScenarioSpec) (*ScenarioResult, error) {
 		Model:             s.Trace.Model,
 		Cirne:             p.Cirne,
 		Seed:              seed,
-	})
+	}
+}
+
+// resolvedMemPcts returns the memory axis the spec sweeps: its own list, or
+// all eight paper configurations when empty.
+func (s *ScenarioSpec) resolvedMemPcts() []int {
+	if len(s.MemPcts) > 0 {
+		return s.MemPcts
+	}
+	var mems []int
+	for _, mc := range MemoryConfigs() {
+		mems = append(mems, mc.LabelPct)
+	}
+	return mems
+}
+
+// ScenarioKey returns the canonical SHA-256 identity of (preset, spec) —
+// the same content-addressing scheme as tracegen.Key, extended over the
+// sweep dimensions. Two requests with this key, run at this preset, produce
+// byte-identical results, so the dmpd daemon keys its result cache on it.
+// The trace portion reuses tracegen.Key on the resolved parameters, which
+// already canonicalises default spellings and pointer identity.
+func (p Preset) ScenarioKey(s *ScenarioSpec) (string, error) {
+	pols, err := s.policies()
+	if err != nil {
+		return "", err
+	}
+	bf, err := s.backfill()
+	if err != nil {
+		return "", err
+	}
+	oom, err := s.oom()
+	if err != nil {
+		return "", err
+	}
+	pm, err := s.pressure()
+	if err != nil {
+		return "", err
+	}
+	c := tracegen.NewCanon("dismem/scenario/v1")
+	c.Str("name", s.Name)
+	c.Str("trace", tracegen.Key(p.scenarioTraceParams(s)))
+	c.Float("chain", s.Trace.ChainFrac)
+	for _, pct := range s.resolvedMemPcts() {
+		c.Int("mem", int64(pct))
+	}
+	for _, pol := range pols {
+		c.Str("pol", pol.String())
+	}
+	c.Str("backfill", bf.String())
+	c.Str("oom", oom.String())
+	c.Str("pressure", pm.String())
+	c.Int("domains", int64(s.Domains))
+	update := p.UpdateInterval
+	if s.UpdateInterval > 0 {
+		update = s.UpdateInterval
+	}
+	c.Float("update", update)
+	enforce := int64(0)
+	if s.EnforceTimeLimit {
+		enforce = 1
+	}
+	c.Int("enforce", enforce)
+	return c.Sum(), nil
+}
+
+// RunScenarioSpec executes the spec at the preset's scale.
+func (p Preset) RunScenarioSpec(s *ScenarioSpec) (*ScenarioResult, error) {
+	return p.RunScenarioSpecCtx(context.Background(), s)
+}
+
+// RunScenarioSpecCtx is RunScenarioSpec under a context: cancellation
+// aborts in-flight cell simulations (polled between events via
+// core.Config.Interrupt) and skips cells not yet started, returning the
+// context's error. The sweep itself still runs every cell to a result or
+// error before returning, so a cancelled run never leaks tasks into the
+// shared pool. An uncancelled context changes nothing — results are
+// byte-identical to RunScenarioSpec.
+func (p Preset) RunScenarioSpecCtx(ctx context.Context, s *ScenarioSpec) (*ScenarioResult, error) {
+	pols, err := s.policies()
+	if err != nil {
+		return nil, err
+	}
+	bf, err := s.backfill()
+	if err != nil {
+		return nil, err
+	}
+	oom, err := s.oom()
+	if err != nil {
+		return nil, err
+	}
+	pm, err := s.pressure()
+	if err != nil {
+		return nil, err
+	}
+	mems := s.resolvedMemPcts()
+	params := p.scenarioTraceParams(s)
+	nodes := params.SystemNodes
+	seed := params.Seed
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	tr, err := tracegen.Cached(params)
 	if err != nil {
 		return nil, err
 	}
@@ -235,6 +373,9 @@ func (p Preset) RunScenarioSpec(s *ScenarioSpec) (*ScenarioResult, error) {
 			tasks = append(tasks, func() (ScenarioRow, error) {
 				row := ScenarioRow{MemPct: mc.LabelPct, Policy: pol.String(),
 					Throughput: Infeasible, MedianResponse: Infeasible, MeanStretch: Infeasible}
+				if err := ctx.Err(); err != nil {
+					return row, err // cancelled before this cell started
+				}
 				var rec *telemetry.Recorder
 				if s.Telemetry != nil {
 					rec = s.Telemetry(mc.LabelPct, pol.String())
@@ -242,9 +383,17 @@ func (p Preset) RunScenarioSpec(s *ScenarioSpec) (*ScenarioResult, error) {
 				res, err := p.RunScenarioWith(jobs, nodes, mc, pol, func(cfg *core.Config) {
 					cfg.Backfill = bf
 					cfg.OOM = oom
+					cfg.Pressure = pm
+					cfg.Domains = s.Domains
 					cfg.EnforceTimeLimit = s.EnforceTimeLimit
 					if s.UpdateInterval > 0 {
 						cfg.UpdateInterval = s.UpdateInterval
+					}
+					if ctx.Done() != nil {
+						// ctx.Err is nil until cancellation, so an
+						// uncancelled run is provably unperturbed
+						// (core's nil-interrupt purity test).
+						cfg.Interrupt = ctx.Err
 					}
 					cfg.Telemetry = rec
 				})

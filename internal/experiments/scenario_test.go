@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -29,19 +31,113 @@ func TestLoadScenario(t *testing.T) {
 }
 
 func TestLoadScenarioRejections(t *testing.T) {
-	cases := []string{
-		`{"policies": ["magic"]}`,
-		`{"backfill": "optimistic"}`,
-		`{"oom": "panic"}`,
-		`{"mem_pcts": [99]}`,
-		`{"trace": {"large_frac": 2}}`,
-		`{"unknown_field": 1}`,
-		`not json`,
+	// Every validation error must name the offending JSON field (or say
+	// what's structurally wrong) — daemon clients see these verbatim.
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"bad policy", `{"policies": ["magic"]}`, `policies[0]`},
+		{"bad backfill", `{"backfill": "optimistic"}`, `"backfill"`},
+		{"bad oom", `{"oom": "panic"}`, `"oom"`},
+		{"bad mem pct", `{"mem_pcts": [99]}`, `"mem_pcts"`},
+		{"large_frac range", `{"trace": {"large_frac": 2}}`, `"trace.large_frac"`},
+		{"chain_frac range", `{"trace": {"chain_frac": -0.5}}`, `"trace.chain_frac"`},
+		{"negative overestimation", `{"trace": {"overestimation": -1}}`, `"trace.overestimation"`},
+		{"negative update interval", `{"update_interval_s": -3}`, `"update_interval_s"`},
+		{"bad pressure", `{"pressure": "vibes"}`, `"pressure"`},
+		{"domains without pressure", `{"domains": 4}`, `"domains"`},
+		{"negative domains", `{"pressure": "domains", "domains": -1}`, `"domains"`},
+		{"unknown field", `{"unknown_field": 1}`, `unknown_field`},
+		{"not json", `not json`, `scenario:`},
+		{"empty input", ``, `empty spec`},
+		{"whitespace only", "  \n\t", `empty spec`},
 	}
-	for _, in := range cases {
-		if _, err := LoadScenario(strings.NewReader(in)); err == nil {
-			t.Errorf("accepted %q", in)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadScenario(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("accepted %q", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not name %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestScenarioKey(t *testing.T) {
+	p := tiny()
+	load := func(in string) *ScenarioSpec {
+		t.Helper()
+		s, err := LoadScenario(strings.NewReader(in))
+		if err != nil {
+			t.Fatal(err)
 		}
+		return s
+	}
+	base := load(sampleSpec)
+	k1, err := p.ScenarioKey(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := p.ScenarioKey(load(sampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatal("identical specs hash differently")
+	}
+	if len(k1) != 64 {
+		t.Fatalf("key %q is not a sha256 hex digest", k1)
+	}
+	// Canonical spellings collapse: explicit defaults hash like omissions.
+	expl := load(sampleSpec)
+	expl.OOM = "fail_restart"
+	expl.Pressure = "global"
+	if k3, _ := p.ScenarioKey(expl); k3 != k1 {
+		t.Fatal("explicit default spellings changed the key")
+	}
+	// Every swept dimension must move the key.
+	for name, mut := range map[string]func(*ScenarioSpec){
+		"update interval": func(s *ScenarioSpec) { s.UpdateInterval = 60 },
+		"policies":        func(s *ScenarioSpec) { s.Policies = []string{"dynamic"} },
+		"mem pcts":        func(s *ScenarioSpec) { s.MemPcts = []int{100} },
+		"backfill":        func(s *ScenarioSpec) { s.Backfill = "none" },
+		"oom":             func(s *ScenarioSpec) { s.OOM = "checkpoint_restart" },
+		"pressure":        func(s *ScenarioSpec) { s.Pressure = "domains" },
+		"chain frac":      func(s *ScenarioSpec) { s.Trace.ChainFrac = 0.25 },
+		"seed":            func(s *ScenarioSpec) { s.Trace.Seed = 11 },
+		"enforce":         func(s *ScenarioSpec) { s.EnforceTimeLimit = true },
+	} {
+		s := load(sampleSpec)
+		mut(s)
+		k, err := p.ScenarioKey(s)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if k == k1 {
+			t.Errorf("changing %s did not change the key", name)
+		}
+	}
+	// The key validates: a spec that cannot run cannot be keyed.
+	bad := load(sampleSpec)
+	bad.Policies = []string{"magic"}
+	if _, err := p.ScenarioKey(bad); err == nil {
+		t.Fatal("keyed an invalid spec")
+	}
+}
+
+func TestRunScenarioSpecCtxCancelled(t *testing.T) {
+	p := tiny()
+	s, err := LoadScenario(strings.NewReader(sampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Trace.SystemNodes = p.SystemNodes
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.RunScenarioSpecCtx(ctx, s); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 

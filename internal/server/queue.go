@@ -1,0 +1,72 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errBusy is the admission verdict behind every 429: the run slots are full
+// and the wait queue is at capacity.
+var errBusy = errors.New("server: at capacity (queue full)")
+
+// admission is the daemon's load gate: a semaphore of run slots plus a
+// bounded count of waiters. Acquire never blocks past the queue bound —
+// overflow is rejected immediately so the client gets its 429 (and
+// Retry-After hint) instead of an unbounded wait. Waiting is
+// context-sensitive: a client that disconnects while queued leaves the
+// queue at once.
+type admission struct {
+	slots chan struct{} // buffered; a held token = one in-flight run
+
+	mu       sync.Mutex
+	queued   int
+	maxQueue int
+}
+
+func newAdmission(maxInFlight, maxQueue int) *admission {
+	return &admission{
+		slots:    make(chan struct{}, maxInFlight),
+		maxQueue: maxQueue,
+	}
+}
+
+// acquire takes a run slot, waiting in the bounded queue if none is free.
+// It returns errBusy when the queue is full, or ctx.Err() if the caller is
+// cancelled while waiting.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil // free slot, no queueing
+	default:
+	}
+	a.mu.Lock()
+	if a.queued >= a.maxQueue {
+		a.mu.Unlock()
+		return errBusy
+	}
+	a.queued++
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		a.queued--
+		a.mu.Unlock()
+	}()
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a slot taken by acquire.
+func (a *admission) release() { <-a.slots }
+
+// depth reports (queued, inFlight) for /metrics.
+func (a *admission) depth() (queued, inFlight int) {
+	a.mu.Lock()
+	queued = a.queued
+	a.mu.Unlock()
+	return queued, len(a.slots)
+}

@@ -1,0 +1,66 @@
+package server
+
+import (
+	"math"
+	"strconv"
+
+	"dismem/internal/experiments"
+)
+
+// RenderResult encodes a scenario result as the daemon's response body.
+// The encoder is hand-rolled in the JSONL sink's style — fixed field
+// order, strconv float formatting, non-finite values as quoted strings —
+// so identical results produce byte-identical responses. That property is
+// load-bearing: response bodies are compared by digest against offline
+// runs (the e2e suite and the CI smoke test), and the single-flight cache
+// may serve one rendering to many clients.
+//
+// Shape:
+//
+//	{"id":"<sha256>","preset":"quick","name":"my-study","rows":[
+//	  {"mem_pct":50,"policy":"static","throughput":0.0123,
+//	   "median_response_s":840,"oom_kills":0,"mean_stretch":1.7}]}
+//
+// An infeasible cell carries "throughput":"NaN" (quoted, as the JSONL
+// sink encodes non-finite floats); strconv.ParseFloat round-trips it.
+func RenderResult(id, preset string, res *experiments.ScenarioResult) []byte {
+	b := make([]byte, 0, 256+128*len(res.Rows))
+	b = append(b, `{"id":`...)
+	b = strconv.AppendQuote(b, id)
+	b = append(b, `,"preset":`...)
+	b = strconv.AppendQuote(b, preset)
+	b = append(b, `,"name":`...)
+	b = strconv.AppendQuote(b, res.Name)
+	b = append(b, `,"rows":[`...)
+	for i, row := range res.Rows {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"mem_pct":`...)
+		b = strconv.AppendInt(b, int64(row.MemPct), 10)
+		b = append(b, `,"policy":`...)
+		b = strconv.AppendQuote(b, row.Policy)
+		b = append(b, `,"throughput":`...)
+		b = appendFloat(b, row.Throughput)
+		b = append(b, `,"median_response_s":`...)
+		b = appendFloat(b, row.MedianResponse)
+		b = append(b, `,"oom_kills":`...)
+		b = strconv.AppendInt(b, int64(row.OOMKills), 10)
+		b = append(b, `,"mean_stretch":`...)
+		b = appendFloat(b, row.MeanStretch)
+		b = append(b, '}')
+	}
+	b = append(b, "]}\n"...)
+	return b
+}
+
+// appendFloat encodes finite floats bare and non-finite ones as quoted
+// strings, matching the telemetry JSONL convention.
+func appendFloat(b []byte, v float64) []byte {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		b = append(b, '"')
+		b = strconv.AppendFloat(b, v, 'g', -1, 64)
+		return append(b, '"')
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}

@@ -1,0 +1,95 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"strconv"
+	"sync"
+	"time"
+
+	"dismem/internal/experiments"
+	"dismem/internal/telemetry"
+)
+
+// run executes one admitted scenario to completion and publishes its
+// outcome. It is the single writer of its entry and runs under the entry's
+// context — not any one request's — so it survives its initiating client
+// as long as anyone still waits, and aborts promptly once nobody does.
+//
+// runFn is swapped by lifecycle tests to stand in a controllable
+// computation; production code always goes through execute.
+func (s *Server) run(e *entry, spec *experiments.ScenarioSpec) {
+	start := time.Now()
+	result, tel, err := s.runFn(e.ctx, e.id, spec)
+	s.observeRun(time.Since(start), err)
+	s.store.complete(e, result, tel, err)
+}
+
+// execute is the production runFn: admission, simulation, rendering.
+// Admission is taken here rather than in the handler so that joining an
+// in-flight or cached scenario never consumes a slot — single-flight
+// collapsing is what lets 64 identical requests cost one run.
+func (s *Server) execute(ctx context.Context, id string, spec *experiments.ScenarioSpec) (result, tel []byte, err error) {
+	if err := s.adm.acquire(ctx); err != nil {
+		return nil, nil, err
+	}
+	defer s.adm.release()
+	cap := &telemetryCapture{interval: s.cfg.TelemetryInterval}
+	spec.Telemetry = cap.factory
+	res, err := s.cfg.Preset.RunScenarioSpecCtx(ctx, spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return RenderResult(id, s.cfg.Preset.Name, res), cap.assemble(res), nil
+}
+
+// telemetryCapture collects one JSONL stream per sweep cell. Cells run on
+// parallel sweep workers, so the factory hands each its own buffer (the
+// map is the only shared state); assembly happens after the sweep returns,
+// stitching the per-cell streams in result-row order under cell-header
+// lines. Per-cell streams are byte-deterministic and the row order is
+// fixed, so the assembled stream is too.
+type telemetryCapture struct {
+	interval float64
+	mu       sync.Mutex
+	cells    map[string]*bytes.Buffer
+}
+
+func cellKey(memPct int, pol string) string {
+	return strconv.Itoa(memPct) + "|" + pol
+}
+
+func (c *telemetryCapture) factory(memPct int, pol string) *telemetry.Recorder {
+	buf := &bytes.Buffer{}
+	c.mu.Lock()
+	if c.cells == nil {
+		c.cells = make(map[string]*bytes.Buffer)
+	}
+	c.cells[cellKey(memPct, pol)] = buf
+	c.mu.Unlock()
+	return telemetry.New(telemetry.Options{
+		Sink:           telemetry.NewJSONL(buf),
+		SampleInterval: c.interval,
+	})
+}
+
+// assemble renders the stream: for each result row, a cell-header line
+// then that cell's JSONL events. Called after every recorder is closed
+// (RunScenarioSpecCtx closes them before returning), so the buffers are
+// complete and quiescent.
+func (c *telemetryCapture) assemble(res *experiments.ScenarioResult) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []byte
+	for _, row := range res.Rows {
+		out = append(out, `{"cell":{"mem_pct":`...)
+		out = strconv.AppendInt(out, int64(row.MemPct), 10)
+		out = append(out, `,"policy":`...)
+		out = strconv.AppendQuote(out, row.Policy)
+		out = append(out, "}}\n"...)
+		if buf := c.cells[cellKey(row.MemPct, row.Policy)]; buf != nil {
+			out = append(out, buf.Bytes()...)
+		}
+	}
+	return out
+}

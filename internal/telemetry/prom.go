@@ -35,8 +35,11 @@ func (h *Histogram) Observe(v int64) {
 	h.Inf++
 }
 
-// write emits the histogram in text exposition format under the given name.
-func (h *Histogram) write(w io.Writer, name string) error {
+// WriteText emits the histogram in Prometheus text exposition format under
+// the given metric name. Exported so servers composing their own /metrics
+// pages (dmpd's request-latency histograms) reuse the exact formatting the
+// run-level PromSink emits.
+func (h *Histogram) WriteText(w io.Writer, name string) error {
 	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
 		return err
 	}
@@ -152,13 +155,13 @@ func (p *PromSink) WriteText(w io.Writer) error {
 			return err
 		}
 	}
-	if err := p.grantMB.write(w, "dismem_lease_grant_mb"); err != nil {
+	if err := p.grantMB.WriteText(w, "dismem_lease_grant_mb"); err != nil {
 		return err
 	}
-	if err := p.adjustMB.write(w, "dismem_lease_adjust_abs_mb"); err != nil {
+	if err := p.adjustMB.WriteText(w, "dismem_lease_adjust_abs_mb"); err != nil {
 		return err
 	}
-	return p.queue.write(w, "dismem_queue_depth")
+	return p.queue.WriteText(w, "dismem_queue_depth")
 }
 
 // AggregateFromLog rebuilds a PromSink from a decoded log, so dmpobs can

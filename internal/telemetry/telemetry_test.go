@@ -317,7 +317,7 @@ func TestHistogramBuckets(t *testing.T) {
 		t.Fatalf("sum/count wrong: %+v", h)
 	}
 	var out bytes.Buffer
-	if err := h.write(&out, "x"); err != nil {
+	if err := h.WriteText(&out, "x"); err != nil {
 		t.Fatal(err)
 	}
 	want := "# TYPE x histogram\nx_bucket{le=\"10\"} 2\nx_bucket{le=\"100\"} 3\nx_bucket{le=\"+Inf\"} 4\nx_sum 1026\nx_count 4\n"

@@ -1,13 +1,8 @@
 package tracegen
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
-	"fmt"
-	"math"
-	"reflect"
-	"strings"
 	"sync"
+	"sync/atomic"
 
 	"dismem/internal/workload"
 )
@@ -28,10 +23,14 @@ type cacheEntry struct {
 }
 
 var cache = struct {
-	mu     sync.Mutex
-	m      map[string]*cacheEntry
-	hits   int64
-	misses int64
+	mu sync.Mutex
+	m  map[string]*cacheEntry
+	// The hit/miss counters are atomics, not mutex-guarded fields: the
+	// dmpd daemon's /metrics endpoint reads CacheStats concurrently with
+	// in-flight generations, and a scrape must never contend with (or wait
+	// behind) the cache lock.
+	hits   atomic.Int64
+	misses atomic.Int64
 }{m: map[string]*cacheEntry{}}
 
 // Key returns the canonical content hash of p. Params that produce the
@@ -46,15 +45,18 @@ func Key(p Params) string {
 	if model == "" {
 		model = "cirne"
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "tracegen/v1|model=%s|nodes=%d|", model, p.SystemNodes)
-	fbits(&b, "load", p.Load)
-	fbits(&b, "days", p.Days)
-	fbits(&b, "large", p.LargeFrac)
-	fbits(&b, "over", p.Overestimation)
-	fmt.Fprintf(&b, "normmb=%d|gcoll=%d|", p.NormalNodeMB, p.GoogleCollections)
-	fbits(&b, "rdp", p.RDPEpsilonFrac)
-	fmt.Fprintf(&b, "cores=%d|seed=%d|", p.CoresPerNode, p.Seed)
+	c := NewCanon("tracegen/v1")
+	c.Str("model", model)
+	c.Int("nodes", int64(p.SystemNodes))
+	c.Float("load", p.Load)
+	c.Float("days", p.Days)
+	c.Float("large", p.LargeFrac)
+	c.Float("over", p.Overestimation)
+	c.Int("normmb", p.NormalNodeMB)
+	c.Int("gcoll", int64(p.GoogleCollections))
+	c.Float("rdp", p.RDPEpsilonFrac)
+	c.Int("cores", int64(p.CoresPerNode))
+	c.Int("seed", p.Seed)
 	switch model {
 	case "cirne":
 		// Mirror Run: the pointer only overrides the default
@@ -67,7 +69,7 @@ func Key(p Params) string {
 			cp.Load = p.Load
 			cp.Days = p.Days
 		}
-		hashFlatStruct(&b, cp)
+		c.Struct(cp)
 	case "lublin":
 		lp := workload.NewLublinParams(p.SystemNodes, p.Load, p.Days)
 		if p.Lublin != nil {
@@ -76,37 +78,9 @@ func Key(p Params) string {
 			lp.Load = p.Load
 			lp.Days = p.Days
 		}
-		hashFlatStruct(&b, lp)
+		c.Struct(lp)
 	}
-	sum := sha256.Sum256([]byte(b.String()))
-	return hex.EncodeToString(sum[:])
-}
-
-func fbits(b *strings.Builder, name string, f float64) {
-	fmt.Fprintf(b, "%s=%016x|", name, math.Float64bits(f))
-}
-
-// hashFlatStruct folds every field of a flat numeric struct (the workload
-// parameterisations) into the key, by field name so the key survives field
-// reordering and new fields cannot be forgotten. Floats are folded as
-// exact bit patterns.
-func hashFlatStruct(b *strings.Builder, s any) {
-	v := reflect.ValueOf(s)
-	t := v.Type()
-	fmt.Fprintf(b, "%s{", t.Name())
-	for i := 0; i < t.NumField(); i++ {
-		f := v.Field(i)
-		switch f.Kind() {
-		case reflect.Float64:
-			fbits(b, t.Field(i).Name, f.Float())
-		case reflect.Int, reflect.Int64:
-			fmt.Fprintf(b, "%s=%d|", t.Field(i).Name, f.Int())
-		default:
-			panic(fmt.Sprintf("tracegen: unhashable field %s.%s (%s)",
-				t.Name(), t.Field(i).Name, f.Kind()))
-		}
-	}
-	b.WriteString("}")
+	return c.Sum()
 }
 
 // Cached returns the memoized pipeline output for p, generating it at most
@@ -116,15 +90,15 @@ func Cached(p Params) (*Output, error) {
 	k := Key(p)
 	cache.mu.Lock()
 	if e, ok := cache.m[k]; ok {
-		cache.hits++
 		cache.mu.Unlock()
+		cache.hits.Add(1)
 		<-e.done
 		return e.out, e.err
 	}
 	e := &cacheEntry{done: make(chan struct{})}
 	cache.m[k] = e
-	cache.misses++
 	cache.mu.Unlock()
+	cache.misses.Add(1)
 
 	e.out, e.err = Run(p)
 	close(e.done)
@@ -138,14 +112,19 @@ func ResetCache() {
 	cache.mu.Lock()
 	defer cache.mu.Unlock()
 	cache.m = map[string]*cacheEntry{}
-	cache.hits, cache.misses = 0, 0
+	cache.hits.Store(0)
+	cache.misses.Store(0)
 }
 
 // CacheStats reports the number of cache entries and the hit/miss counts
 // since the last ResetCache. Misses count actual generator invocations:
-// single-flight waiters are hits.
+// single-flight waiters are hits. The counters are safe to read while
+// generations are in flight (the daemon's /metrics scrapes them), so a
+// (hits, misses) pair is a consistent snapshot only when the cache is
+// quiescent.
 func CacheStats() (entries int, hits, misses int64) {
 	cache.mu.Lock()
-	defer cache.mu.Unlock()
-	return len(cache.m), cache.hits, cache.misses
+	entries = len(cache.m)
+	cache.mu.Unlock()
+	return entries, cache.hits.Load(), cache.misses.Load()
 }

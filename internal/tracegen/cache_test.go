@@ -186,6 +186,99 @@ func TestCachedMatchesUncached(t *testing.T) {
 	}
 }
 
+// TestCacheStatsConcurrentWithCached hammers the introspection path while
+// generations are in flight: the daemon's /metrics handler calls CacheStats
+// on every scrape, concurrently with request handlers driving Cached, so
+// the counters must be readable without data races and without waiting on
+// an in-progress generation. Run under -race in CI.
+func TestCacheStatsConcurrentWithCached(t *testing.T) {
+	ResetCache()
+	const readers, writers, rounds = 4, 4, 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				entries, hits, misses := CacheStats()
+				if entries < 0 || hits < 0 || misses < 0 {
+					t.Error("negative cache stats")
+					return
+				}
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			for i := 0; i < rounds; i++ {
+				// Half duplicate keys (single-flight waits), half distinct
+				// (fresh generations), so readers overlap both paths.
+				if _, err := Cached(benchParams(int64(1 + i%2*w))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	entries, hits, misses := CacheStats()
+	if entries == 0 || hits+misses < writers*rounds {
+		t.Fatalf("stats lost updates: %d entries, %d hits, %d misses", entries, hits, misses)
+	}
+}
+
+// Canon is the exported canonical-hashing scheme; the scenario result cache
+// keys on it, so its basic algebra — same fields same digest, any field
+// difference a different digest, domains never colliding — is pinned here.
+func TestCanon(t *testing.T) {
+	build := func(domain string, f float64) string {
+		c := NewCanon(domain)
+		c.Str("s", "x")
+		c.Int("i", 7)
+		c.Float("f", f)
+		return c.Sum()
+	}
+	if build("d/v1", 1.5) != build("d/v1", 1.5) {
+		t.Fatal("equal encodings produced different digests")
+	}
+	if build("d/v1", 1.5) == build("d/v2", 1.5) {
+		t.Fatal("distinct domains collided")
+	}
+	if build("d/v1", 1.5) == build("d/v1", 1.5000001) {
+		t.Fatal("distinct floats collided")
+	}
+	// Float folds exact bit patterns: -0.0 and +0.0 must key differently.
+	if build("d/v1", 0.0) == build("d/v1", negZero()) {
+		t.Fatal("-0.0 and +0.0 collided")
+	}
+	// Struct folds flat numeric blocks by field name.
+	type block struct {
+		A int
+		B float64
+	}
+	sum := func(b block) string {
+		c := NewCanon("d/v1")
+		c.Struct(b)
+		return c.Sum()
+	}
+	if sum(block{1, 2}) == sum(block{1, 3}) {
+		t.Fatal("struct field change did not change the digest")
+	}
+}
+
+func negZero() float64 { z := 0.0; return -z }
+
 func TestResetCache(t *testing.T) {
 	ResetCache()
 	if _, err := Cached(benchParams(1)); err != nil {
