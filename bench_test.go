@@ -383,6 +383,85 @@ func hundredKDomainsJobs() []*job.Job {
 	return jobs
 }
 
+// BenchmarkWhatIf is the copy-on-write branching headline: answering nine
+// late what-if questions about one grizzly-scale week. "branched" simulates
+// the shared prefix once (to 90 % of the week's makespan), forks eight
+// variant overlays copy-on-write, and finishes base plus branches on the
+// sweep pool; "full-runs" is the pre-CoW cost of the same answers — nine
+// independent simulations from t=0. The CI speedup gate holds the ratio at
+// ≥4×: each branch pays only its own suffix plus the shards it dirties, so
+// the prefix — the bulk of the work — is paid once instead of nine times.
+func BenchmarkWhatIf(b *testing.B) {
+	gp := benchPreset()
+	gp.GrizzlyNodes = 1490
+	jobs, err := gp.GrizzlyTrace(0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gmc, err := experiments.MemConfigByPct(62)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := gp.ConfigFor(gp.GrizzlyNodes, gmc, policy.Dynamic)
+
+	// One full reference run fixes the branch point at 90 % of the week's
+	// makespan — late-diverging, the regime prefix sharing exists for.
+	ref, err := core.New(cfg, jobs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	refRes, err := ref.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	branchAt := 0.9 * refRes.Makespan
+
+	variants := []experiments.BranchVariant{
+		{Name: "noop"},
+		{Name: "pol-static", Policy: "static"},
+		{Name: "pol-baseline", Policy: "baseline"},
+		{Name: "bf-none", Backfill: "none"},
+		{Name: "bf-conservative", Backfill: "conservative"},
+		{Name: "upd-fast", UpdateInterval: 100},
+		{Name: "upd-slow", UpdateInterval: 400},
+		{Name: "repack", Repack: true},
+	}
+
+	b.Run("branched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			base, err := core.New(cfg, jobs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			base.Start()
+			if err := base.StepUntil(branchAt); err != nil {
+				b.Fatal(err)
+			}
+			_, runs, err := experiments.Branch(base, variants, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(runs) != len(variants) {
+				b.Fatalf("got %d branch runs, want %d", len(runs), len(variants))
+			}
+		}
+	})
+
+	b.Run("full-runs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < 1+len(variants); k++ {
+				s, err := core.New(cfg, jobs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
 // Ablation benches: the design-choice studies DESIGN.md calls out.
 
 func BenchmarkAblationUpdateInterval(b *testing.B) {

@@ -1,8 +1,8 @@
 // Command dmplint runs dismem's static-analysis suite (internal/analysis)
-// over the module: detclock, maporder, nilsafe-emit, hotpath-alloc, and
-// domainmerge enforce the determinism, hot-path, and pressure-domain
-// invariants the runtime differential and golden-digest tests can only
-// detect after the fact.
+// over the module: detclock, maporder, nilsafe-emit, hotpath-alloc,
+// domainmerge, and cowalias enforce the determinism, hot-path,
+// pressure-domain, and copy-on-write invariants the runtime differential
+// and golden-digest tests can only detect after the fact.
 //
 // Usage:
 //
@@ -137,6 +137,7 @@ var selfTestFixtures = map[string]string{
 	"nilsafe-emit":  "nilsafe",
 	"hotpath-alloc": "hotpath",
 	"domainmerge":   "domainmerge",
+	"cowalias":      "cowalias",
 }
 
 // runSelfTest loads every analyzer's fixture package and fails unless the

@@ -1,7 +1,8 @@
 // Command dmpobs summarizes a telemetry event log written by dmpsim or
-// dmpexp (-telemetry): event counts, job outcomes, lease flow, watermark
-// crossings, pool statistics, and terminal timelines for pool occupancy,
-// queue depth, and per-node borrow/lend volume.
+// dmpexp (-telemetry): event counts, job outcomes, what-if branch economics
+// (prefix events shared, CoW copies paid), lease flow, watermark crossings,
+// pool statistics, and terminal timelines for pool occupancy, queue depth,
+// and per-node borrow/lend volume.
 //
 // Usage:
 //
@@ -163,6 +164,30 @@ func summarize(w io.Writer, name string, log *telemetry.Log, width, top int) err
 			fmt.Fprintf(w, "  multi     %10d multi-event windows, %d proven independent\n", e.Node, e.Lender)
 			break
 		}
+	}
+
+	if counts[telemetry.KindBranch] > 0 {
+		// Branch events are emitted on the base run's stream, one per
+		// what-if variant: Detail names the variant, Aux is the prefix event
+		// count the branch inherited instead of re-simulating, and MB/Node
+		// carry the branch's CoW materialisation counters.
+		fmt.Fprintln(w, "\nwhat-if branches")
+		var branches int
+		var savedEvents, nodeCopies, shardThaws int64
+		for i := range log.Events {
+			e := &log.Events[i]
+			if e.Kind != telemetry.KindBranch {
+				continue
+			}
+			branches++
+			savedEvents += e.Aux
+			nodeCopies += e.MB
+			shardThaws += int64(e.Node)
+			fmt.Fprintf(w, "  %-15s %10d prefix events inherited, %d node copies, %d shard thaws\n",
+				e.Detail, e.Aux, e.MB, e.Node)
+		}
+		fmt.Fprintf(w, "  total: %d branches shared %d prefix events; CoW paid %d node copies, %d shard thaws\n",
+			branches, savedEvents, nodeCopies, shardThaws)
 	}
 
 	fmt.Fprintln(w, "\nlease flow")

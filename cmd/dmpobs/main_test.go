@@ -46,6 +46,10 @@ func fixtureLog(t *testing.T) *telemetry.Log {
 	rec.JobEnd(1, "completed", 0)
 	rec.BackfillPlace(2)
 	rec.Sample(900, 4096, 0, 0, 0, 0)
+	// Two what-if branches forked off this run: a no-op (inherits the prefix,
+	// touches nothing) and a repack (pays a node copy and three shard thaws).
+	rec.Branch("noop", 1200, 0, 0)
+	rec.Branch("repack", 1200, 1, 3)
 	if err := rec.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -73,6 +77,9 @@ func TestSummarize(t *testing.T) {
 		"abandoned               1",
 		"oom kills               2 (attempts, not terminal outcomes)",
 		"backfilled              1 (1 reservation holes)",
+		"what-if branches",
+		"repack                1200 prefix events inherited, 1 node copies, 3 shard thaws",
+		"total: 2 branches shared 2400 prefix events; CoW paid 1 node copies, 3 shard thaws",
 		"lease flow",
 		"granted          0.6 GB in 2 leases from 2 lender nodes",
 		"pool watermark crossings",

@@ -1,8 +1,9 @@
 // Package analysis is dismem's static-analysis layer: a small, dependency-free
-// framework in the shape of golang.org/x/tools/go/analysis, plus the five
+// framework in the shape of golang.org/x/tools/go/analysis, plus the six
 // repo-specific analyzers (detclock, maporder, nilsafe-emit, hotpath-alloc,
-// domainmerge) that turn the simulator's hand-maintained determinism,
-// hot-path, and pressure-domain invariants into compile-time diagnostics.
+// domainmerge, cowalias) that turn the simulator's hand-maintained
+// determinism, hot-path, pressure-domain, and copy-on-write invariants into
+// compile-time diagnostics.
 //
 // The runtime differential and golden-digest tests detect a determinism
 // violation but cannot localize it; these analyzers point at the exact line.
@@ -231,7 +232,7 @@ func SortDiagnostics(diags []Diagnostic) {
 
 // All returns the full dmplint analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{DetClock, MapOrder, NilSafeEmit, HotPathAlloc, DomainMerge}
+	return []*Analyzer{DetClock, MapOrder, NilSafeEmit, HotPathAlloc, DomainMerge, CowAlias}
 }
 
 // guardedPackages are the deterministic simulator packages: everything that

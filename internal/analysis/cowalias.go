@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CowSafeDirective marks a function as a sanctioned writer of copy-on-write
+// shared ledger structures: either it IS the shared→private transition
+// (Cluster.own/materialize/thaw), it builds the arrays before any fork can
+// exist (constructors, index init), or it is an index mutator whose callers
+// established ownership first (the treap and bitset write paths, reached
+// only through own()).
+const CowSafeDirective = "dmp:cowsafe"
+
+// cowSharedFields are the ledger structures a cluster fork shares with its
+// base until thawed: the node ledger slice, the per-shard treap arrays
+// (free-memory keys and child links), and the idle bitset words. Matching
+// is by field name, like domainmerge's, so the fixture can define
+// lightweight stand-ins.
+var cowSharedFields = map[string]bool{
+	"nodes": true, // node ledger rows
+	"key":   true, // treap free-memory keys
+	"left":  true, // treap child links
+	"right": true,
+	"bits":  true, // idle bitset words
+}
+
+// CowAlias enforces the copy-on-write mutation discipline of the cluster
+// ledger (see internal/cluster/cow.go): after Fork, the node slice and each
+// shard's index arrays may be aliased by any number of concurrently running
+// branches, and the ONLY safe write path is through the CoW helpers that
+// privatise a structure before its first write. Two write shapes are
+// therefore restricted to functions annotated //dmp:cowsafe:
+//
+//   - element stores into a shared array (c.nodes[i] = …, ix.left[n] = …,
+//     s.bits[w] |= …, including compound assignment and ++/--), and
+//   - writes through an alias taken with &shared[i] in the same function
+//     (n := &c.nodes[id]; n.LocalMB += mb), which bypass own() entirely.
+//
+// Re-pointing a whole slice header (c.nodes = append(…), sh.free.key = …)
+// is allowed anywhere: it replaces the header without touching the shared
+// backing array — it is how the CoW copies themselves are installed. Reads,
+// including read-only &shared[i] preludes, are free.
+//
+// A write outside an annotated function is a latent cross-branch race: it
+// mutates memory another branch may be reading, exactly the bug class the
+// fork differential suite under -race can detect but not localize.
+// Symmetrically, an annotated function that performs no restricted write is
+// reported as stale.
+var CowAlias = &Analyzer{
+	Name: "cowalias",
+	Doc: "writes to copy-on-write shared ledger structures (node rows, treap key/left/right " +
+		"arrays, idle bitset words) must go through the CoW mutation helpers: element stores " +
+		"and &elem alias writes are allowed only in functions annotated //dmp:cowsafe",
+	PathFilter: cowClusterPath,
+	Run:        runCowAlias,
+}
+
+// cowClusterPath admits only the cluster ledger package, where the CoW
+// structures live; the fixture module bypasses the filter via analysistest.
+func cowClusterPath(path string) bool {
+	const cl = "internal/cluster"
+	return path == cl || strings.HasSuffix(path, "/"+cl) ||
+		strings.Contains(path, "/"+cl+"/")
+}
+
+func runCowAlias(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkCowAlias(pass, fn)
+		}
+	}
+}
+
+func checkCowAlias(pass *Pass, fn *ast.FuncDecl) {
+	annotated := funcDocHasDirective(fn, CowSafeDirective)
+	writes := 0
+
+	// Pre-pass: identifiers bound to &shared[i] in this function. Writes
+	// through them are writes to the shared array under another name.
+	aliases := make(map[types.Object]string)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			un, ok := rhs.(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				continue
+			}
+			sel := cowElementTarget(pass, un.X)
+			if sel == nil {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+					aliases[obj] = sel.Sel.Name
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				writes += checkCowWrite(pass, fn, annotated, lhs, aliases)
+			}
+		case *ast.IncDecStmt:
+			writes += checkCowWrite(pass, fn, annotated, st.X, aliases)
+		}
+		return true
+	})
+
+	if annotated && writes == 0 {
+		pass.Reportf(fn.Pos(),
+			"stale //dmp:cowsafe on %s: the function writes no copy-on-write shared state",
+			fn.Name.Name)
+	}
+}
+
+// checkCowWrite classifies one assignment target and reports it when it
+// stores into CoW-shared backing outside an annotated function. Returns 1
+// for a restricted write (reported or sanctioned), 0 otherwise.
+func checkCowWrite(pass *Pass, fn *ast.FuncDecl, annotated bool, lhs ast.Expr, aliases map[types.Object]string) int {
+	if sel := cowElementTarget(pass, lhs); sel != nil {
+		if !annotated {
+			pass.Reportf(lhs.Pos(),
+				"element write to CoW-shared %s in %s, which is not a sanctioned mutation helper: "+
+					"a forked branch may still share this array; privatise via own/thaw first and "+
+					"annotate the helper //dmp:cowsafe",
+				sel.Sel.Name, fn.Name.Name)
+		}
+		return 1
+	}
+	if id, field := cowAliasWriteBase(pass, lhs, aliases); id != nil {
+		if !annotated {
+			pass.Reportf(lhs.Pos(),
+				"write through %s, an alias of CoW-shared %s, in %s: taking &%s[i] bypasses the "+
+					"shared→private transition; obtain the row from own() or annotate //dmp:cowsafe",
+				id.Name, field, fn.Name.Name, field)
+		}
+		return 1
+	}
+	return 0
+}
+
+// cowElementTarget resolves an expression to the CoW array selector whose
+// backing it stores into: an index expression over a shared field, possibly
+// under further selectors or indexes (c.nodes[i].LocalMB). A bare selector
+// without an index is a slice-header re-point, not an element store, and
+// resolves to nil.
+func cowElementTarget(pass *Pass, e ast.Expr) *ast.SelectorExpr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			if sel, ok := x.X.(*ast.SelectorExpr); ok && isCowSharedField(pass, sel) {
+				return sel
+			}
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// cowAliasWriteBase resolves an assignment target to the alias variable it
+// writes through, when the base identifier was bound to &shared[i] earlier
+// in the function. A bare identifier target is a rebinding of the variable,
+// not a write through it, and resolves to nil.
+func cowAliasWriteBase(pass *Pass, lhs ast.Expr, aliases map[types.Object]string) (*ast.Ident, string) {
+	indirect := false
+	for {
+		switch x := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = x.X
+		case *ast.StarExpr:
+			lhs = x.X
+			indirect = true
+		case *ast.SelectorExpr:
+			lhs = x.X
+			indirect = true
+		case *ast.IndexExpr:
+			lhs = x.X
+			indirect = true
+		case *ast.Ident:
+			if !indirect {
+				return nil, ""
+			}
+			// The types.Object disambiguates shadowed names, so a
+			// read-only prelude alias in one scope never taints a
+			// same-named owned row in another.
+			if obj := pass.TypesInfo.ObjectOf(x); obj != nil {
+				if field, ok := aliases[obj]; ok {
+					return x, field
+				}
+			}
+			return nil, ""
+		default:
+			return nil, ""
+		}
+	}
+}
+
+// isCowSharedField reports whether sel selects a struct field carrying one
+// of the CoW-shared array names. Matching is by field name, like
+// domainmerge's, so the fixture can define a lightweight stand-in.
+func isCowSharedField(pass *Pass, sel *ast.SelectorExpr) bool {
+	if !cowSharedFields[sel.Sel.Name] {
+		return false
+	}
+	if s, ok := pass.TypesInfo.Selections[sel]; ok {
+		return s.Kind() == types.FieldVal
+	}
+	v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	return ok && v.IsField()
+}

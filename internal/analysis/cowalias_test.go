@@ -1,0 +1,29 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"dismem/internal/analysis"
+	"dismem/internal/analysis/analysistest"
+)
+
+func TestCowAlias(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.CowAlias, "cowalias")
+}
+
+func TestCowAliasPathFilter(t *testing.T) {
+	cases := map[string]bool{
+		"internal/cluster":               true,
+		"dismem/internal/cluster":        true,
+		"dismem/internal/cluster/sub":    true,
+		"dismem/internal/core":           false,
+		"dismem/internal/clusterutils":   false,
+		"example.com/x/internal/cluster": true,
+		"example.com/x/internal/core":    false,
+	}
+	for path, want := range cases {
+		if got := analysis.CowAlias.PathFilter(path); got != want {
+			t.Errorf("PathFilter(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

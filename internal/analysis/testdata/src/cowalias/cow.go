@@ -1,0 +1,113 @@
+// Package cowalias is the analysistest fixture for the cowalias analyzer.
+// The ledger struct stands in for cluster.Cluster; only the CoW-shared
+// array fields (nodes, key, left, right, bits) are name-matched.
+package cowalias
+
+type row struct {
+	LocalMB int64
+	LentMB  int64
+}
+
+type treap struct {
+	key   []int64
+	left  []int32
+	right []int32
+	prio  []uint64 // immutable, shared forever: not a CoW field
+}
+
+type bitset struct {
+	bits []uint64
+}
+
+type ledger struct {
+	nodes []row
+	free  treap
+	idle  bitset
+}
+
+// install re-points whole slice headers: that is how CoW copies are
+// published, and it never touches shared backing. Allowed anywhere.
+func (l *ledger) install(n int) {
+	l.nodes = make([]row, n)
+	l.free.key = make([]int64, n)
+	l.free.left = make([]int32, n)
+	l.free.right = make([]int32, n)
+	l.idle.bits = make([]uint64, (n+63)/64)
+}
+
+// stomp writes a node row element directly: a forked branch may still be
+// reading this slot.
+func (l *ledger) stomp(i int, r row) {
+	l.nodes[i] = r // want `element write to CoW-shared nodes in stomp`
+}
+
+// poke writes a row field through the element: same store, one selector
+// deeper.
+func (l *ledger) poke(i int, mb int64) {
+	l.nodes[i].LocalMB = mb // want `element write to CoW-shared nodes in poke`
+}
+
+// rewire writes the treap child links and keys outside any helper.
+func (l *ledger) rewire(n int32) {
+	l.free.left[n] = -1  // want `element write to CoW-shared left in rewire`
+	l.free.right[n] = -1 // want `element write to CoW-shared right in rewire`
+	l.free.key[n]++      // want `element write to CoW-shared key in rewire`
+}
+
+// mask compound-assigns a bitset word: reads old, writes new, both on the
+// shared backing.
+func (l *ledger) mask(w int, m uint64) {
+	l.idle.bits[w] |= m // want `element write to CoW-shared bits in mask`
+}
+
+// sneak takes a writable alias with &nodes[i] and writes through it,
+// bypassing the shared→private transition entirely.
+func (l *ledger) sneak(i int, mb int64) {
+	n := &l.nodes[i]
+	n.LocalMB += mb // want `write through n, an alias of CoW-shared nodes, in sneak`
+}
+
+// peek takes the same alias but only reads: the read-only prelude idiom is
+// free.
+func (l *ledger) peek(i int) int64 {
+	n := &l.nodes[i]
+	return n.LocalMB + n.LentMB
+}
+
+// rebind shadows a read-only alias with a fresh variable and writes through
+// the new one, which is no alias at all: objects, not names, decide.
+func (l *ledger) rebind(i int, spare *row, mb int64) {
+	if n := &l.nodes[i]; n.LocalMB > 0 {
+		_ = n
+	}
+	n := spare
+	n.LocalMB = mb
+}
+
+// prioStore writes the immutable-priority array, which is not CoW state.
+func (l *ledger) prioStore(n int32, p uint64) {
+	l.free.prio[n] = p
+}
+
+// thaw is a sanctioned helper: annotated, it may store elements after
+// (fixture-notionally) privatising the arrays.
+//
+//dmp:cowsafe
+func (l *ledger) thaw(i int, r row) {
+	l.nodes = append([]row(nil), l.nodes...)
+	l.nodes[i] = r
+}
+
+// idleFixture is annotated but performs no restricted write: the stale
+// directive is itself reported.
+//
+//dmp:cowsafe
+func (l *ledger) idleFixture() int { // want `stale //dmp:cowsafe on idleFixture`
+	return len(l.nodes)
+}
+
+// excused carries an explicit allowlist entry; the suppression must hold
+// and must not be reported stale.
+func (l *ledger) excused(i int, mb int64) {
+	l.nodes[i].LentMB = mb //dmplint:ignore cowalias fixture pins the allowlist path
+}

@@ -165,3 +165,14 @@ func min64(a, b int64) int64 {
 	}
 	return b
 }
+
+// Clone returns a deep copy of the allocation for simulation forking: the
+// fork's resize and release operations must not touch the original's
+// per-node records or lease slices.
+func (ja *JobAllocation) Clone() *JobAllocation {
+	c := &JobAllocation{Job: ja.Job, PerNode: append([]NodeAllocation(nil), ja.PerNode...)}
+	for i := range c.PerNode {
+		c.PerNode[i].Leases = append([]Lease(nil), c.PerNode[i].Leases...)
+	}
+	return c
+}

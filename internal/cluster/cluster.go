@@ -96,6 +96,10 @@ type Cluster struct {
 
 	lendersBuf []NodeID // scratch returned by LendersByFreeDesc
 	idleBuf    []NodeID // scratch returned by IdleComputeNodes
+
+	// cow tracks which structures are frozen because another fork still
+	// reads them (see cow.go). Zero value = nothing shared.
+	cow cowState
 }
 
 // initIndexes builds the incremental indexes from the freshly constructed
@@ -210,7 +214,11 @@ func New(n, cores int, capacityMB int64) *Cluster {
 	return NewSharded(n, cores, capacityMB, 1)
 }
 
-// NewSharded is New with an explicit ledger shard count.
+// NewSharded is New with an explicit ledger shard count. The node array it
+// fills is freshly allocated and unshared: no fork can exist before the
+// constructor returns.
+//
+//dmp:cowsafe
 func NewSharded(n, cores int, capacityMB int64, shards int) *Cluster {
 	c := &Cluster{nodes: make([]Node, n), largeMB: capacityMB}
 	for i := range c.nodes {
@@ -222,7 +230,10 @@ func NewSharded(n, cores int, capacityMB int64, shards int) *Cluster {
 
 // NewMixed builds a cluster per Config: the first round(LargeFrac·Nodes)
 // nodes are large (2× NormalMB), the rest normal. The paper sweeps LargeFrac
-// over {0, 0.15, 0.25, 0.50, 0.75, 1.0}.
+// over {0, 0.15, 0.25, 0.50, 0.75, 1.0}. Like NewSharded, it writes a node
+// array no fork can share yet.
+//
+//dmp:cowsafe
 func NewMixed(cfg Config) *Cluster {
 	c := &Cluster{nodes: make([]Node, cfg.Nodes), largeMB: cfg.NormalMB}
 	nLarge := int(float64(cfg.Nodes)*cfg.LargeFrac + 0.5)
@@ -240,11 +251,14 @@ func NewMixed(cfg Config) *Cluster {
 // Len returns the number of nodes.
 func (c *Cluster) Len() int { return len(c.nodes) }
 
-// Node returns the ledger for id. The returned pointer stays valid for the
-// cluster's lifetime but must be treated as read-only.
+// Node returns the ledger for id. The returned pointer must be treated as
+// read-only and must not be retained across mutating operations: on a forked
+// cluster (see cow.go) the first mutation replaces the node slice, leaving
+// old pointers reading the frozen pre-fork state.
 func (c *Cluster) Node(id NodeID) *Node { return &c.nodes[id] }
 
-// Nodes returns the node slice for iteration (read-only).
+// Nodes returns the node slice for iteration (read-only; same retention
+// caveat as Node).
 func (c *Cluster) Nodes() []Node { return c.nodes }
 
 // TotalCapacityMB returns the sum of node capacities (O(1), cached at
@@ -358,10 +372,10 @@ func (c *Cluster) CapacityOrder() []NodeID { return c.capOrder }
 
 // StartJob marks node id as running job. It fails if the node is busy.
 func (c *Cluster) StartJob(id NodeID, job int) error {
-	n := &c.nodes[id]
-	if n.RunningJob != NoJob {
+	if n := &c.nodes[id]; n.RunningJob != NoJob {
 		return fmt.Errorf("%w: node %d runs job %d", ErrNodeBusy, id, n.RunningJob)
 	}
+	n := c.own(id)
 	n.RunningJob = job
 	c.busy++
 	c.reindexIdle(n)
@@ -370,10 +384,10 @@ func (c *Cluster) StartJob(id NodeID, job int) error {
 
 // EndJob marks node id idle. It fails if the node was not running a job.
 func (c *Cluster) EndJob(id NodeID) error {
-	n := &c.nodes[id]
-	if n.RunningJob == NoJob {
+	if n := &c.nodes[id]; n.RunningJob == NoJob {
 		return fmt.Errorf("%w: node %d", ErrNodeIdle, id)
 	}
+	n := c.own(id)
 	n.RunningJob = NoJob
 	c.busy--
 	c.reindexIdle(n)
@@ -385,10 +399,10 @@ func (c *Cluster) AllocLocal(id NodeID, mb int64) error {
 	if mb < 0 {
 		return ErrNegativeAmount
 	}
-	n := &c.nodes[id]
-	if n.FreeMB() < mb {
+	if n := &c.nodes[id]; n.FreeMB() < mb {
 		return fmt.Errorf("%w: node %d free %d MB, need %d MB", ErrInsufficientMemory, id, n.FreeMB(), mb)
 	}
+	n := c.own(id)
 	n.LocalMB += mb
 	c.reindexMem(n, mb)
 	return nil
@@ -399,10 +413,10 @@ func (c *Cluster) ReleaseLocal(id NodeID, mb int64) error {
 	if mb < 0 {
 		return ErrNegativeAmount
 	}
-	n := &c.nodes[id]
-	if n.LocalMB < mb {
+	if n := &c.nodes[id]; n.LocalMB < mb {
 		return fmt.Errorf("%w: node %d local %d MB, release %d MB", ErrOverRelease, id, n.LocalMB, mb)
 	}
+	n := c.own(id)
 	n.LocalMB -= mb
 	c.reindexMem(n, -mb)
 	return nil
@@ -415,10 +429,10 @@ func (c *Cluster) Lend(id NodeID, mb int64) error {
 	if mb < 0 {
 		return ErrNegativeAmount
 	}
-	n := &c.nodes[id]
-	if n.FreeMB() < mb {
+	if n := &c.nodes[id]; n.FreeMB() < mb {
 		return fmt.Errorf("%w: node %d free %d MB, lend %d MB", ErrInsufficientMemory, id, n.FreeMB(), mb)
 	}
+	n := c.own(id)
 	n.LentMB += mb
 	c.shards[int(n.ID)/c.shardSize].lentMB += mb
 	c.reindexMem(n, mb)
@@ -431,10 +445,10 @@ func (c *Cluster) ReturnLend(id NodeID, mb int64) error {
 	if mb < 0 {
 		return ErrNegativeAmount
 	}
-	n := &c.nodes[id]
-	if n.LentMB < mb {
+	if n := &c.nodes[id]; n.LentMB < mb {
 		return fmt.Errorf("%w: node %d lent %d MB, return %d MB", ErrOverRelease, id, n.LentMB, mb)
 	}
+	n := c.own(id)
 	n.LentMB -= mb
 	c.shards[int(n.ID)/c.shardSize].lentMB -= mb
 	c.reindexMem(n, -mb)

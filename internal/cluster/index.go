@@ -54,6 +54,8 @@ type freeIndex struct {
 // init builds the treap. base is the owning shard's first global node ID:
 // priorities hash the global ID, so the tree shape for a node set depends
 // only on which nodes it holds, never on the shard layout history.
+//
+//dmp:cowsafe
 func (ix *freeIndex) init(frees []int64, base int) {
 	n := len(frees)
 	ix.key = make([]int64, n)
@@ -79,6 +81,12 @@ func (ix *freeIndex) before(a, b int32) bool {
 	return a < b
 }
 
+// insertAt, removeAt, and merge are the treap's structural mutators. They
+// write the key/left/right arrays, which a cluster fork shares copy-on-write
+// until thawed; every call chain starts at a Cluster method that privatised
+// the shard first (own → materialize → thaw), so writing here is safe.
+//
+//dmp:cowsafe
 func (ix *freeIndex) insertAt(root, n int32) int32 {
 	if root == nilIdx {
 		ix.left[n], ix.right[n] = nilIdx, nilIdx
@@ -104,6 +112,7 @@ func (ix *freeIndex) insertAt(root, n int32) int32 {
 	return root
 }
 
+//dmp:cowsafe
 func (ix *freeIndex) removeAt(root, n int32) int32 {
 	if root == nilIdx {
 		panic("cluster: freeIndex: removing a node that is not filed")
@@ -119,6 +128,7 @@ func (ix *freeIndex) removeAt(root, n int32) int32 {
 	return root
 }
 
+//dmp:cowsafe
 func (ix *freeIndex) merge(l, r int32) int32 {
 	if l == nilIdx {
 		return r
@@ -135,7 +145,9 @@ func (ix *freeIndex) merge(l, r int32) int32 {
 }
 
 // update refiles local node n under its new free-memory key: O(log N/S)
-// expected in the shard size.
+// expected in the shard size. Callers hold shard ownership (see insertAt).
+//
+//dmp:cowsafe
 func (ix *freeIndex) update(n int32, newFree int64) {
 	if ix.key[n] == newFree {
 		return
@@ -221,7 +233,10 @@ func (s *idleSet) init(n int) {
 // setTo files node i's availability bit and returns the membership delta
 // (+1 joined, −1 left, 0 unchanged) so callers can maintain derived counts —
 // the per-capacity-class split feeding the O(1) resource summary — without a
-// second bit probe.
+// second bit probe. The bits array is CoW-shared after a fork; callers reach
+// here only through Cluster methods that privatised the shard first.
+//
+//dmp:cowsafe
 func (s *idleSet) setTo(i int, avail bool) int {
 	w, mask := i>>6, uint64(1)<<uint(i&63)
 	has := s.bits[w]&mask != 0

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dismem/internal/policy"
+	"dismem/internal/sim"
+	"dismem/internal/telemetry"
+)
+
+// This file implements copy-on-write simulator forking: Fork snapshots a
+// started, paused run into an independent Simulator that can be driven to a
+// different future concurrently with the base. The expensive state is not
+// copied — the cluster ledger forks in O(shards) via its CoW layer, the
+// immutable inputs (jobs, slowdown model, domain capacities) are shared —
+// and everything event-bearing (engine heap, running set, records, queue,
+// caches) is deep-copied in O(live state), which is O(Δ) relative to the
+// work already simulated. A fork that re-runs the base's own configuration
+// is byte-identical to a fresh run: same Results, same telemetry stream.
+
+// BranchStats describes what a forked simulator inherited for free: the
+// number of events the shared prefix had already fired (work a branch does
+// not repeat) and the cluster CoW traffic the branch has caused so far.
+type BranchStats struct {
+	SharedEvents uint64 // events fired before the fork point
+	NodeCopies   int64  // CoW node-slice materialisations in this branch
+	ShardThaws   int64  // CoW shard index thaws in this branch
+}
+
+// BranchStats reports the fork provenance of this simulator. For a
+// simulator built by New, SharedEvents is zero.
+func (s *Simulator) BranchStats() BranchStats {
+	nodes, thaws := s.cl.CowStats()
+	return BranchStats{SharedEvents: s.forkEvents, NodeCopies: nodes, ShardThaws: thaws}
+}
+
+// Telemetry returns the simulator's recorder (nil when telemetry is off),
+// so a branching layer can fork the base's stream for each branch and
+// report fork economics on it.
+func (s *Simulator) Telemetry() *telemetry.Recorder { return s.tel }
+
+// Fork returns an independent copy of a started, un-finished simulator,
+// paused at the same event-queue state. The fork and the base may then run
+// concurrently: the cluster ledger is shared copy-on-write (each side
+// materialises only the shards it writes), the immutable inputs are shared
+// outright, and all mutable per-run state is private to each side.
+//
+// tel becomes the fork's telemetry recorder (nil disables telemetry in the
+// branch). For a byte-identical no-op branch, pass a recorder forked from
+// the base's via telemetry.Recorder.Fork with the same sink semantics; a
+// recorder with a different sampling interval changes the branch's sampler
+// cadence (never its Result). The fork drops the base's Observer,
+// WindowStatsOut, and Interrupt hooks — they are owned by the base's
+// caller, and invoking them from several branches would interleave.
+//
+// Fork must be called between events — after Start, typically after a
+// StepUntil, and before Finish. It is not safe to fork while the base is
+// running; pause first.
+//
+// Fork reads every per-domain contention cache wholesale to clone it; a
+// whole-set copy cannot leak one domain's pressure into another, which is
+// the property the domainmerge directive certifies.
+//
+//dmp:domainmerge
+func (s *Simulator) Fork(tel *telemetry.Recorder) (*Simulator, error) {
+	if !s.started {
+		return nil, fmt.Errorf("core: Fork before Start")
+	}
+	if s.finished {
+		return nil, fmt.Errorf("core: Fork after Finish")
+	}
+
+	f := &Simulator{}
+	*f = *s // scalars; every reference-typed field is re-pointed below
+
+	// Hooks stay with the base's caller (see doc comment); telemetry is the
+	// branch's own recorder.
+	f.cfg.Observer = nil
+	f.cfg.WindowStatsOut = nil
+	f.cfg.Interrupt = nil
+	f.cfg.Telemetry = tel
+	f.tel = tel
+	f.forkEvents = s.eng.Fired()
+
+	// Shared immutable state: jobs, byID, model, domBW, domCapMB — the
+	// struct copy above already aliases them, which is correct because no
+	// code path writes them after New.
+
+	// The ledger forks copy-on-write in O(shards).
+	f.cl = s.cl.Fork()
+
+	// Policy, ranker, and adjuster hold only scratch buffers (no decision
+	// state), so fresh instances behave identically and must not be shared
+	// across concurrently running branches. Mirrors New.
+	f.ranker = nil
+	if f.cfg.LenderPolicy == NearestFirst {
+		f.ranker = policy.NearestFirstRanker(*f.cfg.Topology)
+	}
+	f.pol = policy.NewWithRanker(f.cfg.Policy, f.ranker)
+	if f.cfg.Pressure == PressureDomains {
+		f.pol = policy.NewDomainFirst(f.cfg.Policy)
+	}
+	f.adj = policy.NewAdjuster(f.ranker)
+	f.adj.Tel = tel
+
+	// Replay the RNG to the base's draw position so the branch's future
+	// jitter sequence continues exactly where a fresh run's would.
+	f.rng = rand.New(rand.NewSource(f.cfg.Seed))
+	for i := 0; i < s.rngDraws; i++ {
+		f.rng.Float64()
+	}
+
+	// Records: cloned per job so a branch's outcomes never write into the
+	// base's. The Job pointer stays shared (immutable).
+	f.records = make(map[int]*JobRecord, len(s.records))
+	for id, rec := range s.records {
+		nr := &JobRecord{}
+		*nr = *rec
+		if rec.Attempts != nil { // preserve nil-ness: Results are DeepEqual-compared
+			nr.Attempts = make([]Attempt, len(rec.Attempts))
+			copy(nr.Attempts, rec.Attempts)
+		}
+		f.records[id] = nr
+	}
+
+	// Running jobs: full clones, with handles re-attached after the engine
+	// clone below.
+	f.running = make(map[int]*runningJob, len(s.running))
+	for id, rj := range s.running {
+		f.running[id] = cloneRunning(rj, f.records[id])
+	}
+	f.runIDs = append([]int(nil), s.runIDs...)
+	f.runList = make([]*runningJob, len(s.runList))
+	for i, rj := range s.runList {
+		f.runList[i] = f.running[rj.j.ID]
+	}
+
+	f.banked = make(map[int]float64, len(s.banked))
+	for id, v := range s.banked {
+		f.banked[id] = v
+	}
+	f.prio = make(map[int]int, len(s.prio))
+	for id, v := range s.prio {
+		f.prio[id] = v
+	}
+	f.queue = s.queue.Clone()
+
+	if f.res != nil {
+		nres := &Result{}
+		*nres = *s.res
+		nres.Records = append([]JobRecord(nil), s.res.Records...)
+		f.res = nres
+	}
+
+	// Domain state: caches copy, per-domain job lists rebuild with the
+	// cloned runningJobs in the same order.
+	if s.nDom > 0 {
+		f.domTraffic = append([]float64(nil), s.domTraffic...)
+		f.domRho = append([]float64(nil), s.domRho...)
+		f.domValid = append([]bool(nil), s.domValid...)
+		f.domStamp = append([]uint64(nil), s.domStamp...)
+		f.domJobs = make([][]*runningJob, len(s.domJobs))
+		for d, list := range s.domJobs {
+			if len(list) == 0 {
+				continue
+			}
+			nl := make([]*runningJob, len(list))
+			for i, rj := range list {
+				nl[i] = f.running[rj.j.ID]
+			}
+			f.domJobs[d] = nl
+		}
+	}
+
+	// Executor and scratch state is never shared: the fork rebuilds what it
+	// needs lazily, exactly as a fresh simulator would.
+	f.team = nil
+	f.phaseBank, f.phaseSlow, f.phaseUpdate = nil, nil, nil
+	f.parFracs, f.bankBuf, f.winBuf = nil, nil, nil
+	f.adjPar, f.dispRJs, f.dispOuts = nil, nil, nil
+	f.idsBuf, f.fracsBuf, f.relBuf = nil, nil, nil
+	f.prof = nil
+
+	// Engine: exact heap copy with every pending action rebound to the
+	// fork. The handle map re-attaches the running jobs' retained handles.
+	eng, handles := s.eng.Clone(func(tag uint64) sim.Action {
+		switch tagKind(tag) {
+		case tagSubmit:
+			id := int(uint32(tag))
+			return func(*sim.Engine) { f.onSubmit(id) }
+		case tagTick:
+			return func(*sim.Engine) { f.onTick() }
+		case tagFinish:
+			id := int(uint32(tag))
+			return func(*sim.Engine) { f.onFinish(id) }
+		case tagLimit:
+			id := int(uint32(tag))
+			return func(*sim.Engine) { f.onTimeLimit(id) }
+		case tagUpdate:
+			id := int(uint32(tag))
+			return func(*sim.Engine) { f.onMemoryUpdate(id) }
+		case tagSample:
+			if iv := tel.SampleInterval(); iv > 0 {
+				return sim.Periodic(iv, tag, func(*sim.Engine) { f.sample() })
+			}
+			// Branch telemetry is off: the inherited tick fires once as a
+			// no-op and does not reschedule, exactly as if sampling had
+			// never been configured from here on.
+			return func(*sim.Engine) {}
+		}
+		return nil // untagged pending event: impossible by construction, Clone panics
+	})
+	f.eng = eng
+	for id, rj := range f.running {
+		rj.finishEv = handles[evTag(tagFinish, id)]
+		rj.limitEv = handles[evTag(tagLimit, id)]
+		rj.updateEv = handles[evTag(tagUpdate, id)]
+	}
+	return f, nil
+}
+
+// cloneRunning deep-copies one running job's live state. Event handles are
+// left zero; Fork re-attaches them from the engine clone's handle map. The
+// Job pointer and the usage trace behind the cursor are shared (immutable).
+func cloneRunning(rj *runningJob, rec *JobRecord) *runningJob {
+	n := &runningJob{}
+	*n = *rj
+	n.rec = rec
+	n.alloc = rj.alloc.Clone()
+	n.finishEv, n.limitEv, n.updateEv = sim.Handle{}, sim.Handle{}, sim.Handle{}
+	n.nodeTraffic = append([]float64(nil), rj.nodeTraffic...)
+	n.nodeDom = append([]int32(nil), rj.nodeDom...)
+	n.homeDoms = append([]int32(nil), rj.homeDoms...)
+	n.domSet = append([]int32(nil), rj.domSet...)
+	n.domFrac = append([]float64(nil), rj.domFrac...)
+	return n
+}

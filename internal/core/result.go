@@ -49,6 +49,10 @@ const (
 	AttemptOOMKilled
 	// AttemptTimedOut hit the wallclock limit.
 	AttemptTimedOut
+	// AttemptPreempted was descheduled by a what-if branch's
+	// deschedule-and-repack overlay (DescheduleRepack); the job re-enters
+	// the queue with its progress checkpointed.
+	AttemptPreempted
 )
 
 func (a AttemptEnd) String() string {
@@ -59,6 +63,8 @@ func (a AttemptEnd) String() string {
 		return "oom-killed"
 	case AttemptTimedOut:
 		return "timed-out"
+	case AttemptPreempted:
+		return "preempted"
 	}
 	return "running"
 }

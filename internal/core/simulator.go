@@ -109,6 +109,17 @@ type Simulator struct {
 	fracsBuf []float64
 	relBuf   []sched.Release
 	prof     *sched.Profile // pooled conservative-backfill profile
+
+	// Lifecycle state for the Start/StepUntil/Finish decomposition of Run
+	// and for Fork (see fork.go). rngDraws counts Float64 draws taken from
+	// rng so a fork can replay the stream to the same position; forkEvents
+	// is the engine's fired count at the moment this simulator was forked
+	// (zero for a simulator built by New) — the shared-prefix length a
+	// branch did not have to re-simulate.
+	started    bool
+	finished   bool
+	rngDraws   int
+	forkEvents uint64
 }
 
 // runningJob is the live state of one dispatched job.
@@ -221,8 +232,24 @@ func New(cfg Config, jobs []*job.Job) (*Simulator, error) {
 }
 
 // Run executes the scenario and returns its Result. It must be called at
-// most once.
+// most once, and not combined with an explicit Start.
 func (s *Simulator) Run() (*Result, error) {
+	s.Start()
+	return s.Finish()
+}
+
+// Start schedules the scenario without firing any events: the result shell,
+// the feasibility pre-check, every job's submit event, the telemetry
+// sampler, and the horizon/budget limits. After Start the caller may advance
+// the run piecewise with StepUntil, fork it, and complete it with Finish —
+// Run is exactly Start followed by Finish, and the decomposition fires the
+// same events in the same order, so results are byte-identical however the
+// run is driven. Start must be called exactly once.
+func (s *Simulator) Start() {
+	if s.started {
+		panic("core: Simulator.Start called twice")
+	}
+	s.started = true
 	s.res = &Result{
 		Policy:          s.cfg.Policy.String(),
 		TotalCapacityMB: s.cl.TotalCapacityMB(),
@@ -231,12 +258,13 @@ func (s *Simulator) Run() (*Result, error) {
 
 	// Feasibility pre-check: a scenario containing a job that can never
 	// run is reported as infeasible (the paper's missing bars) rather
-	// than deadlocking the queue.
+	// than deadlocking the queue. Nothing is scheduled; StepUntil and
+	// Finish both honour the flag.
 	for _, j := range s.jobs {
 		if !s.pol.CanEverRun(s.cl, j) {
 			s.res.Infeasible = true
 			s.res.InfeasibleJob = j.ID
-			return s.res, nil
+			return
 		}
 	}
 
@@ -247,16 +275,53 @@ func (s *Simulator) Run() (*Result, error) {
 	}
 	if iv := s.tel.SampleInterval(); iv > 0 {
 		// The sampler reads state and emits; it mutates nothing, so results
-		// are identical with it on or off. Engine.Every stops rescheduling
-		// once the tick is the only queued event, so it cannot keep the run
-		// alive on its own.
-		s.eng.Every(0, iv, func(*sim.Engine) { s.sample() })
+		// are identical with it on or off. The periodic tick stops
+		// rescheduling once it is the only queued event, so it cannot keep
+		// the run alive on its own. The tick carries tagSample so Fork can
+		// rebind it; the window executor still treats it as unclassified.
+		s.eng.EveryTag(0, iv, evTag(tagSample, 0), func(*sim.Engine) { s.sample() })
 	}
 	if s.cfg.Horizon > 0 {
 		s.eng.SetHorizon(s.cfg.Horizon)
 	}
 	if s.cfg.MaxEvents > 0 {
 		s.eng.SetMaxEvents(s.cfg.MaxEvents)
+	}
+}
+
+// StepUntil fires every event due at or before t with the serial executor
+// and returns with the clock at the last fired event (≤ t). It is the pause
+// point for forking: after StepUntil the engine is between events, which is
+// the only state a Fork may be taken in. The windowed executor is not used
+// here — serial stepping is proven byte-identical to it — so StepUntil may
+// be freely mixed with a Finish that runs windowed.
+func (s *Simulator) StepUntil(t float64) error {
+	if !s.started {
+		panic("core: StepUntil before Start")
+	}
+	if s.res.Infeasible || s.finished {
+		return nil
+	}
+	s.eng.RunUntil(t)
+	if s.eng.Exhausted() {
+		return fmt.Errorf("core: event budget (%d) exhausted at t=%.0f — runaway simulation",
+			s.cfg.MaxEvents, s.eng.Now())
+	}
+	return nil
+}
+
+// Finish drives the run to completion with the configured executor and
+// returns the Result. It must be called exactly once, after Start.
+func (s *Simulator) Finish() (*Result, error) {
+	if !s.started {
+		panic("core: Finish before Start")
+	}
+	if s.finished {
+		panic("core: Finish called twice")
+	}
+	s.finished = true
+	if s.res.Infeasible {
+		return s.res, nil
 	}
 	exhausted := false
 	var runErr error
@@ -327,6 +392,14 @@ func (s *Simulator) runInterruptible() (exhausted bool, err error) {
 	}
 }
 
+// randFloat draws from the simulator's deterministic RNG, counting the draw
+// so Fork can replay an equal-seeded stream to the same position and a
+// branch's jitter sequence continues exactly where the base's would have.
+func (s *Simulator) randFloat() float64 {
+	s.rngDraws++
+	return s.rng.Float64()
+}
+
 // accrue integrates the utilisation counters up to the current time. Every
 // event handler calls it before mutating state; it also advances the
 // telemetry clock, so emitters deeper in the stack (policies, the ledger)
@@ -373,15 +446,18 @@ func (s *Simulator) poolCheck(rj *runningJob) {
 
 // Event tags classify queue entries for the window executor without calling
 // into their actions: a kind in the top bits and the owning job (zero for
-// global events) in the low 32. Tag zero is "unclassified" — the sampler's
-// ticks, scheduled through Engine.Every, stay untagged and conservatively
-// conflict with everything.
+// global events) in the low 32. Tag zero is "unclassified" and conservatively
+// conflicts with everything; tagSample marks the telemetry sampler's ticks,
+// which the window executor deliberately treats exactly like tag zero (see
+// windowIndependent) so tagging them — needed so Fork can rebind the tick —
+// changes no window verdicts.
 const (
 	tagSubmit = iota + 1
 	tagTick
 	tagFinish
 	tagLimit
 	tagUpdate
+	tagSample
 )
 
 // evTag packs an event kind and job ID into an engine tag.
@@ -677,7 +753,7 @@ func (s *Simulator) start(j *job.Job, ja *cluster.JobAllocation) {
 		lastT:    now,
 		progress: s.banked[j.ID],
 		slow:     1,
-		period:   s.cfg.UpdateInterval * (1 + s.cfg.UpdateJitter*(2*s.rng.Float64()-1)),
+		period:   s.cfg.UpdateInterval * (1 + s.cfg.UpdateJitter*(2*s.randFloat()-1)),
 		use:      j.Usage.Cursor(),
 		dirty:    true,
 	}

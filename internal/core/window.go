@@ -198,8 +198,12 @@ func (s *Simulator) windowIndependent(buf []sim.Fired) bool {
 	mutators := 0
 	for i, f := range buf {
 		tag := f.Tag()
-		if tag == 0 {
-			return false // unclassified: assume the worst
+		if tag == 0 || tagKind(tag) == tagSample {
+			// Unclassified: assume the worst. Sampler ticks carry tagSample
+			// only so Fork can rebind them; for windowing they keep the exact
+			// verdict they had when untagged — they order the telemetry byte
+			// stream, so treating them as independent would reorder output.
+			return false
 		}
 		switch tagKind(tag) {
 		case tagSubmit, tagTick, tagFinish, tagLimit, tagUpdate:

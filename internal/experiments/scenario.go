@@ -10,7 +10,6 @@ import (
 	"strings"
 
 	"dismem/internal/core"
-	"dismem/internal/job"
 	"dismem/internal/metrics"
 	"dismem/internal/policy"
 	"dismem/internal/sweep"
@@ -332,35 +331,15 @@ func (p Preset) RunScenarioSpecCtx(ctx context.Context, s *ScenarioSpec) (*Scena
 		return nil, err
 	}
 	mems := s.resolvedMemPcts()
-	params := p.scenarioTraceParams(s)
-	nodes := params.SystemNodes
-	seed := params.Seed
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	tr, err := tracegen.Cached(params)
+	// Dependency chains are a BuildJobs option the pipeline does not
+	// thread through; scenarioJobs regenerates the dependency layer over
+	// cloned jobs when asked (the cached trace is shared, so the chains
+	// are never written through the shared pointers).
+	jobs, params, err := p.scenarioJobs(ctx, s)
 	if err != nil {
 		return nil, err
 	}
-	// Dependency chains are a BuildJobs option the pipeline does not
-	// thread through; regenerate the dependency layer here when asked.
-	// The generated trace is cached and shared, so the jobs are cloned
-	// before the chains are written — never through the shared pointers.
-	jobs := tr.Jobs
-	if s.Trace.ChainFrac > 0 {
-		jobs = make([]*job.Job, len(tr.Jobs))
-		for i, jb := range tr.Jobs {
-			clone := *jb
-			jobs[i] = &clone
-		}
-		chainRng := newRand(seed + 99)
-		for i := range jobs {
-			if i > 0 && chainRng.Float64() < s.Trace.ChainFrac {
-				back := 1 + chainRng.Intn(min(i, 5))
-				jobs[i].DependsOn = jobs[i].ID - back
-			}
-		}
-	}
+	nodes := params.SystemNodes
 
 	var tasks []sweep.Task[ScenarioRow]
 	for _, pct := range mems {

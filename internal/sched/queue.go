@@ -98,3 +98,11 @@ func (q *Queue) Contains(jobID int) bool {
 	}
 	return false
 }
+
+// Clone returns a deep copy of the queue for simulation forking: same
+// entries (including their stable-FIFO insertion order), same seq counter,
+// same peak watermark — a forked simulator's queue evolves exactly like the
+// original's would.
+func (q *Queue) Clone() Queue {
+	return Queue{items: append([]Entry(nil), q.items...), seq: q.seq, peak: q.peak}
+}

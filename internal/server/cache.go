@@ -5,6 +5,8 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+
+	"dismem/internal/experiments"
 )
 
 // entry is one scenario in the store: first a single-flight computation —
@@ -31,6 +33,14 @@ type entry struct {
 	result    []byte // rendered response JSON
 	telemetry []byte // assembled JSONL stream
 	err       error
+
+	// spec is the scenario document this entry computed, retained because
+	// the branch endpoint needs it to re-simulate a cached result's prefix
+	// (the id is a hash and cannot be inverted). Written by the submitting
+	// handler before the run goroutine starts; readers observe it only
+	// after completed, so the go statement and store.mu order the accesses.
+	// Nil for branch entries: branches of branches are rejected.
+	spec *experiments.ScenarioSpec
 
 	elem *list.Element // LRU position; non-nil only for cached successes
 }

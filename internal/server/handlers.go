@@ -32,11 +32,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	e, started := s.store.join(s.base, id)
 	if started {
+		e.spec = spec // retained for the branch endpoint
 		s.metricsMu.Lock()
 		s.started++
 		s.metricsMu.Unlock()
 		go s.run(e, spec)
 	}
+	s.await(w, r, e)
+}
+
+// await blocks on one joined entry and writes its outcome — the shared tail
+// of every single-flight handler.
+func (s *Server) await(w http.ResponseWriter, r *http.Request, e *entry) {
 	select {
 	case <-e.done:
 	case <-r.Context().Done():
@@ -51,6 +58,48 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeResult(w, e.result)
+}
+
+// handleBranch is POST /v1/scenarios/{id}/branch: fork a completed
+// scenario's selected cell at a branch point and run what-if variants off
+// the shared prefix. The branch result is content-addressed like a
+// scenario — its key folds the parent's key with every branch dimension —
+// so identical concurrent branch requests collapse onto one prefix
+// re-simulation and the rendering caches in the same LRU (a branch id also
+// answers plain GET /v1/scenarios/{id}). The parent must have completed:
+// branching needs its retained spec, and an in-flight parent answers 202
+// exactly as a GET peek does.
+func (s *Server) handleBranch(w http.ResponseWriter, r *http.Request) {
+	br, err := experiments.LoadBranchSpec(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id := r.PathValue("id")
+	parent, known, done := s.store.peek(id)
+	switch {
+	case !known:
+		writeError(w, http.StatusNotFound, errors.New("server: unknown scenario id"))
+		return
+	case !done:
+		writeRunning(w)
+		return
+	case parent.spec == nil:
+		writeError(w, http.StatusConflict, errors.New("server: id names a branch result, not a scenario"))
+		return
+	}
+	if err := br.ValidateFor(parent.spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	e, started := s.store.join(s.base, experiments.BranchKey(id, br))
+	if started {
+		s.metricsMu.Lock()
+		s.started++
+		s.metricsMu.Unlock()
+		go s.runBranch(e, parent.spec, br)
+	}
+	s.await(w, r, e)
 }
 
 // handleGet is GET /v1/scenarios/{id}: a non-blocking peek. Unknown keys

@@ -54,6 +54,50 @@ func RenderResult(id, preset string, res *experiments.ScenarioResult) []byte {
 	return b
 }
 
+// RenderBranchResult encodes a what-if branch result in RenderResult's
+// deterministic style: fixed field order, strconv formatting, byte-identical
+// for identical results, so branch responses are content-addressable under
+// experiments.BranchKey exactly like scenario responses. The "base" row
+// leads; its CoW counters are zero by definition (the base pays no copies).
+func RenderBranchResult(id, preset string, res *experiments.BranchResult) []byte {
+	b := make([]byte, 0, 256+192*len(res.Rows))
+	b = append(b, `{"id":`...)
+	b = strconv.AppendQuote(b, id)
+	b = append(b, `,"preset":`...)
+	b = strconv.AppendQuote(b, preset)
+	b = append(b, `,"name":`...)
+	b = strconv.AppendQuote(b, res.Name)
+	b = append(b, `,"rows":[`...)
+	for i, row := range res.Rows {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"name":`...)
+		b = strconv.AppendQuote(b, row.Name)
+		b = append(b, `,"policy":`...)
+		b = strconv.AppendQuote(b, row.Policy)
+		b = append(b, `,"completed":`...)
+		b = strconv.AppendInt(b, int64(row.Completed), 10)
+		b = append(b, `,"oom_kills":`...)
+		b = strconv.AppendInt(b, int64(row.OOMKills), 10)
+		b = append(b, `,"makespan_s":`...)
+		b = appendFloat(b, row.Makespan)
+		b = append(b, `,"throughput":`...)
+		b = appendFloat(b, row.Throughput)
+		b = append(b, `,"mean_stretch":`...)
+		b = appendFloat(b, row.MeanStretch)
+		b = append(b, `,"shared_events":`...)
+		b = strconv.AppendUint(b, row.SharedEvents, 10)
+		b = append(b, `,"cow_node_copies":`...)
+		b = strconv.AppendInt(b, row.NodeCopies, 10)
+		b = append(b, `,"cow_shard_thaws":`...)
+		b = strconv.AppendInt(b, row.ShardThaws, 10)
+		b = append(b, '}')
+	}
+	b = append(b, "]}\n"...)
+	return b
+}
+
 // appendFloat encodes finite floats bare and non-finite ones as quoted
 // strings, matching the telemetry JSONL convention.
 func appendFloat(b []byte, v float64) []byte {

@@ -43,6 +43,33 @@ func (s *Server) execute(ctx context.Context, id string, spec *experiments.Scena
 	return RenderResult(id, s.cfg.Preset.Name, res), cap.assemble(res), nil
 }
 
+// runBranch executes one admitted branch request to completion, mirroring
+// run: entry context, single writer, metrics. Branch entries cache their
+// rendering but carry no telemetry stream (the branch rows already report
+// the fork economics).
+func (s *Server) runBranch(e *entry, spec *experiments.ScenarioSpec, br *experiments.BranchSpec) {
+	start := time.Now()
+	result, err := s.branchFn(e.ctx, e.id, spec, br)
+	s.observeRun(time.Since(start), err)
+	s.store.complete(e, result, nil, err)
+}
+
+// executeBranch is the production branchFn: the same admission gate as a
+// scenario (the prefix re-simulation plus its concurrent branch suffixes
+// are one run's worth of load), then RunBranchSpec and a deterministic
+// rendering.
+func (s *Server) executeBranch(ctx context.Context, id string, spec *experiments.ScenarioSpec, br *experiments.BranchSpec) ([]byte, error) {
+	if err := s.adm.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.adm.release()
+	res, err := s.cfg.Preset.RunBranchSpec(ctx, spec, br)
+	if err != nil {
+		return nil, err
+	}
+	return RenderBranchResult(id, s.cfg.Preset.Name, res), nil
+}
+
 // telemetryCapture collects one JSONL stream per sweep cell. Cells run on
 // parallel sweep workers, so the factory hands each its own buffer (the
 // map is the only shared state); assembly happens after the sweep returns,

@@ -74,6 +74,9 @@ type Server struct {
 	// runFn computes one scenario; New wires it to (*Server).execute.
 	// Lifecycle tests substitute a controllable stand-in.
 	runFn func(ctx context.Context, id string, spec *experiments.ScenarioSpec) (result, tel []byte, err error)
+	// branchFn computes one what-if branch of a completed scenario; New
+	// wires it to (*Server).executeBranch.
+	branchFn func(ctx context.Context, id string, spec *experiments.ScenarioSpec, br *experiments.BranchSpec) ([]byte, error)
 
 	metricsMu sync.Mutex
 	runMS     *telemetry.Histogram // scenario wall time, milliseconds
@@ -95,6 +98,7 @@ func New(cfg Config) *Server {
 	}
 	s.store = newStore(cfg.CacheEntries)
 	s.runFn = s.execute
+	s.branchFn = s.executeBranch
 	return s
 }
 
@@ -102,6 +106,7 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/scenarios", s.handleSubmit)
+	mux.HandleFunc("POST /v1/scenarios/{id}/branch", s.handleBranch)
 	mux.HandleFunc("GET /v1/scenarios/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/scenarios/{id}/telemetry", s.handleTelemetry)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)

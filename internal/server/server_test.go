@@ -428,6 +428,176 @@ func TestValidationAndLookups(t *testing.T) {
 	close(release)
 }
 
+// postBranch POSTs a branch document against a scenario id.
+func postBranch(t *testing.T, client *http.Client, url, id, doc string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := client.Post(url+"/v1/scenarios/"+id+"/branch", "application/json", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// TestBranchEndpoint is the what-if e2e contract: a completed scenario's
+// cached state branches under variant overlays, the response is
+// byte-identical to an offline RunBranchSpec rendering, identical branch
+// requests single-flight onto one computation, and the branch result joins
+// the same cache (a branch id answers GET).
+func TestBranchEndpoint(t *testing.T) {
+	p := experiments.Bench()
+	s := New(Config{Preset: p, MaxInFlight: 2})
+	var branchRuns atomic.Int32
+	prod := s.branchFn
+	s.branchFn = func(ctx context.Context, id string, spec *experiments.ScenarioSpec, br *experiments.BranchSpec) ([]byte, error) {
+		branchRuns.Add(1)
+		return prod(ctx, id, spec, br)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const scenarioDoc = `{"name":"branchable","mem_pcts":[100],"policies":["dynamic"]}`
+	resp, body := postSpec(t, ts.Client(), ts.URL, scenarioDoc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scenario: status %d body %s", resp.StatusCode, body)
+	}
+	spec := loadSpec(t, scenarioDoc)
+	id, err := p.ScenarioKey(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const branchDoc = `{"mem_pct":100,"policy":"dynamic","at_time_s":3600,
+		"variants":[{"name":"noop"},{"name":"swap","policy":"static"},{"name":"repack","repack":true}]}`
+	codes := make([]int, 8)
+	bodies := make([]string, 8)
+	var wg sync.WaitGroup
+	for i := range codes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := ts.Client().Post(ts.URL+"/v1/scenarios/"+id+"/branch",
+				"application/json", strings.NewReader(branchDoc))
+			if err != nil {
+				t.Errorf("branch %d: %v", i, err)
+				return
+			}
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			codes[i], bodies[i] = resp.StatusCode, string(b)
+		}(i)
+	}
+	wg.Wait()
+	if n := branchRuns.Load(); n != 1 {
+		t.Fatalf("8 identical branch POSTs ran %d computations, want 1", n)
+	}
+	for i := range codes {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("branch %d: status %d body %s", i, codes[i], bodies[i])
+		}
+		if bodies[i] != bodies[0] {
+			t.Fatalf("branch %d received different bytes", i)
+		}
+	}
+
+	// The service boundary adds nothing: the offline branch run renders the
+	// identical document.
+	br, err := experiments.LoadBranchSpec(strings.NewReader(branchDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bres, err := p.RunBranchSpec(context.Background(), spec, br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bid := experiments.BranchKey(id, br)
+	if want := RenderBranchResult(bid, p.Name, bres); bodies[0] != string(want) {
+		t.Fatalf("daemon branch bytes != offline rendering\ndaemon:  %s\noffline: %s", bodies[0], want)
+	}
+	for _, frag := range []string{`"name":"base"`, `"name":"noop"`, `"name":"swap"`, `"name":"repack"`, `"shared_events":`} {
+		if !strings.Contains(bodies[0], frag) {
+			t.Fatalf("branch response missing %s: %s", frag, bodies[0])
+		}
+	}
+
+	// The branch result is cached under its own content address.
+	resp, cached := get(t, ts.URL+"/v1/scenarios/"+bid)
+	if resp.StatusCode != http.StatusOK || string(cached) != bodies[0] {
+		t.Fatalf("cached branch GET: status %d, bytes match %v", resp.StatusCode, string(cached) == bodies[0])
+	}
+}
+
+// TestBranchErrors covers the branch endpoint's error surface.
+func TestBranchErrors(t *testing.T) {
+	p := experiments.Bench()
+	s := New(Config{Preset: p})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const okBranch = `{"mem_pct":100,"policy":"dynamic","variants":[{"name":"noop"}]}`
+	resp, _ := postBranch(t, ts.Client(), ts.URL, "deadbeef", okBranch)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown scenario: status %d", resp.StatusCode)
+	}
+
+	const scenarioDoc = `{"name":"parent","mem_pcts":[100],"policies":["dynamic"]}`
+	if resp, body := postSpec(t, ts.Client(), ts.URL, scenarioDoc); resp.StatusCode != http.StatusOK {
+		t.Fatalf("scenario: status %d body %s", resp.StatusCode, body)
+	}
+	id := func() string {
+		k, err := p.ScenarioKey(loadSpec(t, scenarioDoc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}()
+
+	for name, tc := range map[string]struct {
+		doc  string
+		code int
+	}{
+		"malformed":    {`{"mem_pct":`, http.StatusBadRequest},
+		"unknown-knob": {`{"mem_pct":100,"policy":"dynamic","warp":9,"variants":[{"name":"a"}]}`, http.StatusBadRequest},
+		"no-variants":  {`{"mem_pct":100,"policy":"dynamic"}`, http.StatusBadRequest},
+		"foreign-cell": {`{"mem_pct":50,"policy":"dynamic","variants":[{"name":"a"}]}`, http.StatusBadRequest},
+		"foreign-pol":  {`{"mem_pct":100,"policy":"static","variants":[{"name":"a"}]}`, http.StatusBadRequest},
+	} {
+		if resp, body := postBranch(t, ts.Client(), ts.URL, id, tc.doc); resp.StatusCode != tc.code {
+			t.Fatalf("%s: status %d body %s, want %d", name, resp.StatusCode, body, tc.code)
+		}
+	}
+
+	// Branching a branch result is refused.
+	resp, body := postBranch(t, ts.Client(), ts.URL, id, okBranch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("branch: status %d body %s", resp.StatusCode, body)
+	}
+	br, err := experiments.LoadBranchSpec(strings.NewReader(okBranch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = postBranch(t, ts.Client(), ts.URL, experiments.BranchKey(id, br), okBranch)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("branch-of-branch: status %d, want 409", resp.StatusCode)
+	}
+
+	// An in-flight parent answers 202, like a GET peek.
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	stubRun(s, started, release)
+	go doPost(ts.Client(), ts.URL, namedSpec("inflight"))
+	slowID := <-started
+	resp, _ = postBranch(t, ts.Client(), ts.URL, slowID, okBranch)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("in-flight parent: status %d, want 202", resp.StatusCode)
+	}
+	close(release)
+}
+
 // TestStoreLRUEviction bounds the result cache: completing a third entry
 // under cap 2 evicts the least recently used.
 func TestStoreLRUEviction(t *testing.T) {

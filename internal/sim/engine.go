@@ -196,19 +196,7 @@ func (e *Engine) AfterTag(d float64, tag uint64, fn Action) Handle {
 // sampling, progress reporting) never keeps the queue from draining or the
 // run from terminating. A non-positive interval panics.
 func (e *Engine) Every(start, interval float64, fn Action) {
-	if interval <= 0 || math.IsNaN(interval) {
-		panic(fmt.Sprintf("sim: Every with interval %g", interval))
-	}
-	var tick Action
-	tick = func(e *Engine) {
-		fn(e)
-		// The firing tick has already been popped, so Pending counts only
-		// other work; reschedule only while there is some.
-		if e.Pending() > 0 {
-			e.Schedule(e.now+interval, tick)
-		}
-	}
-	e.Schedule(start, tick)
+	e.EveryTag(start, interval, 0, fn)
 }
 
 // recycle marks ev spent (invalidating every Handle stamped with the old

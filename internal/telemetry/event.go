@@ -75,6 +75,14 @@ const (
 	// digests of existing logs — are unchanged.
 	KindWindowStats
 
+	// KindBranch is emitted on the base run's recorder when a what-if
+	// branch forks off it: Aux is the shared-prefix event count the branch
+	// inherits without re-simulating, MB the branch's CoW node-slice copy
+	// count, Node its CoW shard-thaw count, and Detail the branch's variant
+	// name; Job is -1. Appended after the original kinds so their numeric
+	// values — and the golden digests of existing logs — are unchanged.
+	KindBranch
+
 	// KindCount is the number of event kinds (for counter arrays).
 	KindCount
 )
@@ -93,6 +101,7 @@ var kindNames = [KindCount]string{
 	"pool_watermark",
 	"job_attempt_end",
 	"window_stats",
+	"branch",
 }
 
 // String returns the event kind's wire name.

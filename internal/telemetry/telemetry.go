@@ -280,6 +280,22 @@ func (r *Recorder) WindowStats(windows, events, multi, independent int) {
 	})
 }
 
+// Branch records a what-if branch forking off this run: name identifies the
+// variant, sharedEvents is the prefix event count the branch inherited, and
+// nodeCopies/shardThaws are the branch's CoW materialisation counters at the
+// time of the report. Emitted on the BASE run's recorder (the branch records
+// its own suffix through a forked recorder), so a no-op branch's stream
+// stays byte-identical to a fresh run's.
+func (r *Recorder) Branch(name string, sharedEvents uint64, nodeCopies, shardThaws int64) {
+	if r == nil {
+		return
+	}
+	r.emit(Event{
+		Kind: KindBranch, Job: -1, Node: int(shardThaws), Lender: -1,
+		MB: nodeCopies, Aux: int64(sharedEvents), Detail: name,
+	})
+}
+
 // Sample records one fixed-interval snapshot into the columnar series and
 // forwards it to the sink.
 //
@@ -345,4 +361,25 @@ func (r *Recorder) Close() error {
 		}
 	}
 	return r.err
+}
+
+// Fork returns a recorder that continues this recorder's emission state on a
+// new sink: same sampling interval and watermark thresholds, same clock, and
+// the same watermark crossing levels (global and per-domain). A branched
+// simulation records through a fork, so the branch's suffix stream is
+// byte-identical to the suffix a fresh run would have emitted past the fork
+// point. Event counts and the sampled series start empty — they describe the
+// branch's own emissions. Forking a nil recorder yields nil.
+func (r *Recorder) Fork(sink Sink) *Recorder {
+	if r == nil {
+		return nil
+	}
+	return &Recorder{
+		sink:      sink,
+		interval:  r.interval,
+		marks:     r.marks, // sorted at construction, immutable after
+		level:     r.level,
+		domLevels: append([]int(nil), r.domLevels...),
+		now:       r.now,
+	}
 }

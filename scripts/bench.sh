@@ -5,16 +5,18 @@
 # Usage:  scripts/bench.sh [output.json]
 #
 # The default output name is BENCH_<n>.json in the repo root, where <n> is
-# taken from the BENCH_SEQ environment variable (default 5, the PR that
-# partitioned contention into per-rack pressure domains and unlocked
-# cross-event window parallelism).
+# taken from the BENCH_SEQ environment variable (default 6, the PR that made
+# the live simulation state forkable copy-on-write and added concurrent
+# what-if branching off one frozen base).
 # Benchmarks covered: the whole-figure pipeline benchmarks (Fig. 5 pooled
 # and serial, the replicated headlines, trace generation vs cache hit), the
 # end-to-end BenchmarkScenario suite (the preset-scale policies at 100x;
 # grizzly-scale, its parallel twin, and the 100k-node scenario separately at
 # 1x — one iteration is a full cluster-scale run), the refresh
 # micro-benchmark (incremental, rescan, and elided modes), the per-domain
-# refresh and windowed-dispatch benchmarks, and the
+# refresh and windowed-dispatch benchmarks, the copy-on-write fork suite
+# (snapshot cost, zero-alloc read path, first-write materialisation) and the
+# what-if branching headline (branched vs nine full runs), and the
 # micro-benchmarks for each indexed structure (lender ranking, sharded
 # ascend, dynamic placement, engine schedule/cancel, window dispatch, team
 # fan-out, trace cursor).
@@ -22,7 +24,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_${BENCH_SEQ:-5}.json}"
+out="${1:-BENCH_${BENCH_SEQ:-6}.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -42,14 +44,20 @@ run .                    'BenchmarkHeadlines$'          3x
 run .                    'BenchmarkTraceGeneration$'    1s 3
 run .                    'BenchmarkTraceCacheHit$'      1s 3
 run .                    'BenchmarkScenario$/^(baseline|static|dynamic)$' 100x 5
-run .                    'BenchmarkScenario$/^grizzly-scale$' 1x
-run .                    'BenchmarkScenario$/^grizzly-scale-parallel$' 1x
-run .                    'BenchmarkScenario$/^grizzly-scale-domains$' 1x
-run .                    'BenchmarkScenario$/^100k$'    1x
-run .                    'BenchmarkScenario$/^100k-domains$' 1x
+# The cluster-scale scenarios record the median of three single-iteration
+# runs: one shot of a multi-second benchmark tracks recorder load as much
+# as the code, and the cross-PR trajectory check diffs these recorded
+# numbers directly.
+run .                    'BenchmarkScenario$/^grizzly-scale$' 1x 3
+run .                    'BenchmarkScenario$/^grizzly-scale-parallel$' 1x 3
+run .                    'BenchmarkScenario$/^grizzly-scale-domains$' 1x 3
+run .                    'BenchmarkScenario$/^100k$'    1x 3
+run .                    'BenchmarkScenario$/^100k-domains$' 1x 3
+run .                    'BenchmarkWhatIf$'             1x 3
 run ./internal/core      'BenchmarkRefresh$'            1s 3
 run ./internal/core      'BenchmarkRefreshDomains'      1s 3
 run ./internal/core      'BenchmarkWindowedDispatch'    3x 3
+run ./internal/cluster   'BenchmarkFork$'               1s 3
 run ./internal/cluster   'BenchmarkLenderRank'          1s 3
 run ./internal/cluster   'BenchmarkShardedAscend'       1s 3
 run ./internal/policy    'BenchmarkPlaceDynamic'        1s 3
