@@ -1,13 +1,21 @@
 // Command dmplint runs dismem's static-analysis suite (internal/analysis)
 // over the module: detclock, maporder, nilsafe-emit, hotpath-alloc,
-// domainmerge, and cowalias enforce the determinism, hot-path,
-// pressure-domain, and copy-on-write invariants the runtime differential
-// and golden-digest tests can only detect after the fact.
+// domainmerge, cowalias, guardedby, atomiconly, ctxflow, and hotpath-reach
+// enforce the determinism, hot-path, pressure-domain, copy-on-write, and
+// concurrency-discipline invariants the runtime differential, golden-digest,
+// and -race tests can only detect after the fact.
+//
+// All targeted packages are loaded into one analysis module before any
+// analyzer runs: the interprocedural checks (guardedby, ctxflow,
+// hotpath-reach, atomiconly) need the whole call graph and module-wide fact
+// indexes, so linting packages one by one would silently weaken them.
 //
 // Usage:
 //
 //	dmplint ./...             lint packages (human-readable, exit 1 on findings)
 //	dmplint -json -out f.json ./...   also write findings as JSON (CI artifact)
+//	dmplint -sarif -sarif-out f.sarif ./...  write findings as SARIF 2.1.0 for
+//	                          code-scanning upload
 //	dmplint -selftest         run every analyzer over its bundled fixtures and
 //	                          fail unless each produces diagnostics — guards
 //	                          against the linter silently skipping testdata
@@ -44,10 +52,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dmplint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		jsonOut  = fs.Bool("json", false, "emit findings as a JSON array")
-		outPath  = fs.String("out", "", "write JSON findings to this file instead of stdout (implies -json)")
-		chdir    = fs.String("C", "", "resolve the module and patterns in this directory")
-		selftest = fs.Bool("selftest", false, "run analyzers over their bundled fixtures; fail if any analyzer finds nothing")
+		jsonOut   = fs.Bool("json", false, "emit findings as a JSON array")
+		outPath   = fs.String("out", "", "write JSON findings to this file instead of stdout (implies -json)")
+		sarifOut  = fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
+		sarifPath = fs.String("sarif-out", "", "write SARIF findings to this file instead of stdout (implies -sarif)")
+		chdir     = fs.String("C", "", "resolve the module and patterns in this directory")
+		selftest  = fs.Bool("selftest", false, "run analyzers over their bundled fixtures; fail if any analyzer finds nothing")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -74,23 +84,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	loader := analysis.NewLoader(modPath, modDir)
-	analyzers := analysis.All()
-	var diags []analysis.Diagnostic
+	pkgs := make([]*analysis.Package, 0, len(targets))
 	for _, tgt := range targets {
 		pkg, err := loader.LoadDir(tgt.importPath, tgt.dir)
 		if err != nil {
 			fmt.Fprintf(stderr, "dmplint: %v\n", err)
 			return 2
 		}
-		diags = append(diags, analysis.RunAnalyzers(pkg, analyzers)...)
+		pkgs = append(pkgs, pkg)
 	}
-	analysis.SortDiagnostics(diags)
+	diags := analysis.RunModule(analysis.NewModule(pkgs), analysis.All())
 
 	for _, d := range diags {
 		fmt.Fprintf(stderr, "%s\n", humanize(d, modDir))
 	}
 	if *jsonOut || *outPath != "" {
 		if err := writeJSON(diags, *outPath, stdout); err != nil {
+			fmt.Fprintf(stderr, "dmplint: %v\n", err)
+			return 2
+		}
+	}
+	if *sarifOut || *sarifPath != "" {
+		if err := writeSARIF(diags, modDir, *sarifPath, stdout); err != nil {
 			fmt.Fprintf(stderr, "dmplint: %v\n", err)
 			return 2
 		}
@@ -138,6 +153,10 @@ var selfTestFixtures = map[string]string{
 	"hotpath-alloc": "hotpath",
 	"domainmerge":   "domainmerge",
 	"cowalias":      "cowalias",
+	"guardedby":     "guardedby",
+	"atomiconly":    "atomiconly",
+	"ctxflow":       "ctxflow",
+	"hotpath-reach": "hotreach",
 }
 
 // runSelfTest loads every analyzer's fixture package and fails unless the

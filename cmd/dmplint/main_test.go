@@ -10,9 +10,11 @@ import (
 )
 
 // TestEndToEndFixtureModule runs the full dmplint pipeline — go list, module
-// resolution, loading, all four analyzers, JSON output — over a nested
-// fixture module carrying exactly one seeded violation per analyzer, and
-// asserts each diagnostic lands on the seeded line.
+// resolution, loading, the full analyzer suite, JSON output — over a nested
+// fixture module carrying exactly one seeded violation per position-pinned
+// analyzer, and asserts each diagnostic lands on the seeded line. (domainmerge
+// and cowalias target repo-internal APIs that have richer fixture coverage in
+// internal/analysis; the -selftest guard below keeps them from going blind.)
 func TestEndToEndFixtureModule(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	code := run([]string{"-C", "testdata/fixturemod", "-json", "./..."}, &stdout, &stderr)
@@ -34,6 +36,10 @@ func TestEndToEndFixtureModule(t *testing.T) {
 		{"hotpath-alloc", "hot/hot.go", 11},
 		{"maporder", "agg/agg.go", 9},
 		{"nilsafe-emit", "internal/telemetry/recorder.go", 9},
+		{"guardedby", "guarded/guarded.go", 15},
+		{"atomiconly", "counters/counters.go", 13},
+		{"ctxflow", "internal/server/srv.go", 16},
+		{"hotpath-reach", "reach/reach.go", 11},
 	}
 	if len(diags) != len(expected) {
 		t.Fatalf("got %d diagnostics, want %d:\n%s", len(diags), len(expected), stderr.String())
@@ -57,6 +63,92 @@ func TestEndToEndFixtureModule(t *testing.T) {
 		if !strings.Contains(stderr.String(), "("+want.analyzer+")") {
 			t.Errorf("stderr report missing a %s finding:\n%s", want.analyzer, stderr.String())
 		}
+	}
+}
+
+// TestSARIFOutput pins the -sarif rendering over the same fixture module:
+// valid SARIF 2.1.0 shape, one rule per analyzer plus the directive
+// pseudo-rule, and module-relative slash-separated URIs on every result.
+func TestSARIFOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", "testdata/fixturemod", "-sarif", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run exited %d, want 1 (findings)\nstderr:\n%s", code, stderr.String())
+	}
+
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output unparseable: %v\n%s", err, stdout.String())
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "dmplint" {
+		t.Errorf("driver name = %q, want dmplint", run.Tool.Driver.Name)
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	for _, a := range analysis.All() {
+		if !ruleIDs[a.Name] {
+			t.Errorf("rules missing analyzer %s", a.Name)
+		}
+	}
+	if !ruleIDs["dmplint"] {
+		t.Error("rules missing the dmplint directive pseudo-rule")
+	}
+	if len(run.Results) != 8 {
+		t.Fatalf("got %d results, want 8 (one per seeded violation)", len(run.Results))
+	}
+	for _, r := range run.Results {
+		if r.Level != "error" {
+			t.Errorf("%s: level = %q, want error", r.RuleID, r.Level)
+		}
+		if len(r.Locations) != 1 {
+			t.Fatalf("%s: got %d locations, want 1", r.RuleID, len(r.Locations))
+		}
+		uri := r.Locations[0].PhysicalLocation.ArtifactLocation.URI
+		if strings.HasPrefix(uri, "/") || strings.Contains(uri, "\\") {
+			t.Errorf("%s: URI %q is not module-relative slash-separated", r.RuleID, uri)
+		}
+		if r.Locations[0].PhysicalLocation.Region.StartLine <= 0 {
+			t.Errorf("%s: missing startLine", r.RuleID)
+		}
+	}
+	if run.Results[0].RuleID == "" {
+		t.Error("first result has no ruleId")
 	}
 }
 

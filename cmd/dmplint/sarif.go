@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dismem/internal/analysis"
+)
+
+// This file renders dmplint findings as a minimal SARIF 2.1.0 log — the
+// schema GitHub code scanning ingests — so CI can upload the lint run as a
+// scanning artifact instead of a bare JSON blob. Only the required subset is
+// emitted: one run, one tool driver with a rule per analyzer, and one result
+// per diagnostic with a physical location. File URIs are module-relative so
+// the log is stable across checkouts.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// writeSARIF renders the findings as SARIF 2.1.0 to the given file or, with
+// no file, to stdout.
+func writeSARIF(diags []analysis.Diagnostic, modDir, path string, stdout io.Writer) error {
+	rules := make([]sarifRule, 0, len(analysis.All())+1)
+	for _, a := range analysis.All() {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
+	}
+	rules = append(rules, sarifRule{ID: "dmplint", ShortDescription: sarifText{
+		Text: "malformed or stale //dmplint:ignore directives"}})
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		uri := d.File
+		if rel, err := filepath.Rel(modDir, uri); err == nil && !strings.HasPrefix(rel, "..") {
+			uri = rel
+		}
+		uri = filepath.ToSlash(uri)
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifText{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: uri},
+					Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "dmplint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,13 @@
+// Package counters seeds one atomiconly violation: a counter accessed
+// through sync/atomic in one place and with a plain store in another.
+package counters
+
+import "sync/atomic"
+
+var ops int64
+
+// Bump counts one operation.
+func Bump() { atomic.AddInt64(&ops, 1) }
+
+// Reset zeroes the counter behind the atomics' back.
+func Reset() { ops = 0 } // seeded atomiconly violation (line 13)

@@ -1,0 +1,23 @@
+// Package guarded seeds one guardedby violation: a bare read of a
+// mutex-guarded field.
+package guarded
+
+import "sync"
+
+// Box pairs a mutex with the field it guards.
+type Box struct {
+	mu sync.Mutex
+	n  int //dmp:guardedby(mu)
+}
+
+// Peek reads the guarded field without taking the lock.
+func (b *Box) Peek() int {
+	return b.n // seeded guardedby violation (line 15)
+}
+
+// Bump shows the disciplined access so the annotation is exercised both ways.
+func (b *Box) Bump() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+}

@@ -1,0 +1,19 @@
+// Package server seeds one ctxflow violation: a handler that mints a fresh
+// background context instead of threading the request context. The types
+// are name-matched stand-ins, mirroring the analyzer's handler detection.
+package server
+
+import "context"
+
+// ResponseWriter stands in for net/http's interface of the same name.
+type ResponseWriter interface{ Write([]byte) (int, error) }
+
+// Request stands in for net/http's type of the same name.
+type Request struct{}
+
+// Handle drops the request context on the floor.
+func Handle(w ResponseWriter, r *Request) {
+	work(context.Background()) // seeded ctxflow violation (line 16)
+}
+
+func work(ctx context.Context) { <-ctx.Done() }

@@ -1,0 +1,16 @@
+// Package reach seeds one hotpath-reach violation: an annotated hot
+// function delegating to a helper that fails the allocation checks.
+package reach
+
+import "fmt"
+
+// Step is the annotated hot function; its own body is clean.
+//
+//dmp:hotpath
+func Step(id int) string {
+	return describe(id) // seeded hotpath-reach violation (line 11)
+}
+
+func describe(id int) string {
+	return fmt.Sprintf("step-%d", id)
+}

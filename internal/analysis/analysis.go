@@ -1,12 +1,19 @@
 // Package analysis is dismem's static-analysis layer: a small, dependency-free
-// framework in the shape of golang.org/x/tools/go/analysis, plus the six
+// framework in the shape of golang.org/x/tools/go/analysis, plus the ten
 // repo-specific analyzers (detclock, maporder, nilsafe-emit, hotpath-alloc,
-// domainmerge, cowalias) that turn the simulator's hand-maintained
-// determinism, hot-path, pressure-domain, and copy-on-write invariants into
+// domainmerge, cowalias, guardedby, atomiconly, ctxflow, hotpath-reach) that
+// turn the simulator's hand-maintained determinism, hot-path,
+// pressure-domain, copy-on-write, and concurrency-discipline invariants into
 // compile-time diagnostics.
 //
-// The runtime differential and golden-digest tests detect a determinism
-// violation but cannot localize it; these analyzers point at the exact line.
+// The per-function checks see one package at a time; the interprocedural
+// ones (guardedby, atomiconly, ctxflow, hotpath-reach) work over a Module —
+// all loaded packages plus a lazily-built whole-module call graph and a
+// shared fact cache — so lock obligations, atomic-access contracts, and
+// hot-path reachability propagate across function and package boundaries.
+//
+// The runtime differential, golden-digest, and -race tests detect these bug
+// classes but cannot localize them; the analyzers point at the exact line.
 // They run as `go run ./cmd/dmplint ./...` and as a required CI step.
 //
 // The framework mirrors the x/tools Analyzer/Pass/Diagnostic split so the
@@ -51,6 +58,13 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Module is the whole target set of the run; interprocedural analyzers
+	// reach the call graph and module-wide fact indexes through it. Always
+	// non-nil: single-package entry points wrap the package in a singleton
+	// module.
+	Module *Module
+
+	pkg   *Package
 	diags []Diagnostic
 }
 
@@ -189,28 +203,11 @@ func applySuppressions(diags []Diagnostic, sups []*suppression) []Diagnostic {
 
 // RunAnalyzers applies every analyzer whose PathFilter admits the package,
 // then filters the findings through the package's //dmplint:ignore
-// directives. The returned diagnostics are sorted by position.
+// directives. The returned diagnostics are sorted by position. The package
+// is treated as a module of one: interprocedural analyzers see a call graph
+// limited to it. Whole-module runs go through RunModule instead.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
-	for _, a := range analyzers {
-		if a.PathFilter != nil && !a.PathFilter(pkg.Path) {
-			continue
-		}
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.Info,
-		}
-		a.Run(pass)
-		diags = append(diags, pass.diags...)
-	}
-	sups, malformed := collectSuppressions(pkg.Fset, pkg.Files)
-	diags = applySuppressions(diags, sups)
-	diags = append(diags, malformed...)
-	SortDiagnostics(diags)
-	return diags
+	return runPackage(NewModule([]*Package{pkg}), pkg, analyzers)
 }
 
 // SortDiagnostics orders findings by file, line, column, analyzer.
@@ -232,7 +229,10 @@ func SortDiagnostics(diags []Diagnostic) {
 
 // All returns the full dmplint analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{DetClock, MapOrder, NilSafeEmit, HotPathAlloc, DomainMerge, CowAlias}
+	return []*Analyzer{
+		DetClock, MapOrder, NilSafeEmit, HotPathAlloc, DomainMerge, CowAlias,
+		GuardedBy, AtomicOnly, CtxFlow, HotPathReach,
+	}
 }
 
 // guardedPackages are the deterministic simulator packages: everything that

@@ -58,11 +58,22 @@ func checkWants(t *testing.T, fset *token.FileSet, pkg *analysis.Package, diags 
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-				if !strings.HasPrefix(text, "want ") {
+				// Expectations either open the comment or follow an embedded
+				// "// want" marker — the latter lets a line carry both a
+				// //dmp: annotation (whose misuse is the diagnostic under
+				// test) and its expectation, since a line comment cannot be
+				// split in two.
+				rest, found := strings.CutPrefix(text, "want ")
+				if !found {
+					if i := strings.Index(text, "// want "); i >= 0 {
+						rest, found = text[i+len("// want "):], true
+					}
+				}
+				if !found {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				for _, m := range wantRE.FindAllStringSubmatch(text[len("want "):], -1) {
+				for _, m := range wantRE.FindAllStringSubmatch(rest, -1) {
 					pattern := m[1]
 					if pattern == "" {
 						pattern = m[2]

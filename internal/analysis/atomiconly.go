@@ -1,0 +1,312 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicOnlyDirective marks a counter whose every access must go through
+// sync/atomic:
+//
+//	hits int64 //dmp:atomiconly
+//
+// The annotation is optional for plain-typed fields — any field the module
+// touches through sync/atomic functions is enforced automatically — but
+// writing it makes the contract explicit and survives refactors that
+// temporarily remove the atomic accesses (which would otherwise silently
+// drop enforcement; with the annotation they surface as a stale directive).
+const AtomicOnlyDirective = "dmp:atomiconly"
+
+// AtomicOnly enforces all-or-nothing atomicity on shared counters, the
+// tracegen.CacheStats / server-metrics pattern. Three rules, all module-wide:
+//
+//  1. A plain-typed field or package variable that is passed to a sync/atomic
+//     function (atomic.AddInt64(&s.hits, 1)) anywhere in the module — or that
+//     carries //dmp:atomiconly — must never be read or written directly: one
+//     plain access racing the atomic ones is a data race that -race only
+//     catches on the schedules it happens to run.
+//  2. A field or variable of a sync/atomic type (atomic.Int64, atomic.Value,
+//     ...) may only be used as a method receiver or have its address taken.
+//     Whole-value stores (t.state = atomic.Value{}) and copies tear the value
+//     out from under concurrent Load/CompareAndSwap callers; go vet's
+//     copylocks misses atomic.Value, which carries no noCopy sentinel.
+//  3. A //dmp:atomiconly annotation on something the module never actually
+//     accesses atomically is stale and reported, like every other dmp
+//     annotation.
+//
+// Keyed composite-literal elements are exempt: initialization happens before
+// the value is shared.
+var AtomicOnly = &Analyzer{
+	Name: "atomiconly",
+	Doc: "fields accessed through sync/atomic anywhere in the module (or marked " +
+		"//dmp:atomiconly) must never see a plain load or store, and values of " +
+		"sync/atomic types must never be copied or overwritten wholesale",
+	Run: runAtomicOnly,
+}
+
+// atomicFact is what the module knows about one enforced variable.
+type atomicFact struct {
+	name     string
+	typed    bool // type is declared in sync/atomic
+	declared bool // carries //dmp:atomiconly
+	declFile string
+	declPos  token.Pos
+	viaFuncs bool // address passed to a sync/atomic function somewhere
+	typedUse bool // atomic-typed methods called on it somewhere
+}
+
+type atomicIndex struct {
+	vars  map[*types.Var]*atomicFact
+	stale []indexDiag
+}
+
+func atomicOnlyIndex(pass *Pass) *atomicIndex {
+	return pass.Module.Cached("atomiconly.index", func() any {
+		return buildAtomicIndex(pass.Module)
+	}).(*atomicIndex)
+}
+
+func buildAtomicIndex(m *Module) *atomicIndex {
+	idx := &atomicIndex{vars: make(map[*types.Var]*atomicFact)}
+	fact := func(v *types.Var) *atomicFact {
+		f := idx.vars[v]
+		if f == nil {
+			f = &atomicFact{name: v.Name(), typed: typeIn(v.Type(), "sync/atomic")}
+			idx.vars[v] = f
+		}
+		return f
+	}
+	declare := func(pkg *Package, obj types.Object, arg string, dpos token.Pos) {
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return
+		}
+		file := pkg.Fset.Position(dpos).Filename
+		if arg != "" {
+			idx.stale = append(idx.stale, indexDiag{file, dpos, fmt.Sprintf(
+				"malformed //dmp:atomiconly on %s: takes no argument", v.Name())})
+			return
+		}
+		f := fact(v)
+		f.declared = true
+		f.declFile = file
+		f.declPos = dpos
+	}
+	for _, pkg := range m.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.StructType:
+					if x.Fields == nil {
+						return true
+					}
+					for _, field := range x.Fields.List {
+						arg, dpos, found := fieldDirective(field, AtomicOnlyDirective)
+						for _, nameID := range field.Names {
+							obj := pkg.Info.Defs[nameID]
+							if found {
+								declare(pkg, obj, arg, dpos)
+							} else if v, ok := obj.(*types.Var); ok && typeIn(v.Type(), "sync/atomic") {
+								fact(v) // rule 2 applies to every atomic-typed field
+							}
+						}
+					}
+				case *ast.ValueSpec:
+					arg, dpos, found := specDirective(x, AtomicOnlyDirective)
+					for _, nameID := range x.Names {
+						obj := pkg.Info.Defs[nameID]
+						if found {
+							declare(pkg, obj, arg, dpos)
+						} else if v, ok := obj.(*types.Var); ok && !v.IsField() &&
+							v.Pkg() != nil && v.Parent() == v.Pkg().Scope() &&
+							typeIn(v.Type(), "sync/atomic") {
+							fact(v)
+						}
+					}
+				case *ast.CallExpr:
+					if path, _, ok := pkgFuncCallInfo(pkg.Info, x); ok && path == "sync/atomic" {
+						for _, a := range x.Args {
+							if u, ok := ast.Unparen(a).(*ast.UnaryExpr); ok && u.Op == token.AND {
+								if v := atomicTargetVar(pkg.Info, u.X); v != nil {
+									fact(v).viaFuncs = true
+								}
+							}
+						}
+						return true
+					}
+					if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+						if v := atomicTargetVar(pkg.Info, sel.X); v != nil && typeIn(v.Type(), "sync/atomic") {
+							fact(v).typedUse = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return idx
+}
+
+// atomicTargetVar resolves an expression to the field or package-level
+// variable it names, or nil: locals have purely local discipline and are the
+// province of -race, not this analyzer.
+func atomicTargetVar(info *types.Info, e ast.Expr) *types.Var {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok && v.IsField() {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok && !v.IsField() &&
+			v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v
+		}
+	}
+	return nil
+}
+
+func runAtomicOnly(pass *Pass) {
+	idx := atomicOnlyIndex(pass)
+	inPass := make(map[string]bool, len(pass.Files))
+	for _, f := range pass.Files {
+		inPass[pass.Fset.Position(f.Pos()).Filename] = true
+	}
+	for _, d := range idx.stale {
+		if inPass[d.file] {
+			pass.Reportf(d.pos, "%s", d.msg)
+		}
+	}
+	for _, fct := range idx.vars {
+		if !fct.declared || !inPass[fct.declFile] {
+			continue
+		}
+		switch {
+		case !fct.typed && !fct.viaFuncs:
+			pass.Reportf(fct.declPos,
+				"stale //dmp:atomiconly on %s: no sync/atomic access to it anywhere in the module", fct.name)
+		case fct.typed && !fct.typedUse:
+			pass.Reportf(fct.declPos,
+				"stale //dmp:atomiconly on %s: never accessed through its atomic methods", fct.name)
+		}
+	}
+	if len(idx.vars) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		checkAtomicAccesses(pass, idx, f)
+	}
+}
+
+// parentMap records each node's syntactic parent within one file.
+type parentMap map[ast.Node]ast.Node
+
+func buildParents(f *ast.File) parentMap {
+	pm := make(parentMap)
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			pm[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return pm
+}
+
+// parentSkippingParens walks up through ParenExprs.
+func parentSkippingParens(pm parentMap, n ast.Node) ast.Node {
+	p := pm[n]
+	for {
+		pe, ok := p.(*ast.ParenExpr)
+		if !ok {
+			return p
+		}
+		p = pm[pe]
+	}
+}
+
+func checkAtomicAccesses(pass *Pass, idx *atomicIndex, f *ast.File) {
+	pm := buildParents(f)
+	info := pass.TypesInfo
+	ast.Inspect(f, func(n ast.Node) bool {
+		var fv *types.Var
+		var node ast.Expr
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if v, ok := info.Uses[x.Sel].(*types.Var); ok && v.IsField() {
+				fv, node = v, x
+			}
+		case *ast.Ident:
+			if p, ok := pm[x].(*ast.SelectorExpr); ok && p.Sel == x {
+				return true // counted at the enclosing selector
+			}
+			if v, ok := info.Uses[x].(*types.Var); ok && !v.IsField() &&
+				v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				fv, node = v, x
+			}
+		}
+		if fv == nil {
+			return true
+		}
+		fct := idx.vars[fv]
+		if fct == nil {
+			return true
+		}
+		parent := parentSkippingParens(pm, node)
+		// Keyed composite-literal elements: initialization before sharing.
+		if kv, ok := parent.(*ast.KeyValueExpr); ok && kv.Key == node {
+			if _, isLit := pm[kv].(*ast.CompositeLit); isLit {
+				return true
+			}
+		}
+		if fct.typed {
+			switch p := parent.(type) {
+			case *ast.SelectorExpr:
+				// Method receiver: x.f.Add(1).
+				if call, ok := parentSkippingParens(pm, p).(*ast.CallExpr); ok && ast.Unparen(call.Fun) == p {
+					return true
+				}
+			case *ast.UnaryExpr:
+				if p.Op == token.AND {
+					return true // address taken: methods called through the pointer
+				}
+			}
+			name := renderExpr(node)
+			if name == "" {
+				name = fct.name
+			}
+			pass.Reportf(node.Pos(),
+				"whole-value access to %s: sync/atomic values must not be copied or overwritten; use their methods",
+				name)
+			return true
+		}
+		if !fct.declared && !fct.viaFuncs {
+			return true
+		}
+		// Plain-typed enforced target: the only sanctioned use is &x passed
+		// straight into a sync/atomic call.
+		if u, ok := parent.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			if call, ok := parentSkippingParens(pm, u).(*ast.CallExpr); ok {
+				if path, _, isPkg := pkgFuncCall(pass, call); isPkg && path == "sync/atomic" {
+					return true
+				}
+			}
+		}
+		name := renderExpr(node)
+		if name == "" {
+			name = fct.name
+		}
+		reason := "it is accessed via sync/atomic elsewhere in the module"
+		if fct.declared {
+			reason = "it is marked //dmp:atomiconly"
+		}
+		pass.Reportf(node.Pos(), "plain access to %s: %s; use sync/atomic", name, reason)
+		return true
+	})
+}

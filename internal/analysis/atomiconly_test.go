@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"dismem/internal/analysis"
+	"dismem/internal/analysis/analysistest"
+)
+
+func TestAtomicOnly(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.AtomicOnly, "atomiconly")
+}

@@ -1,0 +1,296 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file builds dmplint's module-wide call graph, the substrate the
+// interprocedural analyzers (guardedby, ctxflow, hotpath-reach) walk. The
+// graph is intentionally static and syntax-directed:
+//
+//   - direct calls to package-level functions (f(), pkg.F()) and method
+//     calls on concrete receivers (x.M(), including promoted methods and
+//     generic instantiations) resolve through the type info to exactly one
+//     *types.Func and become edges;
+//   - calls through function values (locals, parameters, struct fields) and
+//     through interface methods cannot be resolved without a points-to
+//     analysis and are recorded as DynCalls instead of edges. Analyzers that
+//     need soundness over the graph (hotpath-reach) surface function-value
+//     DynCalls as explicit escape-hatch diagnostics, so an unverifiable hot
+//     call is a visible, allowlistable fact rather than a silent hole.
+//     Interface dispatch is the module's sanctioned polymorphism boundary
+//     (Sink, Policy, Backfiller) and stays silent; its implementations are
+//     covered at their own definitions.
+//
+// Calls inside function literals attach to the enclosing declared function:
+// for reachability purposes a closure's body is work its definer may cause,
+// which errs conservative for the hot-path closure check.
+type Graph struct {
+	// Funcs maps every declared function and method in the module to its
+	// node. Functions without bodies (declarations only) are absent.
+	Funcs map[*types.Func]*FuncNode
+
+	// FieldFuncs is a one-step points-to table for function-typed struct
+	// fields: every declared function the module ever assigns to the field,
+	// via `x.f = F` / `x.f = recv.M` or a composite-literal element. A
+	// DynCall through such a field (recorded in DynCall.Field) can then be
+	// expanded to this set — exact for the repo's wiring pattern, where a
+	// field is assigned once in a constructor and only tests re-point it.
+	FieldFuncs map[*types.Var][]*types.Func
+}
+
+// FuncNode is one declared function with its outgoing calls.
+type FuncNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+
+	Calls []Edge    // statically resolved calls, in source order
+	Dyn   []DynCall // calls the graph cannot follow, in source order
+}
+
+// Edge is one resolved static call.
+type Edge struct {
+	Callee *types.Func
+	Call   *ast.CallExpr
+	Pos    token.Pos
+}
+
+// DynCall is one call the static graph cannot follow.
+type DynCall struct {
+	Call *ast.CallExpr
+	Pos  token.Pos
+	// Through names what the call goes through: "function value" or
+	// "interface method".
+	Through string
+	// Field is the struct field the function value was read from, when the
+	// call is x.f(...) with f a function-typed field; Graph.FieldFuncs[Field]
+	// then lists the possible callees. Nil for other dynamic calls.
+	Field *types.Var
+}
+
+// BuildGraph constructs the call graph over the given packages.
+func BuildGraph(pkgs []*Package) *Graph {
+	g := &Graph{
+		Funcs:      make(map[*types.Func]*FuncNode),
+		FieldFuncs: make(map[*types.Var][]*types.Func),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &FuncNode{Fn: fn, Decl: fd, Pkg: pkg}
+				collectCalls(pkg, fd, node)
+				g.Funcs[fn] = node
+			}
+			collectFieldWiring(pkg, f, g.FieldFuncs)
+		}
+	}
+	return g
+}
+
+// collectFieldWiring records which declared functions are stored into
+// function-typed struct fields, from assignments (`s.runFn = s.execute`)
+// and keyed composite-literal elements (`&Server{runFn: execute}`).
+func collectFieldWiring(pkg *Package, f *ast.File, out map[*types.Var][]*types.Func) {
+	record := func(field types.Object, rhs ast.Expr) {
+		v, ok := field.(*types.Var)
+		if !ok || !v.IsField() {
+			return
+		}
+		fn := staticFuncRef(pkg.Info, rhs)
+		if fn == nil {
+			return
+		}
+		for _, prev := range out[v] {
+			if prev == fn {
+				return
+			}
+		}
+		out[v] = append(out[v], fn)
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				if i >= len(x.Rhs) {
+					break
+				}
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if obj, found := pkg.Info.Uses[sel.Sel]; found {
+					record(obj, x.Rhs[i])
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range x.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if obj, found := pkg.Info.Uses[key]; found {
+					record(obj, kv.Value)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// staticFuncRef resolves an expression used as a value to the declared
+// function it references: a bare function identifier, a qualified pkg.F,
+// or a method value recv.M. Returns nil for anything else.
+func staticFuncRef(info *types.Info, e ast.Expr) *types.Func {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[x].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[x.Sel].(*types.Func); ok {
+			if sel, found := info.Selections[x]; found && types.IsInterface(sel.Recv()) {
+				return nil // interface method value: target unknown
+			}
+			return fn
+		}
+	}
+	return nil
+}
+
+// Node returns the graph node for fn, or nil for functions the module does
+// not declare (stdlib, bodyless declarations).
+func (g *Graph) Node(fn *types.Func) *FuncNode { return g.Funcs[fn] }
+
+// collectCalls records every call in fd's body (function literals included)
+// on node, classifying each as a static edge or a dynamic call.
+func collectCalls(pkg *Package, fd *ast.FuncDecl, node *FuncNode) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee, through, field := ResolveCall(pkg.Info, call)
+		switch {
+		case callee != nil:
+			node.Calls = append(node.Calls, Edge{Callee: callee, Call: call, Pos: call.Pos()})
+		case through != "":
+			node.Dyn = append(node.Dyn, DynCall{Call: call, Pos: call.Pos(), Through: through, Field: field})
+		}
+		return true
+	})
+}
+
+// ResolveCall resolves one call expression to its static callee. It returns
+// (callee, "", nil) for a resolved call, (nil, through, field) for a dynamic
+// call the graph cannot follow (field non-nil when the call reads a
+// function-typed struct field), and (nil, "", nil) for non-calls in call
+// syntax (type conversions, builtins) and immediately-invoked function
+// literals (whose bodies are walked in place).
+func ResolveCall(info *types.Info, call *ast.CallExpr) (callee *types.Func, through string, field *types.Var) {
+	fun := ast.Unparen(call.Fun)
+	// Generic instantiation: Submit[T](...) / x.M[T](...).
+	switch ix := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ix.X
+	case *ast.IndexListExpr:
+		fun = ix.X
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[f].(type) {
+		case *types.Func:
+			return obj, "", nil
+		case *types.Builtin, *types.TypeName, nil:
+			return nil, "", nil
+		case *types.Var:
+			return nil, "function value", nil
+		}
+		return nil, "", nil
+	case *ast.SelectorExpr:
+		// pkg.F(...): qualified reference to a package-level function.
+		if id, ok := f.X.(*ast.Ident); ok {
+			if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+				if fn, ok := info.Uses[f.Sel].(*types.Func); ok {
+					return fn, "", nil
+				}
+				return nil, "", nil // pkg.Type(...) conversion
+			}
+		}
+		sel, ok := info.Selections[f]
+		if !ok {
+			// Qualified type in a conversion, or unresolved.
+			return nil, "", nil
+		}
+		switch sel.Kind() {
+		case types.MethodVal:
+			if types.IsInterface(sel.Recv()) {
+				return nil, "interface method", nil
+			}
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn, "", nil
+			}
+			return nil, "", nil
+		case types.FieldVal:
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return nil, "function value", v
+			}
+			return nil, "function value", nil
+		}
+		return nil, "", nil
+	case *ast.FuncLit:
+		return nil, "", nil // body walked in place by the enclosing inspection
+	}
+	// Anything else producing a func value: index into a slice of funcs,
+	// call returning a func, type assertion, ...
+	if t := info.TypeOf(call.Fun); t != nil {
+		if _, isSig := t.Underlying().(*types.Signature); isSig {
+			return nil, "function value", nil
+		}
+	}
+	return nil, "", nil
+}
+
+// Reachable walks the static edges from the given roots and returns every
+// module-declared function reachable from them, roots included. stop, when
+// non-nil, prunes the walk: a function for which stop returns true is
+// included in the result but its outgoing edges are not followed.
+func (g *Graph) Reachable(roots []*types.Func, stop func(*FuncNode) bool) map[*types.Func]bool {
+	seen := make(map[*types.Func]bool)
+	var stack []*types.Func
+	for _, r := range roots {
+		if !seen[r] {
+			seen[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		fn := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		node := g.Funcs[fn]
+		if node == nil || (stop != nil && stop(node)) {
+			continue
+		}
+		for _, e := range node.Calls {
+			if !seen[e.Callee] {
+				seen[e.Callee] = true
+				stack = append(stack, e.Callee)
+			}
+		}
+	}
+	return seen
+}

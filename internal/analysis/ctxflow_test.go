@@ -1,0 +1,30 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"dismem/internal/analysis"
+	"dismem/internal/analysis/analysistest"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.CtxFlow, "ctxflow")
+}
+
+func TestCtxFlowPathFilter(t *testing.T) {
+	cases := map[string]bool{
+		"internal/server":               true,
+		"dismem/internal/server":        true,
+		"dismem/experiments":            true,
+		"dismem/experiments/sub":        true,
+		"dismem/internal/core":          false,
+		"dismem/internal/serverutil":    false,
+		"example.com/x/internal/server": true,
+		"example.com/x/internal/sweep":  false,
+	}
+	for path, want := range cases {
+		if got := analysis.CtxFlow.PathFilter(path); got != want {
+			t.Errorf("PathFilter(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

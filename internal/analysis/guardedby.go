@@ -1,0 +1,615 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GuardedByDirective annotates a struct field with the sibling mutex that
+// must be held to touch it:
+//
+//	mu sync.Mutex
+//	m  map[string]*entry //dmp:guardedby(mu)
+//
+// The argument names a field of the same struct whose type is sync.Mutex or
+// sync.RWMutex; anything else is a stale annotation and fails the build.
+const GuardedByDirective = "dmp:guardedby"
+
+// GuardedBy enforces //dmp:guardedby(mu) contracts: an annotated field may
+// only be read while the named mutex (on the same owner value) is held, and
+// only written while it is held exclusively. Locksets are tracked
+// intra-procedurally — E.Lock()/E.RLock() acquire, E.Unlock()/E.RUnlock()
+// release, `defer E.Unlock()` keeps the lock held for the rest of the body,
+// goroutine literals start with nothing held — and uncovered accesses in
+// unexported functions become "requires lock" facts that propagate to their
+// call sites over the module call graph, so a locked exported method may
+// delegate to lock-free unexported helpers without either side being flagged.
+// Accesses whose owner is not a stable name (call results, map elements) are
+// not checked; the index is module-wide, so contracts on exported fields bind
+// in every importing package.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc: "fields annotated //dmp:guardedby(mu) must only be accessed with the " +
+		"named sibling mutex held (exclusively for writes); unexported helpers " +
+		"inherit the obligation through the call graph",
+	Run: runGuardedBy,
+}
+
+// guardSpec is the parsed contract of one annotated field.
+type guardSpec struct {
+	mutex string // sibling mutex field name
+	rw    bool   // guard is a sync.RWMutex
+}
+
+// indexDiag is a diagnostic found while building a module-wide index; it is
+// emitted by whichever pass owns the file, keeping attribution (and therefore
+// //dmplint:ignore scoping) per package.
+type indexDiag struct {
+	file string
+	pos  token.Pos
+	msg  string
+}
+
+// guardIndex is the module-wide table of guarded fields.
+type guardIndex struct {
+	fields map[*types.Var]*guardSpec
+	stale  []indexDiag
+}
+
+func guardedIndex(pass *Pass) *guardIndex {
+	return pass.Module.Cached("guardedby.index", func() any {
+		return buildGuardIndex(pass.Module)
+	}).(*guardIndex)
+}
+
+func buildGuardIndex(m *Module) *guardIndex {
+	idx := &guardIndex{fields: make(map[*types.Var]*guardSpec)}
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok || st.Fields == nil {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					arg, dpos, found := fieldDirective(field, GuardedByDirective)
+					if !found {
+						continue
+					}
+					file := pkg.Fset.Position(dpos).Filename
+					if len(field.Names) == 0 {
+						idx.stale = append(idx.stale, indexDiag{file, dpos,
+							"//dmp:guardedby cannot annotate an embedded field"})
+						continue
+					}
+					fname := field.Names[0].Name
+					if arg == "" {
+						idx.stale = append(idx.stale, indexDiag{file, dpos, fmt.Sprintf(
+							"malformed //dmp:guardedby on %s: missing mutex field name", fname)})
+						continue
+					}
+					sibling := findSiblingField(st, arg)
+					if sibling == nil {
+						idx.stale = append(idx.stale, indexDiag{file, dpos, fmt.Sprintf(
+							"stale //dmp:guardedby on %s: no sibling field %q", fname, arg)})
+						continue
+					}
+					mt := pkg.Info.TypeOf(sibling.Type)
+					isMu := namedIn(mt, "sync", "Mutex")
+					isRW := namedIn(mt, "sync", "RWMutex")
+					if !isMu && !isRW {
+						idx.stale = append(idx.stale, indexDiag{file, dpos, fmt.Sprintf(
+							"stale //dmp:guardedby on %s: sibling %q is not a sync.Mutex or sync.RWMutex", fname, arg)})
+						continue
+					}
+					for _, nameID := range field.Names {
+						if fv, isVar := pkg.Info.Defs[nameID].(*types.Var); isVar {
+							idx.fields[fv] = &guardSpec{mutex: arg, rw: isRW}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return idx
+}
+
+// findSiblingField returns the struct field named name, or nil.
+func findSiblingField(st *ast.StructType, name string) *ast.Field {
+	for _, f := range st.Fields.List {
+		for _, n := range f.Names {
+			if n.Name == name {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// lockMode is how strongly a mutex is held.
+type lockMode int
+
+const (
+	lockNone  lockMode = iota
+	lockRead           // RLock: reads of guarded fields allowed
+	lockWrite          // Lock: reads and writes allowed
+)
+
+// lockset maps a rendered mutex path ("st.mu", "cache.mu") to how it is held.
+type lockset map[string]lockMode
+
+func cloneLS(ls lockset) lockset {
+	c := make(lockset, len(ls))
+	for k, v := range ls {
+		c[k] = v
+	}
+	return c
+}
+
+// gbReq identifies one lock obligation a function imposes on its callers:
+// "the mutex named .mutex on the value passed in .slot must be held".
+type gbReq struct {
+	slot  int // -1 = receiver, else parameter index
+	mutex string
+}
+
+// gbFacts is the per-function summary the interprocedural phase consumes.
+type gbFacts struct {
+	exported bool
+	slots    map[string]int // receiver/parameter name -> slot
+	requires map[gbReq]lockMode
+	reqField map[gbReq]string // guarded field that induced the requirement
+	callLS   map[*ast.CallExpr]lockset
+}
+
+func runGuardedBy(pass *Pass) {
+	idx := guardedIndex(pass)
+	inPass := make(map[string]bool, len(pass.Files))
+	for _, f := range pass.Files {
+		inPass[pass.Fset.Position(f.Pos()).Filename] = true
+	}
+	for _, d := range idx.stale {
+		if inPass[d.file] {
+			pass.Reportf(d.pos, "%s", d.msg)
+		}
+	}
+	if len(idx.fields) == 0 {
+		return
+	}
+	facts := make(map[*types.Func]*gbFacts)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			facts[fn] = gbAnalyzeFunc(pass, idx, fd, fn)
+		}
+	}
+	gbPropagateAndReport(pass, facts)
+}
+
+// gbAnalyzeFunc walks one function body, reporting accesses that are locally
+// wrong and summarizing the obligations it pushes onto callers.
+func gbAnalyzeFunc(pass *Pass, idx *guardIndex, fd *ast.FuncDecl, fn *types.Func) *gbFacts {
+	facts := &gbFacts{
+		exported: fn.Exported(),
+		slots:    make(map[string]int),
+		requires: make(map[gbReq]lockMode),
+		reqField: make(map[gbReq]string),
+		callLS:   make(map[*ast.CallExpr]lockset),
+	}
+	if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		facts.slots[fd.Recv.List[0].Names[0].Name] = -1
+	}
+	slot := 0
+	for _, p := range fd.Type.Params.List {
+		for _, name := range p.Names {
+			facts.slots[name.Name] = slot
+			slot++
+		}
+		if len(p.Names) == 0 {
+			slot++
+		}
+	}
+	w := &gbWalker{pass: pass, idx: idx, facts: facts}
+	w.block(fd.Body.List, lockset{})
+	return facts
+}
+
+type gbWalker struct {
+	pass  *Pass
+	idx   *guardIndex
+	facts *gbFacts
+}
+
+func (w *gbWalker) block(stmts []ast.Stmt, ls lockset) {
+	for _, s := range stmts {
+		w.stmt(s, ls)
+	}
+}
+
+// stmt threads the lockset through one statement. Branch bodies get cloned
+// locksets: a lock released (or taken) on one arm must not leak into the
+// code after the branch, which keeps the common
+// `if ...; ok { mu.Unlock(); return }` early-exit pattern accurate for the
+// fall-through path.
+func (w *gbWalker) stmt(s ast.Stmt, ls lockset) {
+	switch st := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		w.expr(st.X, ls)
+	case *ast.AssignStmt:
+		for _, r := range st.Rhs {
+			w.expr(r, ls)
+		}
+		for _, l := range st.Lhs {
+			w.lvalue(l, ls)
+		}
+	case *ast.IncDecStmt:
+		w.lvalue(st.X, ls)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, ls)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		w.deferred(st.Call, ls)
+	case *ast.GoStmt:
+		w.goCall(st.Call, ls)
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			w.expr(r, ls)
+		}
+	case *ast.SendStmt:
+		w.expr(st.Chan, ls)
+		w.expr(st.Value, ls)
+	case *ast.IfStmt:
+		cls := cloneLS(ls)
+		w.stmt(st.Init, cls)
+		w.expr(st.Cond, cls)
+		w.block(st.Body.List, cloneLS(cls))
+		if st.Else != nil {
+			w.stmt(st.Else, cloneLS(cls))
+		}
+	case *ast.ForStmt:
+		cls := cloneLS(ls)
+		w.stmt(st.Init, cls)
+		if st.Cond != nil {
+			w.expr(st.Cond, cls)
+		}
+		w.block(st.Body.List, cls)
+		w.stmt(st.Post, cls)
+	case *ast.RangeStmt:
+		w.expr(st.X, ls)
+		cls := cloneLS(ls)
+		if st.Key != nil {
+			w.lvalue(st.Key, cls)
+		}
+		if st.Value != nil {
+			w.lvalue(st.Value, cls)
+		}
+		w.block(st.Body.List, cls)
+	case *ast.SwitchStmt:
+		cls := cloneLS(ls)
+		w.stmt(st.Init, cls)
+		if st.Tag != nil {
+			w.expr(st.Tag, cls)
+		}
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			ccls := cloneLS(cls)
+			for _, e := range cc.List {
+				w.expr(e, ccls)
+			}
+			w.block(cc.Body, ccls)
+		}
+	case *ast.TypeSwitchStmt:
+		cls := cloneLS(ls)
+		w.stmt(st.Init, cls)
+		w.stmt(st.Assign, cls)
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			w.block(cc.Body, cloneLS(cls))
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CommClause)
+			ccls := cloneLS(ls)
+			w.stmt(cc.Comm, ccls)
+			w.block(cc.Body, ccls)
+		}
+	case *ast.BlockStmt:
+		w.block(st.List, ls)
+	case *ast.LabeledStmt:
+		w.stmt(st.Stmt, ls)
+	}
+}
+
+// expr walks one expression: lock operations mutate the lockset, other calls
+// snapshot it for the interprocedural phase, guarded-field reads are checked,
+// and function-literal bodies run under a cloned lockset (goroutine literals
+// are handled by goCall with an empty one).
+func (w *gbWalker) expr(e ast.Expr, ls lockset) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			w.block(x.Body.List, cloneLS(ls))
+			return false
+		case *ast.CallExpr:
+			if base, op, ok := w.lockOp(x); ok {
+				applyLockOp(ls, base, op)
+				return false
+			}
+			w.facts.callLS[x] = cloneLS(ls)
+			return true
+		case *ast.SelectorExpr:
+			w.access(x, ls, false)
+			return true
+		}
+		return true
+	})
+}
+
+// lvalue walks an assignment target: the outermost guarded selector on the
+// spine is a write, everything hanging off it (indexes, bases) is reads.
+func (w *gbWalker) lvalue(e ast.Expr, ls lockset) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			w.expr(x.Index, ls)
+			e = x.X
+		case *ast.SelectorExpr:
+			if fv, ok := w.pass.TypesInfo.Uses[x.Sel].(*types.Var); ok && w.idx.fields[fv] != nil {
+				w.access(x, ls, true)
+				w.expr(x.X, ls)
+				return
+			}
+			e = x.X
+		default:
+			w.expr(e, ls)
+			return
+		}
+	}
+}
+
+// goCall models `go f(...)`: arguments are evaluated on the current
+// goroutine under the current lockset, but the call itself (and a literal's
+// body) runs on a fresh goroutine holding nothing.
+func (w *gbWalker) goCall(call *ast.CallExpr, ls lockset) {
+	w.facts.callLS[call] = lockset{}
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		w.block(fun.Body.List, lockset{})
+	case *ast.SelectorExpr:
+		w.expr(fun.X, ls)
+	}
+	for _, a := range call.Args {
+		w.expr(a, ls)
+	}
+}
+
+// deferred models `defer f(...)`. A deferred Unlock/RUnlock means the lock
+// stays held for the remainder of the body, so it does not change the
+// lockset; other deferred calls run under whatever is held at registration
+// time (LIFO ordering makes that the correct approximation for the
+// lock-then-defer-unlock idiom).
+func (w *gbWalker) deferred(call *ast.CallExpr, ls lockset) {
+	if _, _, ok := w.lockOp(call); ok {
+		return
+	}
+	w.facts.callLS[call] = cloneLS(ls)
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		w.block(fun.Body.List, cloneLS(ls))
+	case *ast.SelectorExpr:
+		w.expr(fun.X, ls)
+	}
+	for _, a := range call.Args {
+		w.expr(a, ls)
+	}
+}
+
+// lockOp recognizes E.Lock/Unlock/RLock/RUnlock where E has type sync.Mutex
+// or sync.RWMutex and renders to a stable name.
+func (w *gbWalker) lockOp(call *ast.CallExpr) (base, op string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	t := w.pass.TypeOf(sel.X)
+	if !namedIn(t, "sync", "Mutex") && !namedIn(t, "sync", "RWMutex") {
+		return "", "", false
+	}
+	base = renderExpr(sel.X)
+	if base == "" {
+		return "", "", false
+	}
+	return base, sel.Sel.Name, true
+}
+
+func applyLockOp(ls lockset, base, op string) {
+	switch op {
+	case "Lock":
+		ls[base] = lockWrite
+	case "RLock":
+		if ls[base] < lockRead {
+			ls[base] = lockRead
+		}
+	case "Unlock", "RUnlock":
+		delete(ls, base)
+	}
+}
+
+// access checks one guarded-field selector under the current lockset.
+func (w *gbWalker) access(sel *ast.SelectorExpr, ls lockset, write bool) {
+	fv, ok := w.pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok {
+		return
+	}
+	spec := w.idx.fields[fv]
+	if spec == nil {
+		return
+	}
+	base := renderExpr(sel.X)
+	if base == "" {
+		return // owner is not a stable name; out of scope
+	}
+	key := base + "." + spec.mutex
+	need := lockRead
+	if write {
+		need = lockWrite
+	}
+	have := ls[key]
+	if have >= need {
+		return
+	}
+	if have == lockRead && need == lockWrite {
+		// Wrong mode is a local bug — callers cannot upgrade an RLock.
+		w.pass.Reportf(sel.Pos(),
+			"write of %s requires %s held exclusively, but only RLock is held (//dmp:guardedby(%s))",
+			renderExpr(sel), key, spec.mutex)
+		return
+	}
+	if slot, isOwn := w.facts.slots[base]; isOwn && !w.facts.exported {
+		// Unexported helper touching a caller-supplied value: record the
+		// obligation instead of reporting, and let the interprocedural phase
+		// check every call site.
+		req := gbReq{slot: slot, mutex: spec.mutex}
+		if w.facts.requires[req] < need {
+			w.facts.requires[req] = need
+			w.facts.reqField[req] = fv.Name()
+		}
+		return
+	}
+	if write {
+		w.pass.Reportf(sel.Pos(),
+			"write of %s requires %s held exclusively (//dmp:guardedby(%s))",
+			renderExpr(sel), key, spec.mutex)
+	} else {
+		w.pass.Reportf(sel.Pos(),
+			"read of %s requires %s held (//dmp:guardedby(%s))",
+			renderExpr(sel), key, spec.mutex)
+	}
+}
+
+// gbPropagateAndReport pushes "requires lock" facts up the call graph to a
+// fixpoint — an unexported caller that cannot satisfy a callee's obligation
+// on one of its own receiver/parameters inherits it — then reports every
+// call site left holding an unmet obligation.
+func gbPropagateAndReport(pass *Pass, facts map[*types.Func]*gbFacts) {
+	graph := pass.Module.Graph()
+	for changed := true; changed; {
+		changed = false
+		for fn, f := range facts {
+			node := graph.Node(fn)
+			if node == nil {
+				continue
+			}
+			for _, e := range node.Calls {
+				cf := facts[e.Callee]
+				if cf == nil || len(cf.requires) == 0 {
+					continue
+				}
+				ls := f.callLS[e.Call]
+				for req, mode := range cf.requires {
+					base := renderExpr(callSlotExpr(e.Call, req.slot))
+					if base == "" {
+						continue
+					}
+					if ls[base+"."+req.mutex] >= mode {
+						continue
+					}
+					slot, isOwn := f.slots[base]
+					if !isOwn || f.exported {
+						continue // reported in the phase below
+					}
+					up := gbReq{slot: slot, mutex: req.mutex}
+					if f.requires[up] < mode {
+						f.requires[up] = mode
+						f.reqField[up] = cf.reqField[req]
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for fn, f := range facts {
+		node := graph.Node(fn)
+		if node == nil {
+			continue
+		}
+		for _, e := range node.Calls {
+			cf := facts[e.Callee]
+			if cf == nil || len(cf.requires) == 0 {
+				continue
+			}
+			ls := f.callLS[e.Call]
+			for req, mode := range cf.requires {
+				base := renderExpr(callSlotExpr(e.Call, req.slot))
+				if base == "" {
+					continue
+				}
+				key := base + "." + req.mutex
+				if ls[key] >= mode {
+					continue
+				}
+				if _, isOwn := f.slots[base]; isOwn && !f.exported {
+					continue // forwarded to this function's own callers
+				}
+				how := "held"
+				if mode == lockWrite {
+					how = "held exclusively"
+				}
+				pass.Reportf(e.Pos, "call to %s requires %s %s (callee touches //dmp:guardedby field %s)",
+					e.Callee.Name(), key, how, cf.reqField[req])
+			}
+		}
+	}
+}
+
+// callSlotExpr returns the expression a callee obligation slot binds to at a
+// call site: the method receiver for slot -1, else the positional argument.
+func callSlotExpr(call *ast.CallExpr, slot int) ast.Expr {
+	if slot < 0 {
+		fun := ast.Unparen(call.Fun)
+		switch ix := fun.(type) {
+		case *ast.IndexExpr:
+			fun = ix.X
+		case *ast.IndexListExpr:
+			fun = ix.X
+		}
+		if sel, ok := fun.(*ast.SelectorExpr); ok {
+			return sel.X
+		}
+		return nil
+	}
+	if slot < len(call.Args) {
+		return call.Args[slot]
+	}
+	return nil
+}

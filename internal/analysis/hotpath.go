@@ -106,13 +106,23 @@ func checkHotPath(pass *Pass, fn *ast.FuncDecl) {
 // collectCallContext records closure-literal call arguments and panic
 // arguments in one pre-pass, standing in for parent links.
 func (c *hotPathChecker) collectCallContext() {
+	goCalls := make(map[*ast.CallExpr]bool)
 	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		if g, isGo := n.(*ast.GoStmt); isGo {
+			goCalls[g.Call] = true // pre-order: marked before the call is visited
+		}
 		if lit, isLit := n.(*ast.FuncLit); isLit {
 			c.lits = append(c.lits, lit)
 		}
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
+		}
+		// A literal that is itself the callee — deferred or immediately
+		// invoked — runs in place and stays on the stack (open-coded defers);
+		// `go func(){...}()` escapes to the new goroutine and stays flagged.
+		if lit, isLit := call.Fun.(*ast.FuncLit); isLit && !goCalls[call] {
+			c.callArgLits[lit] = false
 		}
 		if ident, isIdent := call.Fun.(*ast.Ident); isIdent && ident.Name == "panic" {
 			if _, isBuiltin := c.pass.TypesInfo.Uses[ident].(*types.Builtin); isBuiltin {

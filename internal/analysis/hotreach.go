@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// HotPathReach closes the gap hotpath-alloc leaves open: that analyzer checks
+// only the bodies literally annotated //dmp:hotpath, so an annotated function
+// could keep its own body clean while delegating the allocation to a helper.
+// hotpath-reach walks the module call graph from every annotated function and
+// demands that everything reachable is either annotated itself (and therefore
+// under hotpath-alloc's eye) or allocation-clean by the same body checks.
+//
+// The walk expands only through clean unannotated callees: a dirty callee is
+// reported at the offending call edge — in the caller, where the hot-path
+// contract lives — and its own callees are not examined until it is either
+// cleaned or annotated. Calls through function values are an explicit
+// escape-hatch diagnostic (the static graph cannot prove anything about the
+// target); calls through interface methods are the module's sanctioned
+// polymorphism boundary (Sink, Policy) and stay silent, since implementations
+// carry their own annotations.
+var HotPathReach = &Analyzer{
+	Name: "hotpath-reach",
+	Doc: "every function reachable from a //dmp:hotpath function must be " +
+		"annotated itself or pass the hotpath-alloc body checks; calls through " +
+		"function values on hot paths are flagged as unverifiable",
+	Run: runHotPathReach,
+}
+
+// hotDirty summarizes the silent hotpath-alloc run over one unannotated
+// reachable function.
+type hotDirty struct {
+	count     int
+	firstFile string
+	firstLine int
+}
+
+type hotReachInfo struct {
+	// hot holds the hot context: annotated functions plus the clean
+	// unannotated functions reachable from them.
+	hot map[*types.Func]bool
+	// examined caches the body-check verdict per unannotated function;
+	// count==0 means clean.
+	examined map[*types.Func]*hotDirty
+}
+
+func hotReachIndex(pass *Pass) *hotReachInfo {
+	return pass.Module.Cached("hotreach.index", func() any {
+		return buildHotReach(pass.Module)
+	}).(*hotReachInfo)
+}
+
+func buildHotReach(m *Module) *hotReachInfo {
+	g := m.Graph()
+	info := &hotReachInfo{
+		hot:      make(map[*types.Func]bool),
+		examined: make(map[*types.Func]*hotDirty),
+	}
+	annotated := make(map[*types.Func]bool)
+	var stack []*types.Func
+	// Deterministic root order: the examined cache means results do not
+	// depend on traversal order, but dmplint's own analyzers hold this code
+	// to the same no-map-iteration-into-output standard as the simulator.
+	roots := make([]*types.Func, 0, len(g.Funcs))
+	for fn, node := range g.Funcs {
+		if funcDocHasDirective(node.Decl, HotPathDirective) {
+			roots = append(roots, fn)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].FullName() < roots[j].FullName() })
+	for _, fn := range roots {
+		annotated[fn] = true
+		info.hot[fn] = true
+		stack = append(stack, fn)
+	}
+	for len(stack) > 0 {
+		fn := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		node := g.Funcs[fn]
+		if node == nil {
+			continue
+		}
+		for _, e := range node.Calls {
+			callee := e.Callee
+			if info.hot[callee] || annotated[callee] {
+				continue
+			}
+			cn := g.Funcs[callee]
+			if cn == nil {
+				continue // stdlib or bodyless: outside the contract
+			}
+			d := info.examined[callee]
+			if d == nil {
+				d = examineHot(m, cn)
+				info.examined[callee] = d
+			}
+			if d.count == 0 {
+				info.hot[callee] = true
+				stack = append(stack, callee)
+			}
+		}
+	}
+	return info
+}
+
+// examineHot runs the hotpath-alloc body checks over one unannotated function
+// without emitting anything: the findings only decide clean/dirty, and the
+// first one anchors the edge diagnostic.
+func examineHot(m *Module, node *FuncNode) *hotDirty {
+	scratch := &Pass{
+		Analyzer:  HotPathAlloc,
+		Fset:      node.Pkg.Fset,
+		Files:     node.Pkg.Files,
+		Pkg:       node.Pkg.Types,
+		TypesInfo: node.Pkg.Info,
+		Module:    m,
+		pkg:       node.Pkg,
+	}
+	checkHotPath(scratch, node.Decl)
+	d := &hotDirty{count: len(scratch.diags)}
+	if d.count > 0 {
+		d.firstFile = filepath.Base(scratch.diags[0].File)
+		d.firstLine = scratch.diags[0].Line
+	}
+	return d
+}
+
+func runHotPathReach(pass *Pass) {
+	info := hotReachIndex(pass)
+	if len(info.hot) == 0 {
+		return
+	}
+	g := pass.Module.Graph()
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok || !info.hot[fn] {
+				continue
+			}
+			node := g.Node(fn)
+			if node == nil {
+				continue
+			}
+			for _, e := range node.Calls {
+				d := info.examined[e.Callee]
+				if d == nil || d.count == 0 {
+					continue
+				}
+				pass.Reportf(e.Pos,
+					"hot path escapes its annotation: %s calls %s, which is not //dmp:hotpath "+
+						"and fails the allocation checks (%d finding(s), first at %s:%d); "+
+						"annotate it after cleaning, or hoist the call off the hot path",
+					fd.Name.Name, e.Callee.Name(), d.count, d.firstFile, d.firstLine)
+			}
+			for _, dc := range node.Dyn {
+				if dc.Through != "function value" {
+					continue // interface dispatch: sanctioned boundary
+				}
+				pass.Reportf(dc.Pos,
+					"call through a function value on a hot path (%s): the call graph cannot "+
+						"verify the target is allocation-clean; call the function directly or "+
+						"allowlist with a reason",
+					fd.Name.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package analysis
+
+// Module bundles every package of one dmplint invocation so analyzers can
+// reason interprocedurally: the call graph, the guarded-field index, and the
+// atomic-field facts are all module-wide properties that a single package
+// cannot compute for itself (a helper's callers, a counter's atomic accesses,
+// and a handler's reachable callees routinely live in sibling packages).
+//
+// A Module is built once per run over the full target set and shared by every
+// Pass; derived indexes are computed lazily and cached, so a run that never
+// consults the call graph never builds it. The driver is single-threaded, so
+// no locking is needed.
+type Module struct {
+	Packages []*Package
+
+	graph *Graph
+	cache map[string]any // analyzer-owned module-wide indexes, by analyzer key
+}
+
+// NewModule bundles the given packages into one analysis scope.
+func NewModule(pkgs []*Package) *Module {
+	return &Module{Packages: pkgs}
+}
+
+// Graph returns the module-wide call graph, building it on first use.
+func (m *Module) Graph() *Graph {
+	if m.graph == nil {
+		m.graph = BuildGraph(m.Packages)
+	}
+	return m.graph
+}
+
+// Cached memoizes one module-wide index under key: the first caller pays for
+// build, every later pass reuses the result. Analyzers use it so their
+// whole-module fact tables (guarded fields, atomic fields, handler
+// reachability) are computed once per run, not once per package.
+func (m *Module) Cached(key string, build func() any) any {
+	if m.cache == nil {
+		m.cache = make(map[string]any)
+	}
+	if v, ok := m.cache[key]; ok {
+		return v
+	}
+	v := build()
+	m.cache[key] = v
+	return v
+}
+
+// RunModule applies the analyzers to every package of the module, sharing one
+// Module (and therefore one call graph and one set of module-wide fact
+// indexes) across all passes. Suppressions are applied per package, exactly
+// as RunAnalyzers does; the returned diagnostics are sorted by position.
+func RunModule(m *Module, analyzers []*Analyzer) []Diagnostic {
+	var all []Diagnostic
+	for _, pkg := range m.Packages {
+		all = append(all, runPackage(m, pkg, analyzers)...)
+	}
+	SortDiagnostics(all)
+	return all
+}
+
+// runPackage runs the analyzers over one package of the module and filters
+// the findings through that package's //dmplint:ignore directives.
+func runPackage(m *Module, pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.PathFilter != nil && !a.PathFilter(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Module:    m,
+			pkg:       pkg,
+		}
+		a.Run(pass)
+		diags = append(diags, pass.diags...)
+	}
+	sups, malformed := collectSuppressions(pkg.Fset, pkg.Files)
+	diags = applySuppressions(diags, sups)
+	diags = append(diags, malformed...)
+	SortDiagnostics(diags)
+	return diags
+}

@@ -1,0 +1,68 @@
+// Package atomiconly is the analysistest fixture for the atomiconly
+// analyzer: a stats stand-in mixing annotated counters, usage-enforced
+// counters, typed sync/atomic fields, and a package-level counter.
+package atomiconly
+
+import "sync/atomic"
+
+type stats struct {
+	hits   int64 //dmp:atomiconly
+	misses int64 // enforced by its atomic accesses alone
+
+	evict int64        //dmp:atomiconly // want `stale //dmp:atomiconly on evict: no sync/atomic access to it anywhere in the module`
+	idle  atomic.Int32 //dmp:atomiconly // want `stale //dmp:atomiconly on idle: never accessed through its atomic methods`
+
+	state atomic.Value
+	count atomic.Int64 //dmp:atomiconly op tally (reset on drain); prose after a bare directive must not confuse the parse
+}
+
+func (s *stats) hit()  { atomic.AddInt64(&s.hits, 1) }
+func (s *stats) miss() { atomic.AddInt64(&s.misses, 1) }
+
+// snapshot reads both counters atomically: clean.
+func (s *stats) snapshot() (int64, int64) {
+	return atomic.LoadInt64(&s.hits), atomic.LoadInt64(&s.misses)
+}
+
+// reset races every atomic accessor with plain stores.
+func (s *stats) reset() {
+	s.hits = 0   // want `plain access to s.hits: it is marked //dmp:atomiconly; use sync/atomic`
+	s.misses = 0 // want `plain access to s.misses: it is accessed via sync/atomic elsewhere in the module; use sync/atomic`
+}
+
+// tick drives the typed counter through its methods: clean.
+func (s *stats) tick() { s.count.Add(1) }
+
+// stash swaps the boxed value through the atomic API: clean.
+func (s *stats) stash(v any) { s.state.CompareAndSwap(nil, v) }
+
+// wipe overwrites a sync/atomic value wholesale — the copy tears the value
+// out from under concurrent CompareAndSwap callers.
+func (s *stats) wipe() {
+	s.state = atomic.Value{} // want `whole-value access to s.state: sync/atomic values must not be copied or overwritten; use their methods`
+}
+
+// drain is allowlisted: single-threaded teardown after the workers joined.
+func (s *stats) drain() int64 {
+	return s.hits //dmplint:ignore atomiconly fixture: read happens after the last writer joined
+}
+
+var ops int64
+
+func opDone() { atomic.AddInt64(&ops, 1) }
+
+// opCount reads the package-level counter bare.
+func opCount() int64 {
+	return ops // want `plain access to ops: it is accessed via sync/atomic elsewhere in the module; use sync/atomic`
+}
+
+var _ = (&stats{}).snapshot
+var _ = (&stats{}).reset
+var _ = (&stats{}).hit
+var _ = (&stats{}).miss
+var _ = (&stats{}).tick
+var _ = (&stats{}).stash
+var _ = (&stats{}).wipe
+var _ = (&stats{}).drain
+var _ = opDone
+var _ = opCount

@@ -1,0 +1,79 @@
+// Package ctxflow is the analysistest fixture for the ctxflow analyzer. The
+// ResponseWriter/Request stand-ins avoid loading net/http through the source
+// importer; handler detection is by type name, like the rest of dmplint's
+// fixture-facing matching.
+package ctxflow
+
+import "context"
+
+type ResponseWriter interface{ Write([]byte) (int, error) }
+
+type Request struct{ ctx context.Context }
+
+func (r *Request) Context() context.Context { return r.ctx }
+
+type server struct {
+	base context.Context
+}
+
+// run stands in for the blocking work a handler dispatches.
+func (s *server) run(ctx context.Context, n int) int {
+	<-ctx.Done()
+	return n
+}
+
+// HandleGood threads the request context: clean.
+func (s *server) HandleGood(w ResponseWriter, req *Request) {
+	s.run(req.Context(), 1)
+}
+
+// HandleFresh mints a root context on the request path.
+func (s *server) HandleFresh(w ResponseWriter, req *Request) {
+	s.run(context.Background(), 1) // want `context.Background\(\) in HandleFresh, which is reachable from an HTTP handler; thread the request context instead`
+}
+
+// HandleStored hands a stored context to the work.
+func (s *server) HandleStored(w ResponseWriter, req *Request) {
+	s.run(s.base, 1) // want `context read from field s.base passed to s.run on a handler-reachable path; plumb the request context instead`
+}
+
+// helper is one hop from a handler: reachability, not annotation, decides.
+func (s *server) helper(n int) {
+	s.run(context.TODO(), n) // want `context.TODO\(\) in helper, which is reachable from an HTTP handler; thread the request context instead`
+}
+
+func (s *server) HandleHop(w ResponseWriter, req *Request) { s.helper(2) }
+
+// HandleNil drops the context entirely.
+func (s *server) HandleNil(w ResponseWriter, req *Request) {
+	s.run(nil, 3) // want `nil context passed to s.run on a handler-reachable path; pass the request context`
+}
+
+// offPath is reachable from no handler: a root context is fine here.
+func (s *server) offPath() int {
+	return s.run(context.Background(), 0)
+}
+
+// HandleJoin is the sanctioned detachment seam, allowlisted with a reason.
+func (s *server) HandleJoin(w ResponseWriter, req *Request) {
+	s.run(s.base, 4) //dmplint:ignore ctxflow fixture: join seam must outlive any one request
+}
+
+// wired exercises the field-wiring expansion: execute is only reachable
+// through a function-typed field.
+type wired struct {
+	fn func(ctx context.Context, n int) int
+}
+
+func newWired(s *server) *wired { return &wired{fn: s.execute} }
+
+func (s *server) execute(ctx context.Context, n int) int {
+	return s.run(context.Background(), n) // want `context.Background\(\) in execute, which is reachable from an HTTP handler; thread the request context instead`
+}
+
+func (s *server) HandleWired(w ResponseWriter, req *Request) {
+	nw := newWired(s)
+	nw.fn(req.Context(), 5)
+}
+
+var _ = (&server{}).offPath

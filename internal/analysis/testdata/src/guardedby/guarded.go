@@ -1,0 +1,113 @@
+// Package guardedby is the analysistest fixture for the guardedby analyzer:
+// a store stand-in with a mutex-guarded map, an RWMutex-guarded index, a
+// package-level guarded counter, and the stale/malformed annotation shapes.
+package guardedby
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+
+	m   map[string]int //dmp:guardedby(mu) primary table (key → count); prose after the arg must not confuse the parse
+	idx []string       //dmp:guardedby(rw)
+
+	gone int //dmp:guardedby(missing) // want `stale //dmp:guardedby on gone: no sibling field "missing"`
+	bad  int //dmp:guardedby(m) // want `stale //dmp:guardedby on bad: sibling "m" is not a sync.Mutex or sync.RWMutex`
+}
+
+type halfBaked struct {
+	mu sync.Mutex
+	x  int //dmp:guardedby // want `malformed //dmp:guardedby on x: missing mutex field name`
+}
+
+// Get locks around the read: clean.
+func (s *store) Get(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[k]
+}
+
+// Peek reads the guarded map bare.
+func (s *store) Peek(k string) int {
+	return s.m[k] // want `read of s.m requires s.mu held \(//dmp:guardedby\(mu\)\)`
+}
+
+// Push writes while holding only the read lock.
+func (s *store) Push(k string) {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	s.idx = append(s.idx, k) // want `write of s.idx requires s.rw held exclusively, but only RLock is held`
+}
+
+// Scan reads under RLock: the shared mode admits reads.
+func (s *store) Scan() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return len(s.idx)
+}
+
+// put is an unexported helper: its uncovered write becomes an obligation on
+// every caller rather than a local diagnostic.
+func (s *store) put(k string, v int) {
+	s.m[k] = v
+}
+
+// Set delegates with the lock held: the obligation is satisfied.
+func (s *store) Set(k string, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.put(k, v)
+}
+
+// Slam forgets the lock: the inherited obligation fires at the call edge.
+func (s *store) Slam(k string) {
+	s.put(k, 0) // want `call to put requires s.mu held exclusively \(callee touches //dmp:guardedby field m\)`
+}
+
+// relay forwards the obligation one more hop: unexported, so its own callers
+// are checked instead of this call site.
+func (s *store) relay(k string) {
+	s.put(k, 1)
+}
+
+// Bounce calls the forwarding helper without the lock.
+func (s *store) Bounce(k string) {
+	s.relay(k) // want `call to relay requires s.mu held exclusively \(callee touches //dmp:guardedby field m\)`
+}
+
+// Flush hands guarded state to a goroutine, which starts with nothing held
+// even though the spawning body holds the lock.
+func (s *store) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.m = nil // want `write of s.m requires s.mu held exclusively \(//dmp:guardedby\(mu\)\)`
+	}()
+}
+
+// Seed is allowlisted: the store is not shared yet.
+func (s *store) Seed() {
+	s.m = map[string]int{} //dmplint:ignore guardedby fixture: construction happens before the store is shared
+}
+
+var counters = struct {
+	mu sync.Mutex
+	n  int //dmp:guardedby(mu)
+}{}
+
+// bump locks the package-level guard correctly.
+func bump() {
+	counters.mu.Lock()
+	counters.n++
+	counters.mu.Unlock()
+}
+
+// skim reads it bare: package-level owners are checked too.
+func skim() int {
+	return counters.n // want `read of counters.n requires counters.mu held \(//dmp:guardedby\(mu\)\)`
+}
+
+var _ = halfBaked{}
+var _ = bump
+var _ = skim

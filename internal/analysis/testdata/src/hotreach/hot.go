@@ -1,0 +1,61 @@
+// Package hotreach is the analysistest fixture for the hotpath-reach
+// analyzer: annotated hot functions delegating to clean helpers, dirty
+// helpers, and function values.
+package hotreach
+
+import "fmt"
+
+type metrics struct{ names []string }
+
+// step keeps its own body clean but delegates the allocation.
+//
+//dmp:hotpath
+func (m *metrics) step(i int) string {
+	return m.label(i) // want `hot path escapes its annotation: step calls label`
+}
+
+// label is dirty: Sprintf allocates on every call.
+func (m *metrics) label(i int) string {
+	return fmt.Sprintf("m%d", i)
+}
+
+// tick reaches only clean helpers: no findings anywhere on this chain.
+//
+//dmp:hotpath
+func (m *metrics) tick(i int) int {
+	return m.bump(i)
+}
+
+func (m *metrics) bump(i int) int { return i + 1 }
+
+// hop calls an annotated callee: hotpath-alloc owns that body, so the edge
+// is not re-examined.
+//
+//dmp:hotpath
+func (m *metrics) hop(i int) int { return m.tick(i) }
+
+// deep shows the closure walking through a clean intermediate: the edge
+// into the dirty callee is reported at the intermediate, inside the hot
+// context, where the fix belongs.
+//
+//dmp:hotpath
+func (m *metrics) deep(i int) string { return m.mid(i) }
+
+func (m *metrics) mid(i int) string {
+	return m.label(i) // want `hot path escapes its annotation: mid calls label`
+}
+
+// viaValue calls through a function value: statically unverifiable, so the
+// escape hatch fires.
+//
+//dmp:hotpath
+func (m *metrics) viaValue(f func(int) int, i int) int {
+	return f(i) // want `call through a function value on a hot path \(viaValue\)`
+}
+
+// sanctioned pins the allowlist path for the escape hatch.
+//
+//dmp:hotpath
+func (m *metrics) sanctioned(f func() int) int {
+	return f() //dmplint:ignore hotpath-reach fixture: caller contract requires a prebuilt closure
+}

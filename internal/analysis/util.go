@@ -2,7 +2,9 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"strings"
 )
 
 // pkgFuncCall resolves call as pkg.Func(...) where pkg is an imported
@@ -10,6 +12,12 @@ import (
 // Resolution goes through types.Info.Uses, so import aliases and shadowed
 // identifiers are handled correctly.
 func pkgFuncCall(pass *Pass, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	return pkgFuncCallInfo(pass.TypesInfo, call)
+}
+
+// pkgFuncCallInfo is pkgFuncCall for contexts that have type info but no
+// Pass (module-wide index builders).
+func pkgFuncCallInfo(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
 	sel, ok2 := call.Fun.(*ast.SelectorExpr)
 	if !ok2 {
 		return "", "", false
@@ -18,7 +26,7 @@ func pkgFuncCall(pass *Pass, call *ast.CallExpr) (pkgPath, name string, ok bool)
 	if !ok2 {
 		return "", "", false
 	}
-	pkgName, ok2 := pass.TypesInfo.Uses[ident].(*types.PkgName)
+	pkgName, ok2 := info.Uses[ident].(*types.PkgName)
 	if !ok2 {
 		return "", "", false
 	}
@@ -104,6 +112,106 @@ func quotedList(names []string) string {
 		out += `"` + n + `"`
 	}
 	return out
+}
+
+// renderExpr flattens a pure identifier/selector chain to its source
+// spelling ("st", "c.cache", "(*p).x" as "p.x"). Expressions containing
+// calls, indexes, or literals are not stable names and render as "".
+func renderExpr(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := renderExpr(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return renderExpr(x.X)
+	case *ast.StarExpr:
+		return renderExpr(x.X)
+	}
+	return ""
+}
+
+// fieldDirective scans a struct field's doc and trailing comments for the
+// given //-directive, with or without a parenthesized argument:
+//
+//	n int //dmp:guardedby(mu)   -> arg "mu", ok
+//	n int //dmp:atomiconly      -> arg "",  ok
+//
+// The first matching comment wins.
+func fieldDirective(field *ast.Field, directive string) (arg string, pos token.Pos, ok bool) {
+	return directiveIn(directive, field.Doc, field.Comment)
+}
+
+// specDirective is fieldDirective for package-level var specs.
+func specDirective(spec *ast.ValueSpec, directive string) (arg string, pos token.Pos, ok bool) {
+	return directiveIn(directive, spec.Doc, spec.Comment)
+}
+
+func directiveIn(directive string, groups ...*ast.CommentGroup) (arg string, pos token.Pos, ok bool) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			rest, found := strings.CutPrefix(text, directive)
+			if !found {
+				continue
+			}
+			// Three shapes: bare, bare + trailing prose, and "(arg)" with
+			// optional trailing prose. The arg ends at the FIRST close paren
+			// so prose after the directive may itself contain parens.
+			switch {
+			case rest == "":
+				return "", c.Pos(), true
+			case strings.HasPrefix(rest, " ") || strings.HasPrefix(rest, "\t"):
+				return "", c.Pos(), true
+			case strings.HasPrefix(rest, "("):
+				if i := strings.Index(rest, ")"); i > 0 {
+					return strings.TrimSpace(rest[1:i]), c.Pos(), true
+				}
+			}
+		}
+	}
+	return "", token.NoPos, false
+}
+
+// namedIn reports whether t (pointers dereferenced) is the named type
+// pkgPath.name, and returns the dereferenced named type.
+func namedIn(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// typeIn reports whether t (pointers dereferenced) is any named type
+// declared in the package with the given import path.
+func typeIn(t types.Type, pkgPath string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
 }
 
 // funcDocHasDirective reports whether the function's doc comment contains

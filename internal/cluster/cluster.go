@@ -395,12 +395,14 @@ func (c *Cluster) EndJob(id NodeID) error {
 }
 
 // AllocLocal reserves mb of node id's own DRAM for the job running on it.
+//
+//dmp:hotpath
 func (c *Cluster) AllocLocal(id NodeID, mb int64) error {
 	if mb < 0 {
 		return ErrNegativeAmount
 	}
 	if n := &c.nodes[id]; n.FreeMB() < mb {
-		return fmt.Errorf("%w: node %d free %d MB, need %d MB", ErrInsufficientMemory, id, n.FreeMB(), mb)
+		return fmt.Errorf("%w: node %d free %d MB, need %d MB", ErrInsufficientMemory, id, n.FreeMB(), mb) //dmplint:ignore hotpath-alloc error formatting runs only on the rejected-request path, never on a successful mutation
 	}
 	n := c.own(id)
 	n.LocalMB += mb
@@ -409,12 +411,14 @@ func (c *Cluster) AllocLocal(id NodeID, mb int64) error {
 }
 
 // ReleaseLocal returns mb of local memory on node id to the free pool.
+//
+//dmp:hotpath
 func (c *Cluster) ReleaseLocal(id NodeID, mb int64) error {
 	if mb < 0 {
 		return ErrNegativeAmount
 	}
 	if n := &c.nodes[id]; n.LocalMB < mb {
-		return fmt.Errorf("%w: node %d local %d MB, release %d MB", ErrOverRelease, id, n.LocalMB, mb)
+		return fmt.Errorf("%w: node %d local %d MB, release %d MB", ErrOverRelease, id, n.LocalMB, mb) //dmplint:ignore hotpath-alloc error formatting runs only on the rejected-request path, never on a successful mutation
 	}
 	n := c.own(id)
 	n.LocalMB -= mb
@@ -425,12 +429,14 @@ func (c *Cluster) ReleaseLocal(id NodeID, mb int64) error {
 // Lend reserves mb of node id's DRAM for a job running elsewhere. Lending is
 // allowed regardless of the half-capacity rule — that rule only gates
 // starting new jobs on the lender.
+//
+//dmp:hotpath
 func (c *Cluster) Lend(id NodeID, mb int64) error {
 	if mb < 0 {
 		return ErrNegativeAmount
 	}
 	if n := &c.nodes[id]; n.FreeMB() < mb {
-		return fmt.Errorf("%w: node %d free %d MB, lend %d MB", ErrInsufficientMemory, id, n.FreeMB(), mb)
+		return fmt.Errorf("%w: node %d free %d MB, lend %d MB", ErrInsufficientMemory, id, n.FreeMB(), mb) //dmplint:ignore hotpath-alloc error formatting runs only on the rejected-request path, never on a successful mutation
 	}
 	n := c.own(id)
 	n.LentMB += mb
@@ -441,12 +447,14 @@ func (c *Cluster) Lend(id NodeID, mb int64) error {
 }
 
 // ReturnLend gives back mb of memory previously lent by node id.
+//
+//dmp:hotpath
 func (c *Cluster) ReturnLend(id NodeID, mb int64) error {
 	if mb < 0 {
 		return ErrNegativeAmount
 	}
 	if n := &c.nodes[id]; n.LentMB < mb {
-		return fmt.Errorf("%w: node %d lent %d MB, return %d MB", ErrOverRelease, id, n.LentMB, mb)
+		return fmt.Errorf("%w: node %d lent %d MB, return %d MB", ErrOverRelease, id, n.LentMB, mb) //dmplint:ignore hotpath-alloc error formatting runs only on the rejected-request path, never on a successful mutation
 	}
 	n := c.own(id)
 	n.LentMB -= mb
@@ -529,7 +537,7 @@ func (c *Cluster) AscendLenders(yield func(id NodeID, free int64) bool) {
 			if free <= 0 {
 				return false
 			}
-			return yield(NodeID(local), free)
+			return yield(NodeID(local), free) //dmplint:ignore hotpath-reach yield is the caller's iterator body; every in-tree caller passes a prebuilt non-allocating visitor
 		})
 		return
 	}

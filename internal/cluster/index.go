@@ -171,7 +171,7 @@ func (ix *freeIndex) ascend(yield func(local int32, free int64) bool) {
 		}
 		cur = st[len(st)-1]
 		st = st[:len(st)-1]
-		if !yield(cur, ix.key[cur]) {
+		if !yield(cur, ix.key[cur]) { //dmplint:ignore hotpath-reach yield is the caller's iterator body; every in-tree caller passes a prebuilt non-allocating visitor
 			break
 		}
 		cur = ix.right[cur]

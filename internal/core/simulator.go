@@ -492,6 +492,8 @@ func (s *Simulator) onSubmit(id int) {
 // ensureTick guarantees a scheduling pass is queued. immediate requests a
 // pass right now (submission/completion); otherwise the regular interval
 // applies.
+//
+//dmp:hotpath
 func (s *Simulator) ensureTick(immediate bool) {
 	if s.tickScheduled || s.queue.Len() == 0 {
 		return
@@ -501,7 +503,7 @@ func (s *Simulator) ensureTick(immediate bool) {
 	if immediate {
 		delay = 0
 	}
-	s.eng.AfterTag(delay, evTag(tagTick, 0), func(*sim.Engine) { s.onTick() })
+	s.eng.AfterTag(delay, evTag(tagTick, 0), func(*sim.Engine) { s.onTick() }) //dmplint:ignore hotpath-alloc one scheduling closure per quiescent-to-active transition, amortized over the whole tick it schedules
 }
 
 func (s *Simulator) onTick() {
@@ -510,7 +512,7 @@ func (s *Simulator) onTick() {
 	s.schedulePass()
 	s.ensureTick(false)
 	if s.cfg.CheckInvariants {
-		if err := s.cl.CheckInvariants(); err != nil {
+		if err := s.cl.CheckInvariants(); err != nil { //dmplint:ignore hotpath-reach invariant sweeps run only when cfg.CheckInvariants is set — a debug mode that trades speed for ledger auditing
 			panic(err)
 		}
 	}
@@ -534,7 +536,7 @@ func (s *Simulator) schedulePass() {
 				goto backfill
 			}
 			s.queue.Remove(e.JobID)
-			s.start(j, ja)
+			s.start(j, ja) //dmplint:ignore hotpath-reach job start is per-admission, not per-tick; its event-registration closures and telemetry are sanctioned slow-path work
 			progressed = true
 			break // re-read the queue: priorities may interleave
 		}
@@ -583,7 +585,7 @@ func (s *Simulator) easyPass() {
 		if ja, placed := s.pol.Place(s.cl, j); placed {
 			s.queue.Remove(e.JobID)
 			s.tel.BackfillPlace(j.ID)
-			s.start(j, ja)
+			s.start(j, ja) //dmplint:ignore hotpath-reach job start is per-admission, not per-tick; its event-registration closures and telemetry are sanctioned slow-path work
 		}
 	}
 }
@@ -611,7 +613,7 @@ func (s *Simulator) conservativePass() {
 			if ja, placed := s.pol.Place(s.cl, j); placed {
 				s.queue.Remove(e.JobID)
 				s.tel.BackfillPlace(j.ID)
-				s.start(j, ja)
+				s.start(j, ja) //dmplint:ignore hotpath-reach job start is per-admission, not per-tick; its event-registration closures and telemetry are sanctioned slow-path work
 				profile.Reserve(d, now, j.LimitSec)
 				continue
 			}
@@ -867,7 +869,7 @@ func (s *Simulator) teardown(rj *runningJob) {
 			}
 		}
 	}
-	if err := rj.alloc.Release(s.cl); err != nil {
+	if err := rj.alloc.Release(s.cl); err != nil { //dmplint:ignore hotpath-reach teardown runs once per job completion; Release's error wrapping exists only on the ledger-corruption path
 		panic(err) // ledger corruption: fail loudly
 	}
 	delete(s.running, rj.j.ID)

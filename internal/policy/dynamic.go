@@ -245,7 +245,7 @@ func (a *Adjuster) growRanked(cl *cluster.Cluster, ja *cluster.JobAllocation, i 
 	for k := range ja.PerNode {
 		a.exc[ja.PerNode[k].Node] = true
 	}
-	for _, lender := range a.ranker(cl, na.Node, a.exc) {
+	for _, lender := range a.ranker(cl, na.Node, a.exc) { //dmplint:ignore hotpath-reach ranker is the policy's pluggable lender-ordering strategy; both in-tree rankers reuse the arena's scratch slice
 		take := minInt64(need, cl.Node(lender).FreeMB())
 		if take == 0 {
 			continue

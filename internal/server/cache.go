@@ -52,12 +52,12 @@ type entry struct {
 // of the spec, so a retry must re-run.
 type store struct {
 	mu  sync.Mutex
-	m   map[string]*entry
-	lru *list.List // of *entry; front = most recent
+	m   map[string]*entry //dmp:guardedby(mu)
+	lru *list.List        //dmp:guardedby(mu) of *entry; front = most recent
 	cap int
 
-	hits   atomic.Int64 // joins that found an entry (running or cached)
-	misses atomic.Int64 // joins that started a run
+	hits   atomic.Int64 //dmp:atomiconly joins that found an entry (running or cached)
+	misses atomic.Int64 //dmp:atomiconly joins that started a run
 }
 
 func newStore(cap int) *store {

@@ -30,7 +30,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	e, started := s.store.join(s.base, id)
+	e, started := s.store.join(s.base, id) //dmplint:ignore ctxflow deliberate: a scenario run outlives any one request; join refcounts waiters and derives per-entry cancellation from the daemon context
 	if started {
 		e.spec = spec // retained for the branch endpoint
 		s.metricsMu.Lock()
@@ -92,7 +92,7 @@ func (s *Server) handleBranch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	e, started := s.store.join(s.base, experiments.BranchKey(id, br))
+	e, started := s.store.join(s.base, experiments.BranchKey(id, br)) //dmplint:ignore ctxflow deliberate: a branch run outlives any one request; join refcounts waiters and derives per-entry cancellation from the daemon context
 	if started {
 		s.metricsMu.Lock()
 		s.started++

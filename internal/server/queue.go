@@ -20,7 +20,7 @@ type admission struct {
 	slots chan struct{} // buffered; a held token = one in-flight run
 
 	mu       sync.Mutex
-	queued   int
+	queued   int //dmp:guardedby(mu)
 	maxQueue int
 }
 

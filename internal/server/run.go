@@ -20,7 +20,7 @@ import (
 // computation; production code always goes through execute.
 func (s *Server) run(e *entry, spec *experiments.ScenarioSpec) {
 	start := time.Now()
-	result, tel, err := s.runFn(e.ctx, e.id, spec)
+	result, tel, err := s.runFn(e.ctx, e.id, spec) //dmplint:ignore ctxflow e.ctx is the entry's own lifecycle context, cancelled when the last waiter leaves — the intended context here, not a dropped request one
 	s.observeRun(time.Since(start), err)
 	s.store.complete(e, result, tel, err)
 }
@@ -49,7 +49,7 @@ func (s *Server) execute(ctx context.Context, id string, spec *experiments.Scena
 // the fork economics).
 func (s *Server) runBranch(e *entry, spec *experiments.ScenarioSpec, br *experiments.BranchSpec) {
 	start := time.Now()
-	result, err := s.branchFn(e.ctx, e.id, spec, br)
+	result, err := s.branchFn(e.ctx, e.id, spec, br) //dmplint:ignore ctxflow e.ctx is the entry's own lifecycle context, cancelled when the last waiter leaves — the intended context here, not a dropped request one
 	s.observeRun(time.Since(start), err)
 	s.store.complete(e, result, nil, err)
 }
@@ -79,7 +79,7 @@ func (s *Server) executeBranch(ctx context.Context, id string, spec *experiments
 type telemetryCapture struct {
 	interval float64
 	mu       sync.Mutex
-	cells    map[string]*bytes.Buffer
+	cells    map[string]*bytes.Buffer //dmp:guardedby(mu)
 }
 
 func cellKey(memPct int, pol string) string {

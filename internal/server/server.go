@@ -79,10 +79,10 @@ type Server struct {
 	branchFn func(ctx context.Context, id string, spec *experiments.ScenarioSpec, br *experiments.BranchSpec) ([]byte, error)
 
 	metricsMu sync.Mutex
-	runMS     *telemetry.Histogram // scenario wall time, milliseconds
-	started   uint64
-	completed uint64
-	failed    uint64
+	runMS     *telemetry.Histogram //dmp:guardedby(metricsMu) scenario wall time, milliseconds
+	started   uint64               //dmp:guardedby(metricsMu)
+	completed uint64               //dmp:guardedby(metricsMu)
+	failed    uint64               //dmp:guardedby(metricsMu)
 }
 
 // New builds a Server from cfg.

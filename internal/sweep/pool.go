@@ -22,14 +22,14 @@ type Pool struct {
 	size int
 
 	mu      sync.Mutex
-	queue   []*node // pending submissions; claimed nodes are skipped on pop
-	workers int     // live worker goroutines
-	peak    int     // high-water mark of workers (never exceeds size)
+	queue   []*node //dmp:guardedby(mu) pending submissions; claimed nodes are skipped on pop
+	workers int     //dmp:guardedby(mu) live worker goroutines
+	peak    int     //dmp:guardedby(mu) high-water mark of workers (never exceeds size)
 }
 
 // node is the pool-internal state of one submitted task.
 type node struct {
-	state atomic.Int32 // nodeQueued → nodeClaimed → nodeDone
+	state atomic.Int32 //dmp:atomiconly nodeQueued → nodeClaimed → nodeDone
 	run   func()       // executes the task, stores the result, closes done
 	done  chan struct{}
 }

@@ -80,6 +80,61 @@ func TestTeamPanicPropagates(t *testing.T) {
 	}
 }
 
+// TestTeamMixedTypePanics is the regression test for the panic-capture slot:
+// it used to be an atomic.Value, and atomic.Value.CompareAndSwap panics when
+// two calls use different concrete types — so two workers of one Run raising,
+// say, a string and an error crashed inside the recover handler instead of
+// propagating the first panic. The pointer-based slot accepts any mix. Every
+// worker panics here to force concurrent captures; under -race this also
+// exercises the CompareAndSwap publication path.
+func TestTeamMixedTypePanics(t *testing.T) {
+	payloads := []any{"boom", 42, error(errSentinel{}), []int{1}}
+	tm := NewTeam(4)
+	defer tm.Close()
+	for round := 0; round < 8; round++ {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("Run returned instead of panicking")
+				}
+				found := false
+				for _, p := range payloads {
+					if pe, ok := p.([]int); ok {
+						if re, ok := r.([]int); ok && len(re) == len(pe) {
+							found = true
+						}
+						continue
+					}
+					if r == p {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("recovered %v (%T), not one of the seeded payloads", r, r)
+				}
+			}()
+			tm.Run(4*tm.Size(), func(worker, start, end int) {
+				panic(payloads[worker%len(payloads)])
+			})
+		}()
+	}
+	// The slot must be fully reset: a clean Run afterwards returns normally.
+	var sum atomic.Int64
+	tm.Run(10, func(worker, start, end int) {
+		for i := start; i < end; i++ {
+			sum.Add(int64(i))
+		}
+	})
+	if sum.Load() != 45 {
+		t.Fatalf("post-panic Run sum %d, want 45", sum.Load())
+	}
+}
+
+type errSentinel struct{}
+
+func (errSentinel) Error() string { return "sentinel" }
+
 // TestTeamRunAllocationFree asserts dispatch allocates nothing at steady
 // state for both the inline (size 1) and parallel paths. The fn must be
 // prebuilt — a capturing closure literal at the call site would itself

@@ -24,13 +24,13 @@ type cacheEntry struct {
 
 var cache = struct {
 	mu sync.Mutex
-	m  map[string]*cacheEntry
+	m  map[string]*cacheEntry //dmp:guardedby(mu)
 	// The hit/miss counters are atomics, not mutex-guarded fields: the
 	// dmpd daemon's /metrics endpoint reads CacheStats concurrently with
 	// in-flight generations, and a scrape must never contend with (or wait
 	// behind) the cache lock.
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits   atomic.Int64 //dmp:atomiconly
+	misses atomic.Int64 //dmp:atomiconly
 }{m: map[string]*cacheEntry{}}
 
 // Key returns the canonical content hash of p. Params that produce the
